@@ -1,0 +1,50 @@
+//! Codeword maintenance microbenchmarks: the integer-only operations the
+//! paper argues are cheap and portable (§7).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dali_codeword::codeword::{delta, fold};
+use dali_codeword::{CodewordProtection, ProtectionScheme};
+use dali_common::DbAddr;
+use dali_mem::DbImage;
+
+fn bench_fold(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codeword_fold");
+    for size in [64usize, 512, 4096, 8192] {
+        let buf = vec![0xa5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(BenchmarkId::from_parameter(size), |b| {
+            b.iter(|| fold(std::hint::black_box(&buf)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_delta(c: &mut Criterion) {
+    // The per-update maintenance cost: delta over a 100-byte record's
+    // widened span, independent of region size.
+    let old = vec![1u8; 104];
+    let new = vec![2u8; 104];
+    c.bench_function("codeword_update_delta_100B", |b| {
+        b.iter(|| delta(std::hint::black_box(&old), std::hint::black_box(&new)))
+    });
+}
+
+fn bench_maintenance_vs_region_size(c: &mut Criterion) {
+    // Full apply_update path (fold old + fold image + atomic xor) per
+    // region size: demonstrates that maintenance cost does NOT grow with
+    // region size (only precheck cost does).
+    let mut group = c.benchmark_group("codeword_apply_update");
+    for region in [64usize, 512, 8192] {
+        let image = DbImage::new(16, 8192).unwrap();
+        let prot =
+            CodewordProtection::new(&image, ProtectionScheme::DataCodeword, region, 1).unwrap();
+        let old = vec![0u8; 104];
+        group.bench_function(BenchmarkId::from_parameter(region), |b| {
+            b.iter(|| prot.apply_update(&image, DbAddr(4096), std::hint::black_box(&old)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fold, bench_delta, bench_maintenance_vs_region_size);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion version of Table 1: cost of a protect/unprotect pair.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dali_mem::{Arena, DbImage, PageProtector};
+use std::sync::Arc;
+
+fn bench_mprotect_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mprotect");
+    group.sample_size(20);
+
+    // Raw syscall pair on one OS page (what Table 1 measures per page).
+    let ps = dali_mem::arena::os_page_size();
+    let arena = Arena::new(64 * ps).unwrap();
+    let base = arena.base_ptr();
+    group.bench_function("protect_unprotect_pair", |b| {
+        b.iter(|| unsafe {
+            let rc = libc::mprotect(base as *mut libc::c_void, ps, libc::PROT_READ);
+            assert_eq!(rc, 0);
+            let rc = libc::mprotect(
+                base as *mut libc::c_void,
+                ps,
+                libc::PROT_READ | libc::PROT_WRITE,
+            );
+            assert_eq!(rc, 0);
+        })
+    });
+
+    // The engine's expose/reprotect path (counter maintenance + syscall),
+    // i.e. what one beginUpdate/endUpdate pays under Hardware Protection.
+    for real in [false, true] {
+        let image = Arc::new(DbImage::new(64, ps).unwrap());
+        let prot = PageProtector::new(Arc::clone(&image), real);
+        prot.enable().unwrap();
+        group.bench_function(
+            BenchmarkId::new("expose_reprotect", if real { "real" } else { "bitmap_only" }),
+            |b| {
+                b.iter(|| {
+                    prot.expose(dali_common::DbAddr(100), 100).unwrap();
+                    prot.reprotect(dali_common::DbAddr(100), 100).unwrap();
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mprotect_pair);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Region-size sweep for Read Prechecking — the time/space trade-off
+//! behind Table 2's three precheck rows (64 B economical, 8 K
+//! catastrophic) and §5.3's discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dali_codeword::{CodewordProtection, ProtectionScheme};
+use dali_common::DbAddr;
+use dali_mem::DbImage;
+
+fn bench_checked_read(c: &mut Criterion) {
+    let mut group = c.benchmark_group("precheck_read_100B");
+    for region in [64usize, 128, 256, 512, 1024, 2048, 4096, 8192] {
+        let image = DbImage::new(16, 8192).unwrap();
+        let prot =
+            CodewordProtection::new(&image, ProtectionScheme::ReadPrecheck, region, 1).unwrap();
+        let mut buf = vec![0u8; 100];
+        group.bench_function(BenchmarkId::from_parameter(region), |b| {
+            b.iter(|| {
+                prot.checked_read(&image, DbAddr(4096), std::hint::black_box(&mut buf))
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_plain_read_reference(c: &mut Criterion) {
+    let image = DbImage::new(16, 8192).unwrap();
+    let mut buf = vec![0u8; 100];
+    c.bench_function("plain_read_100B", |b| {
+        b.iter(|| image.read(DbAddr(4096), std::hint::black_box(&mut buf)).unwrap())
+    });
+}
+
+fn bench_read_with_codewords(c: &mut Criterion) {
+    // The CW ReadLog read path: copy + contents fold of the overlapped
+    // regions (paper: +5% over plain read logging).
+    let image = DbImage::new(16, 8192).unwrap();
+    let prot = CodewordProtection::new(&image, ProtectionScheme::CwReadLogging, 64, 1).unwrap();
+    let mut buf = vec![0u8; 100];
+    c.bench_function("cw_readlog_read_100B", |b| {
+        b.iter(|| {
+            prot.read_with_codewords(&image, DbAddr(4096), std::hint::black_box(&mut buf))
+                .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_checked_read,
+    bench_plain_read_reference,
+    bench_read_with_codewords
+);
+criterion_main!(benches);

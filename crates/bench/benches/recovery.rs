@@ -1,0 +1,81 @@
+//! Recovery-path benchmarks: restart recovery and delete-transaction
+//! corruption recovery (the paper evaluates normal-processing cost only;
+//! this quantifies the recovery side as an extension).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dali_common::{DaliConfig, ProtectionScheme};
+use dali_engine::DaliEngine;
+use dali_workload::{TpcbConfig, TpcbDriver};
+
+/// Prepare a database directory with `ops` operations of log past the
+/// last checkpoint, then crash it.
+fn prepare(scheme: ProtectionScheme, ops: usize, corrupt: bool, tag: &str) -> DaliConfig {
+    let wl = TpcbConfig::small();
+    let dir = dali_bench::scratch_dir(tag);
+    let mut config = DaliConfig::small(&dir).with_scheme(scheme);
+    config.db_pages = wl.required_pages(config.page_size);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let mut driver = TpcbDriver::setup(&db, wl).unwrap();
+    db.checkpoint().unwrap();
+    driver.run_ops(ops).unwrap();
+    if corrupt {
+        let victim = driver.random_account();
+        let addr = db.record_addr(victim).unwrap();
+        // Single-word pattern: immune to XOR parity cancellation (a
+        // uniform multi-word pattern over a zero balance would cancel —
+        // see tests/parity_blind_spot.rs).
+        db.raw_image().write(addr.add(8), &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        let txn = db.begin().unwrap();
+        let dirty = txn.read_vec(victim).unwrap();
+        let other = driver.random_account();
+        if other != victim {
+            txn.update(other, &dirty).unwrap();
+        }
+        txn.commit().unwrap();
+        assert!(!db.audit().unwrap().clean());
+    } else {
+        db.crash();
+    }
+    config
+}
+
+fn bench_restart_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restart_recovery");
+    group.sample_size(10);
+    for ops in [500usize, 2000] {
+        group.bench_function(BenchmarkId::new("normal", ops), |b| {
+            b.iter_batched(
+                || prepare(ProtectionScheme::DataCodeword, ops, false, "recov-n"),
+                |config| {
+                    let (db, outcome) = DaliEngine::open(config).unwrap();
+                    assert!(outcome.deleted_txns.is_empty());
+                    drop(db);
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_delete_txn_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delete_txn_recovery");
+    group.sample_size(10);
+    for ops in [500usize, 2000] {
+        group.bench_function(BenchmarkId::new("readlog_corrupt", ops), |b| {
+            b.iter_batched(
+                || prepare(ProtectionScheme::ReadLogging, ops, true, "recov-c"),
+                |config| {
+                    let (db, outcome) = DaliEngine::open(config).unwrap();
+                    assert!(!outcome.deleted_txns.is_empty());
+                    drop(db);
+                },
+                criterion::BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_restart_recovery, bench_delete_txn_recovery);
+criterion_main!(benches);

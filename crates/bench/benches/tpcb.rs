@@ -1,0 +1,33 @@
+//! Criterion version of Table 2: TPC-B operation cost per scheme.
+//!
+//! Uses the small workload so each sample is fast; the `table2` binary
+//! runs the paper-sized configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dali_bench::{setup_engine, table2_specs};
+use dali_workload::TpcbConfig;
+
+fn bench_tpcb(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpcb_ops");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for spec in table2_specs() {
+        let wl = TpcbConfig::small();
+        let (db, mut driver) = setup_engine(&spec, &wl, "crit-tpcb");
+        group.throughput(criterion::Throughput::Elements(50));
+        group.bench_function(BenchmarkId::from_parameter(spec.label()), |b| {
+            b.iter(|| {
+                let txn = db.begin().expect("begin");
+                for _ in 0..50 {
+                    driver.run_op(&txn).expect("op");
+                }
+                txn.commit().expect("commit");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tpcb);
+criterion_main!(benches);

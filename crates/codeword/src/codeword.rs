@@ -1,0 +1,164 @@
+//! The XOR-fold codeword algebra.
+//!
+//! A codeword is the bitwise exclusive-or of the 32-bit little-endian words
+//! of a byte range: the *i*'th bit of the codeword is the parity of the
+//! *i*'th bit of each word (paper §3). Two identities make incremental
+//! maintenance cheap:
+//!
+//! * **Composition** — `fold(a ++ b) = fold(a) ^ fold(b)`.
+//! * **Update delta** — replacing a word-aligned sub-range `old` with `new`
+//!   changes the region codeword by `fold(old) ^ fold(new)`.
+//!
+//! Deltas commute, so concurrent updaters can publish them with an atomic
+//! `fetch_xor` without any ordering constraint.
+
+use dali_common::align::WORD;
+
+/// XOR-fold a word-aligned byte slice into a `u32` codeword.
+///
+/// # Panics
+///
+/// Panics (debug) if `bytes.len()` is not a multiple of 4. In release the
+/// trailing partial word is ignored; callers are expected to widen ranges
+/// with [`dali_common::align::widen_to_words`] first.
+#[inline]
+pub fn fold(bytes: &[u8]) -> u32 {
+    debug_assert!(
+        bytes.len() % WORD == 0,
+        "fold over unaligned length {}",
+        bytes.len()
+    );
+    let mut acc = 0u32;
+    for chunk in bytes.chunks_exact(WORD) {
+        acc ^= u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    acc
+}
+
+/// The codeword delta produced by overwriting `old` with `new` (equal
+/// lengths, word-aligned).
+#[inline]
+pub fn delta(old: &[u8], new: &[u8]) -> u32 {
+    debug_assert_eq!(old.len(), new.len());
+    fold(old) ^ fold(new)
+}
+
+/// XOR-fold an arbitrary-length byte slice, zero-padding the trailing
+/// partial word. Used for value checksums in read log records, where the
+/// logged range need not be word-aligned.
+#[inline]
+pub fn fold_padded(bytes: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = bytes.chunks_exact(WORD);
+    for chunk in &mut chunks {
+        acc ^= u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; WORD];
+        w[..rem.len()].copy_from_slice(rem);
+        acc ^= u32::from_le_bytes(w);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn fold_of_zeros_is_zero() {
+        assert_eq!(fold(&[0u8; 64]), 0);
+        assert_eq!(fold(&[]), 0);
+    }
+
+    #[test]
+    fn fold_single_word_is_the_word() {
+        assert_eq!(fold(&0xdead_beefu32.to_le_bytes()), 0xdead_beef);
+    }
+
+    #[test]
+    fn fold_is_parity_per_bit() {
+        // Three words with bit 0 set -> parity 1; two words with bit 7 set
+        // -> parity 0.
+        let mut buf = vec![0u8; 16];
+        buf[0] = 1; // word 0 bit 0
+        buf[4] = 1; // word 1 bit 0
+        buf[8] = 1; // word 2 bit 0
+        buf[3] = 0x80; // word 0 bit 31
+        buf[7] = 0x80; // word 1 bit 31
+        let cw = fold(&buf);
+        assert_eq!(cw & 1, 1);
+        assert_eq!(cw >> 31, 0);
+    }
+
+    #[test]
+    fn delta_zero_for_identical() {
+        let a = [5u8; 32];
+        assert_eq!(delta(&a, &a), 0);
+    }
+
+    #[test]
+    fn fold_padded_matches_fold_when_aligned() {
+        let b = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(fold_padded(&b), fold(&b));
+    }
+
+    #[test]
+    fn fold_padded_pads_with_zeros() {
+        assert_eq!(fold_padded(&[0xff]), 0x0000_00ff);
+        assert_eq!(fold_padded(&[0, 0, 0, 0, 0xab]), 0x0000_00ab);
+    }
+
+    proptest! {
+        #[test]
+        fn composition(a in proptest::collection::vec(any::<u8>(), 0..64),
+                       b in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let a4 = {
+                let mut v = a.clone();
+                v.truncate(v.len() / 4 * 4);
+                v
+            };
+            let b4 = {
+                let mut v = b.clone();
+                v.truncate(v.len() / 4 * 4);
+                v
+            };
+            let mut ab = a4.clone();
+            ab.extend_from_slice(&b4);
+            prop_assert_eq!(fold(&ab), fold(&a4) ^ fold(&b4));
+        }
+
+        #[test]
+        fn incremental_maintenance_equals_recompute(
+            region in proptest::collection::vec(any::<u8>(), 64..=64),
+            new in proptest::collection::vec(any::<u8>(), 4..=16),
+            word_off in 0usize..12,
+        ) {
+            // Truncate `new` to a word multiple and clamp in range.
+            let mut new = new;
+            new.truncate(new.len() / 4 * 4);
+            prop_assume!(!new.is_empty());
+            let off = (word_off * 4).min(64 - new.len());
+            let off = off / 4 * 4;
+
+            let cw_before = fold(&region);
+            let old = region[off..off + new.len()].to_vec();
+            let mut after = region.clone();
+            after[off..off + new.len()].copy_from_slice(&new);
+
+            let incr = cw_before ^ delta(&old, &new);
+            prop_assert_eq!(incr, fold(&after));
+        }
+
+        #[test]
+        fn delta_is_symmetric_difference(
+            old in proptest::collection::vec(any::<u8>(), 16..=16),
+            new in proptest::collection::vec(any::<u8>(), 16..=16),
+        ) {
+            prop_assert_eq!(delta(&old, &new), delta(&new, &old));
+            prop_assert_eq!(delta(&old, &old), 0);
+        }
+    }
+}

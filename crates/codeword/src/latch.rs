@@ -1,0 +1,328 @@
+//! Protection latches (paper §3.1).
+//!
+//! A protection latch serializes a region's *contents* against observers
+//! that need contents and codeword mutually consistent:
+//!
+//! * **Read Prechecking** — readers and updaters both take the latch
+//!   exclusively (§3.1).
+//! * **Data Codeword** — updaters take the latch in shared mode (the
+//!   codeword itself is maintained with atomic XOR, see
+//!   [`crate::table`]); auditors take it exclusively (§3.2).
+//!
+//! Latches are striped: `regions_per_latch` consecutive regions share one
+//! latch word. Latches are acquired in ascending stripe order everywhere,
+//! so latch-latch deadlock is impossible.
+//!
+//! The latch is a hand-rolled reader-writer spin latch with *explicit*
+//! unlock rather than an RAII guard because an update holds its latches
+//! from `beginUpdate` to `endUpdate` — a window that lives inside the
+//! transaction object, where borrow-based guards cannot go.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const WRITER: u32 = 1 << 31;
+
+/// A word-sized reader-writer spin latch.
+///
+/// Fairness is not guaranteed; critical sections are expected to be short
+/// (a region fold is at most a few KiB of XOR).
+#[derive(Default)]
+pub struct RwSpinLatch {
+    state: AtomicU32,
+}
+
+impl RwSpinLatch {
+    /// New unlocked latch.
+    pub const fn new() -> RwSpinLatch {
+        RwSpinLatch {
+            state: AtomicU32::new(0),
+        }
+    }
+
+    /// Acquire in shared mode (blocks writers, admits readers).
+    pub fn lock_shared(&self) {
+        let mut spins = 0u32;
+        loop {
+            let cur = self.state.load(Ordering::Relaxed);
+            if cur & WRITER == 0
+                && self
+                    .state
+                    .compare_exchange_weak(cur, cur + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                return;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Release shared mode.
+    pub fn unlock_shared(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        debug_assert!(prev & !WRITER > 0, "unlock_shared without lock_shared");
+    }
+
+    /// Acquire in exclusive mode.
+    pub fn lock_exclusive(&self) {
+        let mut spins = 0u32;
+        loop {
+            if self
+                .state
+                .compare_exchange_weak(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            backoff(&mut spins);
+        }
+    }
+
+    /// Release exclusive mode.
+    pub fn unlock_exclusive(&self) {
+        let prev = self.state.swap(0, Ordering::Release);
+        debug_assert_eq!(prev, WRITER, "unlock_exclusive without lock_exclusive");
+    }
+
+    /// Try to acquire exclusive mode without blocking.
+    pub fn try_lock_exclusive(&self) -> bool {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+#[inline]
+fn backoff(spins: &mut u32) {
+    *spins += 1;
+    if *spins < 16 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Latch acquisition mode.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum LatchMode {
+    /// No latch taken (Baseline / MemoryProtection schemes).
+    None,
+    /// Shared (Data Codeword updaters).
+    Shared,
+    /// Exclusive (Read Prechecking; audits).
+    Exclusive,
+}
+
+/// A striped table of protection latches covering a range of region ids.
+pub struct LatchTable {
+    latches: Vec<RwSpinLatch>,
+    /// log2 of regions per latch.
+    shift: u32,
+}
+
+impl LatchTable {
+    /// A table covering `num_regions` regions with `regions_per_latch`
+    /// (power of two) regions sharing each latch.
+    pub fn new(num_regions: usize, regions_per_latch: usize) -> LatchTable {
+        assert!(regions_per_latch.is_power_of_two());
+        let shift = regions_per_latch.trailing_zeros();
+        let stripes = num_regions.div_ceil(regions_per_latch).max(1);
+        let mut latches = Vec::with_capacity(stripes);
+        latches.resize_with(stripes, RwSpinLatch::new);
+        LatchTable { latches, shift }
+    }
+
+    /// Number of latch stripes.
+    pub fn stripes(&self) -> usize {
+        self.latches.len()
+    }
+
+    #[inline]
+    fn stripe_range(&self, first_region: usize, last_region: usize) -> (usize, usize) {
+        (first_region >> self.shift, last_region >> self.shift)
+    }
+
+    /// Lock the latches covering regions `first..=last` in `mode`.
+    /// Stripes are locked in ascending order. `LatchMode::None` is a no-op.
+    pub fn lock_span(&self, first_region: usize, last_region: usize, mode: LatchMode) {
+        if mode == LatchMode::None {
+            return;
+        }
+        let (s0, s1) = self.stripe_range(first_region, last_region);
+        for s in s0..=s1 {
+            match mode {
+                LatchMode::Shared => self.latches[s].lock_shared(),
+                LatchMode::Exclusive => self.latches[s].lock_exclusive(),
+                LatchMode::None => unreachable!(),
+            }
+        }
+    }
+
+    /// Unlock the latches previously locked by
+    /// [`lock_span`](Self::lock_span) with the same arguments.
+    pub fn unlock_span(&self, first_region: usize, last_region: usize, mode: LatchMode) {
+        if mode == LatchMode::None {
+            return;
+        }
+        let (s0, s1) = self.stripe_range(first_region, last_region);
+        for s in s0..=s1 {
+            match mode {
+                LatchMode::Shared => self.latches[s].unlock_shared(),
+                LatchMode::Exclusive => self.latches[s].unlock_exclusive(),
+                LatchMode::None => unreachable!(),
+            }
+        }
+    }
+
+    /// Run `f` with regions `first..=last` latched in `mode` (RAII-style
+    /// convenience for audits and prechecks).
+    pub fn with_span<R>(
+        &self,
+        first_region: usize,
+        last_region: usize,
+        mode: LatchMode,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        self.lock_span(first_region, last_region, mode);
+        // Unlock even on panic so poisoned tests don't hang.
+        struct Unlock<'a> {
+            t: &'a LatchTable,
+            f: usize,
+            l: usize,
+            m: LatchMode,
+        }
+        impl Drop for Unlock<'_> {
+            fn drop(&mut self) {
+                self.t.unlock_span(self.f, self.l, self.m);
+            }
+        }
+        let _g = Unlock {
+            t: self,
+            f: first_region,
+            l: last_region,
+            m: mode,
+        };
+        f()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn exclusive_excludes_exclusive() {
+        let l = RwSpinLatch::new();
+        l.lock_exclusive();
+        assert!(!l.try_lock_exclusive());
+        l.unlock_exclusive();
+        assert!(l.try_lock_exclusive());
+        l.unlock_exclusive();
+    }
+
+    #[test]
+    fn shared_admits_shared_blocks_exclusive() {
+        let l = RwSpinLatch::new();
+        l.lock_shared();
+        l.lock_shared();
+        assert!(!l.try_lock_exclusive());
+        l.unlock_shared();
+        assert!(!l.try_lock_exclusive());
+        l.unlock_shared();
+        assert!(l.try_lock_exclusive());
+        l.unlock_exclusive();
+    }
+
+    #[test]
+    fn stripe_mapping() {
+        let t = LatchTable::new(64, 4);
+        assert_eq!(t.stripes(), 16);
+        let t = LatchTable::new(64, 1);
+        assert_eq!(t.stripes(), 64);
+        let t = LatchTable::new(3, 4);
+        assert_eq!(t.stripes(), 1);
+    }
+
+    #[test]
+    fn none_mode_is_noop() {
+        let t = LatchTable::new(8, 1);
+        t.lock_span(0, 7, LatchMode::None);
+        t.unlock_span(0, 7, LatchMode::None);
+        // Exclusive still available on every stripe.
+        t.lock_span(0, 7, LatchMode::Exclusive);
+        t.unlock_span(0, 7, LatchMode::Exclusive);
+    }
+
+    #[test]
+    fn with_span_unlocks_on_exit() {
+        let t = LatchTable::new(8, 1);
+        let r = t.with_span(2, 5, LatchMode::Exclusive, || 42);
+        assert_eq!(r, 42);
+        t.lock_span(2, 5, LatchMode::Exclusive);
+        t.unlock_span(2, 5, LatchMode::Exclusive);
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let t = Arc::new(LatchTable::new(4, 1));
+        let counter = Arc::new(AtomicU64::new(0));
+        let mut handles = vec![];
+        for _ in 0..4 {
+            let t = Arc::clone(&t);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    t.lock_span(1, 1, LatchMode::Exclusive);
+                    // Non-atomic read-modify-write protected by the latch.
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                    t.unlock_span(1, 1, LatchMode::Exclusive);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40_000);
+    }
+
+    #[test]
+    fn readers_and_writer_interleave_correctly() {
+        let t = Arc::new(LatchTable::new(1, 1));
+        let stop = Arc::new(AtomicU64::new(0));
+        let data = Arc::new(AtomicU64::new(0));
+        let mut handles = vec![];
+        // Writer makes paired increments; readers must always observe even.
+        {
+            let t = Arc::clone(&t);
+            let d = Arc::clone(&data);
+            let s = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..20_000 {
+                    t.lock_span(0, 0, LatchMode::Exclusive);
+                    d.fetch_add(1, Ordering::Relaxed);
+                    d.fetch_add(1, Ordering::Relaxed);
+                    t.unlock_span(0, 0, LatchMode::Exclusive);
+                }
+                s.store(1, Ordering::Release);
+            }));
+        }
+        for _ in 0..3 {
+            let t = Arc::clone(&t);
+            let d = Arc::clone(&data);
+            let s = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                while s.load(Ordering::Acquire) == 0 {
+                    t.lock_span(0, 0, LatchMode::Shared);
+                    let v = d.load(Ordering::Relaxed);
+                    assert_eq!(v % 2, 0, "reader saw torn update");
+                    t.unlock_span(0, 0, LatchMode::Shared);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Codeword protection (paper §3).
+//!
+//! The database is divided into fixed-size *protection regions*; a
+//! *codeword* — the bitwise XOR of the 32-bit words of the region — is
+//! maintained for each. Updates through the prescribed interface keep the
+//! codeword in sync; a wild write does not, so with high probability the
+//! maintained codeword no longer matches the codeword computed from the
+//! region, and the mismatch is caught by a *precheck* (on read) or an
+//! *audit* (asynchronously / at checkpoint time).
+//!
+//! Modules:
+//!
+//! * [`codeword`] — the XOR-fold algebra (fold, delta, incremental
+//!   maintenance identities).
+//! * [`region`] — protection-region geometry over the database address
+//!   space.
+//! * [`table`] — the codeword table, one atomic `u32` per region.
+//!   Codeword deltas commute, so maintenance uses `fetch_xor`; this plays
+//!   the role of the paper's *codeword latch* (§3.2).
+//! * [`latch`] — the *protection latch* table: striped reader-writer
+//!   spin latches with explicit lock/unlock (guards must survive across the
+//!   beginUpdate/endUpdate window, which RAII lifetimes cannot express).
+//! * [`audit`] — region and whole-database audits producing
+//!   [`AuditReport`](audit::AuditReport)s.
+//! * [`protection`] — [`CodewordProtection`](protection::CodewordProtection),
+//!   the façade bundling geometry + table + latches and implementing the
+//!   per-scheme read/update protocols.
+
+pub mod audit;
+pub mod codeword;
+pub mod latch;
+pub mod protection;
+pub mod region;
+pub mod table;
+
+pub use audit::{AuditReport, CorruptRegion};
+pub use latch::{LatchMode, LatchTable};
+pub use protection::CodewordProtection;
+pub use region::RegionGeometry;
+pub use table::CodewordTable;
+
+// Re-export the scheme selector for convenience.
+pub use dali_common::ProtectionScheme;

@@ -1,0 +1,170 @@
+//! Alignment arithmetic.
+//!
+//! Codewords are the bitwise XOR of the 32-bit words of a protection region
+//! (paper §3), so codeword maintenance needs the *word-aligned* span that
+//! covers an arbitrary byte-range update: `beginUpdate` widens the undo
+//! image to [`widen_to_words`] so that `xor(old span) ^ xor(new span)` is a
+//! well-defined codeword delta.
+
+/// The codeword word size in bytes. The paper's implementation XORs machine
+/// words; we use 32-bit words so that 64-byte protection regions carry a
+/// 4-byte codeword — the ~6% space overhead quoted in §5.3.
+pub const WORD: usize = 4;
+
+/// Round `x` down to a multiple of `align` (power of two).
+#[inline]
+pub fn round_down(x: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    x & !(align - 1)
+}
+
+/// Round `x` up to a multiple of `align` (power of two).
+#[inline]
+pub fn round_up(x: usize, align: usize) -> usize {
+    debug_assert!(align.is_power_of_two());
+    (x + align - 1) & !(align - 1)
+}
+
+/// Widen the byte range `[start, start+len)` to word boundaries.
+///
+/// Returns `(start', len')` with `start' <= start`,
+/// `start' + len' >= start + len`, both word-aligned. A zero-length range
+/// widens to a zero-length aligned range.
+#[inline]
+pub fn widen_to_words(start: usize, len: usize) -> (usize, usize) {
+    if len == 0 {
+        let s = round_down(start, WORD);
+        return (s, 0);
+    }
+    let s = round_down(start, WORD);
+    let e = round_up(start + len, WORD);
+    (s, e - s)
+}
+
+/// True if `x` is a multiple of `align` (power of two).
+#[inline]
+pub fn is_aligned(x: usize, align: usize) -> bool {
+    debug_assert!(align.is_power_of_two());
+    x & (align - 1) == 0
+}
+
+/// Split the byte range `[start, start+len)` into per-chunk subranges for a
+/// chunking of the address space into fixed `chunk` sized pieces (protection
+/// regions or pages). Yields `(chunk_index, start_within_range, len)` where
+/// `start_within_range` is an absolute address.
+pub fn split_by_chunks(
+    start: usize,
+    len: usize,
+    chunk: usize,
+) -> impl Iterator<Item = (usize, usize, usize)> {
+    debug_assert!(chunk.is_power_of_two());
+    let end = start + len;
+    let first = start / chunk;
+    let last = if len == 0 { first } else { (end - 1) / chunk };
+    (first..=last).filter_map(move |ci| {
+        let cstart = ci * chunk;
+        let cend = cstart + chunk;
+        let s = start.max(cstart);
+        let e = end.min(cend);
+        if e > s {
+            Some((ci, s, e - s))
+        } else {
+            None
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_basics() {
+        assert_eq!(round_down(7, 4), 4);
+        assert_eq!(round_down(8, 4), 8);
+        assert_eq!(round_up(7, 4), 8);
+        assert_eq!(round_up(8, 4), 8);
+        assert_eq!(round_up(0, 4), 0);
+    }
+
+    #[test]
+    fn widen_covers_and_aligns() {
+        let (s, l) = widen_to_words(5, 3);
+        assert_eq!((s, l), (4, 4));
+        let (s, l) = widen_to_words(4, 4);
+        assert_eq!((s, l), (4, 4));
+        let (s, l) = widen_to_words(6, 7);
+        assert_eq!((s, l), (4, 12));
+    }
+
+    #[test]
+    fn widen_zero_len() {
+        let (s, l) = widen_to_words(7, 0);
+        assert_eq!(l, 0);
+        assert!(is_aligned(s, WORD));
+    }
+
+    #[test]
+    fn split_within_one_chunk() {
+        let v: Vec<_> = split_by_chunks(10, 20, 64).collect();
+        assert_eq!(v, vec![(0, 10, 20)]);
+    }
+
+    #[test]
+    fn split_across_chunks() {
+        let v: Vec<_> = split_by_chunks(60, 10, 64).collect();
+        assert_eq!(v, vec![(0, 60, 4), (1, 64, 6)]);
+    }
+
+    #[test]
+    fn split_exact_boundaries() {
+        let v: Vec<_> = split_by_chunks(64, 64, 64).collect();
+        assert_eq!(v, vec![(1, 64, 64)]);
+    }
+
+    #[test]
+    fn split_three_chunks() {
+        let v: Vec<_> = split_by_chunks(100, 200, 128).collect();
+        assert_eq!(v, vec![(0, 100, 28), (1, 128, 128), (2, 256, 44)]);
+    }
+
+    #[test]
+    fn split_empty() {
+        let v: Vec<_> = split_by_chunks(100, 0, 128).collect();
+        assert!(v.is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn widen_always_covers(start in 0usize..1_000_000, len in 0usize..4096) {
+            let (s, l) = widen_to_words(start, len);
+            prop_assert!(is_aligned(s, WORD));
+            prop_assert!(is_aligned(l, WORD));
+            prop_assert!(s <= start);
+            prop_assert!(s + l >= start + len);
+            // Widening adds less than one word on each side.
+            prop_assert!(l < len + 2 * WORD);
+        }
+
+        #[test]
+        fn split_partitions_range(
+            start in 0usize..100_000,
+            len in 0usize..10_000,
+            chunk_pow in 4u32..14,
+        ) {
+            let chunk = 1usize << chunk_pow;
+            let parts: Vec<_> = split_by_chunks(start, len, chunk).collect();
+            // Parts are contiguous, ordered, and cover exactly [start, start+len).
+            let total: usize = parts.iter().map(|p| p.2).sum();
+            prop_assert_eq!(total, len);
+            let mut cursor = start;
+            for (ci, s, l) in parts {
+                prop_assert_eq!(s, cursor);
+                prop_assert_eq!(s / chunk, ci);
+                prop_assert_eq!((s + l - 1) / chunk, ci);
+                cursor = s + l;
+            }
+        }
+    }
+}

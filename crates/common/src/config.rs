@@ -1,0 +1,320 @@
+//! Engine configuration and the protection-scheme selector.
+//!
+//! [`ProtectionScheme`] enumerates the protection levels evaluated in the
+//! paper (the rows of Table 2); [`DaliConfig`] carries the knobs used to
+//! size the database image, protection regions, and durability behaviour.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Which corruption-protection scheme the engine runs with.
+///
+/// Each variant corresponds to a row of Table 2 in the paper:
+///
+/// | Variant | Table 2 row | Direct corruption | Indirect corruption |
+/// |---|---|---|---|
+/// | `Baseline` | Baseline | none | none |
+/// | `DataCodeword` | Data CW | detect (audit) | none |
+/// | `ReadPrecheck` | Data CW w/Precheck, *N* byte | detect | prevent |
+/// | `ReadLogging` | Data CW w/ReadLog | detect | correct (delete-txn recovery) |
+/// | `CwReadLogging` | Data CW w/CW ReadLog | detect | correct (view-consistent) |
+/// | `MemoryProtection` | Memory Protection | prevent (mprotect) | unneeded |
+/// | `DeferredMaintenance` | *(extension, named in §4.3)* | detect (quiesced audit) | none |
+///
+/// The precheck region size is configured separately
+/// ([`DaliConfig::region_size`]) to allow the 64 B / 512 B / 8 K rows and
+/// the region-size sweep ablation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProtectionScheme {
+    /// No protection at all.
+    Baseline,
+    /// Maintain codewords on every update; detect direct corruption only
+    /// through asynchronous audits (paper §3.2).
+    DataCodeword,
+    /// Codeword maintenance plus a codeword consistency check on every read
+    /// (paper §3.1); prevents transaction-carried corruption.
+    ReadPrecheck,
+    /// Data Codeword with *deferred maintenance* (named in §4.3): updaters
+    /// queue `(region, delta)` pairs instead of touching the codeword
+    /// table; audits drain the queue (under update quiescence) before
+    /// checking. Trades update-path work for audit-time quiescence.
+    DeferredMaintenance,
+    /// Codeword maintenance plus logging of the identity of every item read
+    /// (paper §4.2); enables delete-transaction corruption recovery.
+    ReadLogging,
+    /// Read logging that additionally stores the region codeword(s) in each
+    /// read log record (paper §4.3 extension); recovery becomes
+    /// view-consistent and runs on every restart.
+    CwReadLogging,
+    /// Hardware protection: mprotect pages read-only, expose them for the
+    /// duration of each beginUpdate/endUpdate pair (paper §3, after [21]).
+    MemoryProtection,
+}
+
+impl ProtectionScheme {
+    /// All schemes, in the order they appear in Table 2 (for the 64-byte
+    /// region size).
+    pub const ALL: [ProtectionScheme; 7] = [
+        ProtectionScheme::Baseline,
+        ProtectionScheme::DataCodeword,
+        ProtectionScheme::DeferredMaintenance,
+        ProtectionScheme::ReadPrecheck,
+        ProtectionScheme::ReadLogging,
+        ProtectionScheme::CwReadLogging,
+        ProtectionScheme::MemoryProtection,
+    ];
+
+    /// Does the scheme queue codeword deltas for audit-time application
+    /// instead of applying them at `endUpdate`?
+    #[inline]
+    pub fn defers_maintenance(self) -> bool {
+        matches!(self, ProtectionScheme::DeferredMaintenance)
+    }
+
+    /// Does the scheme maintain a codeword per protection region on every
+    /// update?
+    #[inline]
+    pub fn maintains_codewords(self) -> bool {
+        !matches!(
+            self,
+            ProtectionScheme::Baseline | ProtectionScheme::MemoryProtection
+        )
+    }
+
+    /// Does the scheme verify the codeword of each region read, before the
+    /// read (paper §3.1)?
+    #[inline]
+    pub fn prechecks_reads(self) -> bool {
+        matches!(self, ProtectionScheme::ReadPrecheck)
+    }
+
+    /// Does the scheme append read log records to the transaction log?
+    #[inline]
+    pub fn logs_reads(self) -> bool {
+        matches!(
+            self,
+            ProtectionScheme::ReadLogging | ProtectionScheme::CwReadLogging
+        )
+    }
+
+    /// Do read log records carry the region codeword(s)?
+    #[inline]
+    pub fn logs_read_codewords(self) -> bool {
+        matches!(self, ProtectionScheme::CwReadLogging)
+    }
+
+    /// Does the scheme bracket updates with mprotect calls?
+    #[inline]
+    pub fn uses_mprotect(self) -> bool {
+        matches!(self, ProtectionScheme::MemoryProtection)
+    }
+
+    /// Can the scheme drive delete-transaction corruption recovery (needs
+    /// read log records)?
+    #[inline]
+    pub fn supports_delete_txn_recovery(self) -> bool {
+        self.logs_reads()
+    }
+
+    /// Human-readable label matching the Table 2 row names.
+    pub fn label(self, region_size: usize) -> String {
+        match self {
+            ProtectionScheme::Baseline => "Baseline".to_string(),
+            ProtectionScheme::DataCodeword => "Data CW".to_string(),
+            ProtectionScheme::DeferredMaintenance => "Data CW (deferred)".to_string(),
+            ProtectionScheme::ReadPrecheck => {
+                format!("Data CW w/Precheck, {} byte", region_size)
+            }
+            ProtectionScheme::ReadLogging => "Data CW w/ReadLog".to_string(),
+            ProtectionScheme::CwReadLogging => "Data CW w/CW ReadLog".to_string(),
+            ProtectionScheme::MemoryProtection => "Memory Protection".to_string(),
+        }
+    }
+}
+
+/// Configuration for opening or creating a database.
+#[derive(Clone, Debug)]
+pub struct DaliConfig {
+    /// Directory holding the stable log, the two checkpoint images, and the
+    /// checkpoint anchor.
+    pub dir: PathBuf,
+    /// Page size in bytes (power of two). Pages are the granularity of
+    /// dirty tracking, checkpoint I/O, and mprotect.
+    pub page_size: usize,
+    /// Database image size in pages.
+    pub db_pages: usize,
+    /// Protection scheme to run with.
+    pub scheme: ProtectionScheme,
+    /// Protection-region size in bytes (power of two, multiple of the
+    /// codeword word size). Table 2 uses 64, 512, and 8192.
+    pub region_size: usize,
+    /// Number of protection regions guarded by one protection latch.
+    /// `1` gives the paper's latch-per-region; larger values stripe.
+    pub regions_per_latch: usize,
+    /// fsync the stable log on transaction commit. When false the log is
+    /// still written (buffered) at commit, but durability is left to the OS.
+    pub sync_commit: bool,
+    /// Audit the whole database after writing a checkpoint and certify it
+    /// (paper §4.2). Required for corruption recovery; can be disabled for
+    /// microbenchmarks.
+    pub audit_on_checkpoint: bool,
+    /// Issue real `mprotect` syscalls for the MemoryProtection scheme. When
+    /// false only the protection bitmap is maintained (useful on platforms
+    /// where mprotect on the arena is unavailable).
+    pub mprotect_real: bool,
+    /// How long a lock request waits before being denied (deadlock
+    /// resolution by timeout).
+    pub lock_timeout: Duration,
+    /// Capacity hint for the in-memory system-log tail, in bytes.
+    pub log_tail_capacity: usize,
+    /// Lay allocation bitmaps out adjacent to their table's data instead
+    /// of on separate pages. Dali keeps control information *off* the
+    /// data pages (the default, `false`); colocating models a page-based
+    /// system and reduces the pages touched per operation — the §5.3
+    /// ablation explaining why Hardware Protection fares better on
+    /// page-based systems.
+    pub colocate_control: bool,
+}
+
+impl DaliConfig {
+    /// A small configuration rooted at `dir`, suitable for tests and
+    /// examples: 4 MiB database, 64-byte regions, baseline scheme.
+    pub fn small(dir: impl Into<PathBuf>) -> DaliConfig {
+        DaliConfig {
+            dir: dir.into(),
+            page_size: 8192,
+            db_pages: 512,
+            scheme: ProtectionScheme::Baseline,
+            region_size: 64,
+            regions_per_latch: 1,
+            sync_commit: false,
+            audit_on_checkpoint: true,
+            mprotect_real: true,
+            lock_timeout: Duration::from_secs(2),
+            log_tail_capacity: 4 << 20,
+            colocate_control: false,
+        }
+    }
+
+    /// Total database image size in bytes.
+    #[inline]
+    pub fn db_bytes(&self) -> usize {
+        self.page_size * self.db_pages
+    }
+
+    /// Builder-style scheme selection.
+    pub fn with_scheme(mut self, scheme: ProtectionScheme) -> Self {
+        self.scheme = scheme;
+        self
+    }
+
+    /// Builder-style region-size selection.
+    pub fn with_region_size(mut self, region_size: usize) -> Self {
+        self.region_size = region_size;
+        self
+    }
+
+    /// Validate internal consistency; returns a description of the first
+    /// problem found.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if !self.page_size.is_power_of_two() || self.page_size < 512 {
+            return Err(format!("page_size {} must be a power of two >= 512", self.page_size));
+        }
+        if self.db_pages == 0 {
+            return Err("db_pages must be positive".into());
+        }
+        if !self.region_size.is_power_of_two()
+            || self.region_size < crate::align::WORD
+            || self.region_size > self.page_size
+        {
+            return Err(format!(
+                "region_size {} must be a power of two in [{}, page_size]",
+                self.region_size,
+                crate::align::WORD
+            ));
+        }
+        if self.regions_per_latch == 0 || !self.regions_per_latch.is_power_of_two() {
+            return Err("regions_per_latch must be a power of two >= 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scheme_capabilities_match_table2_semantics() {
+        use ProtectionScheme::*;
+        assert!(!Baseline.maintains_codewords());
+        assert!(!MemoryProtection.maintains_codewords());
+        for s in [DataCodeword, DeferredMaintenance, ReadPrecheck, ReadLogging, CwReadLogging] {
+            assert!(s.maintains_codewords(), "{s:?}");
+        }
+        assert!(DeferredMaintenance.defers_maintenance());
+        assert!(!DataCodeword.defers_maintenance());
+        assert!(!DeferredMaintenance.logs_reads());
+        assert!(!DeferredMaintenance.prechecks_reads());
+        assert!(ReadPrecheck.prechecks_reads());
+        assert!(!DataCodeword.prechecks_reads());
+        assert!(ReadLogging.logs_reads() && CwReadLogging.logs_reads());
+        assert!(!ReadLogging.logs_read_codewords());
+        assert!(CwReadLogging.logs_read_codewords());
+        assert!(MemoryProtection.uses_mprotect());
+        assert!(ReadLogging.supports_delete_txn_recovery());
+        assert!(!ReadPrecheck.supports_delete_txn_recovery());
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        use ProtectionScheme::*;
+        assert_eq!(Baseline.label(64), "Baseline");
+        assert_eq!(DataCodeword.label(64), "Data CW");
+        assert_eq!(DeferredMaintenance.label(64), "Data CW (deferred)");
+        assert_eq!(ReadPrecheck.label(64), "Data CW w/Precheck, 64 byte");
+        assert_eq!(ReadPrecheck.label(8192), "Data CW w/Precheck, 8192 byte");
+        assert_eq!(ReadLogging.label(64), "Data CW w/ReadLog");
+        assert_eq!(CwReadLogging.label(64), "Data CW w/CW ReadLog");
+        assert_eq!(MemoryProtection.label(64), "Memory Protection");
+    }
+
+    #[test]
+    fn small_config_validates() {
+        assert_eq!(DaliConfig::small("/tmp/x").validate(), Ok(()));
+    }
+
+    #[test]
+    fn validation_rejects_bad_values() {
+        let mut c = DaliConfig::small("/tmp/x");
+        c.page_size = 1000;
+        assert!(c.validate().is_err());
+        let mut c = DaliConfig::small("/tmp/x");
+        c.region_size = 3;
+        assert!(c.validate().is_err());
+        let mut c = DaliConfig::small("/tmp/x");
+        c.region_size = c.page_size * 2;
+        assert!(c.validate().is_err());
+        let mut c = DaliConfig::small("/tmp/x");
+        c.db_pages = 0;
+        assert!(c.validate().is_err());
+        let mut c = DaliConfig::small("/tmp/x");
+        c.regions_per_latch = 3;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn db_bytes_product() {
+        let c = DaliConfig::small("/tmp/x");
+        assert_eq!(c.db_bytes(), 8192 * 512);
+    }
+
+    #[test]
+    fn builders_chain() {
+        let c = DaliConfig::small("/tmp/x")
+            .with_scheme(ProtectionScheme::ReadPrecheck)
+            .with_region_size(512);
+        assert_eq!(c.scheme, ProtectionScheme::ReadPrecheck);
+        assert_eq!(c.region_size, 512);
+    }
+}

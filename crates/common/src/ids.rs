@@ -1,0 +1,175 @@
+//! Strongly typed identifiers.
+//!
+//! All identifiers are plain newtypes over integers so they are `Copy`,
+//! hashable, and free to pass around. The database address space is a flat
+//! byte offset into the in-memory database image ([`DbAddr`]); pages are a
+//! layout convenience on top of it, mirroring Dali's "only page-based to the
+//! extent that it is convenient" design (paper §2).
+
+use std::fmt;
+
+/// A page number within the database image.
+///
+/// Pages exist for dirty tracking, checkpoint I/O granularity, and the
+/// hardware-protection scheme; record data is addressed by [`DbAddr`]
+/// directly and may span page boundaries.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u32);
+
+impl PageId {
+    /// Page containing the byte at `addr` for the given page size.
+    #[inline]
+    pub fn containing(addr: DbAddr, page_size: usize) -> PageId {
+        PageId((addr.0 / page_size) as u32)
+    }
+
+    /// First byte address of this page.
+    #[inline]
+    pub fn base(self, page_size: usize) -> DbAddr {
+        DbAddr(self.0 as usize * page_size)
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A flat byte offset into the database image.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct DbAddr(pub usize);
+
+impl DbAddr {
+    /// Address advanced by `n` bytes.
+    #[inline]
+    pub fn add(self, n: usize) -> DbAddr {
+        DbAddr(self.0 + n)
+    }
+}
+
+impl fmt::Display for DbAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{:#x}", self.0)
+    }
+}
+
+/// Transaction identifier, unique for the lifetime of a database (survives
+/// restart: recovery resumes the counter past the largest id seen in the log).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Sequence number of a multi-level operation within its transaction.
+///
+/// `(TxnId, OpSeq)` uniquely identifies an operation in a history.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct OpSeq(pub u32);
+
+/// Log sequence number: a byte offset into the system log.
+///
+/// The system log is the concatenation of the stable log file and the
+/// in-memory tail, so LSNs are stable across flushes (paper §2.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// The zero LSN (start of the log).
+    pub const ZERO: Lsn = Lsn(0);
+
+    /// LSN advanced by `n` bytes.
+    #[inline]
+    pub fn add(self, n: u64) -> Lsn {
+        Lsn(self.0 + n)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lsn:{}", self.0)
+    }
+}
+
+/// Identifier of a table (heap file) in the catalog.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tbl{}", self.0)
+    }
+}
+
+/// Slot number of a fixed-size record within its heap.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SlotId(pub u32);
+
+/// A record identifier: table plus slot.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecId {
+    pub table: TableId,
+    pub slot: SlotId,
+}
+
+impl RecId {
+    pub fn new(table: TableId, slot: SlotId) -> RecId {
+        RecId { table, slot }
+    }
+}
+
+impl fmt::Display for RecId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.table, self.slot.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_containing_and_base_are_inverse_on_page_starts() {
+        let ps = 8192;
+        for p in [0u32, 1, 7, 1000] {
+            let page = PageId(p);
+            assert_eq!(PageId::containing(page.base(ps), ps), page);
+        }
+    }
+
+    #[test]
+    fn page_containing_mid_page() {
+        let ps = 4096;
+        assert_eq!(PageId::containing(DbAddr(0), ps), PageId(0));
+        assert_eq!(PageId::containing(DbAddr(4095), ps), PageId(0));
+        assert_eq!(PageId::containing(DbAddr(4096), ps), PageId(1));
+        assert_eq!(PageId::containing(DbAddr(12_288 + 17), ps), PageId(3));
+    }
+
+    #[test]
+    fn lsn_ordering_and_add() {
+        assert!(Lsn(5) < Lsn(6));
+        assert_eq!(Lsn(5).add(3), Lsn(8));
+        assert_eq!(Lsn::ZERO, Lsn(0));
+    }
+
+    #[test]
+    fn addr_add() {
+        assert_eq!(DbAddr(10).add(22), DbAddr(32));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(PageId(3).to_string(), "P3");
+        assert_eq!(DbAddr(255).to_string(), "@0xff");
+        assert_eq!(TxnId(9).to_string(), "T9");
+        assert_eq!(
+            RecId::new(TableId(2), SlotId(7)).to_string(),
+            "tbl2:7"
+        );
+    }
+}

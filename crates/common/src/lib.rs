@@ -1,0 +1,22 @@
+//! Shared foundation types for the Dali codeword-protection reproduction.
+//!
+//! This crate has no dependencies and defines the vocabulary used by every
+//! other crate in the workspace:
+//!
+//! * [`ids`] — strongly typed identifiers (pages, transactions, tables,
+//!   slots, log sequence numbers, database addresses).
+//! * [`error`] — the [`DaliError`](error::DaliError) error type and
+//!   [`Result`](error::Result) alias.
+//! * [`config`] — engine configuration, including the protection-scheme
+//!   selector corresponding to the rows of Table 2 in the paper.
+//! * [`align`] — alignment arithmetic used by codeword maintenance
+//!   (updates are widened to word boundaries so XOR deltas are computable).
+
+pub mod align;
+pub mod config;
+pub mod error;
+pub mod ids;
+
+pub use config::{DaliConfig, ProtectionScheme};
+pub use error::{DaliError, Result};
+pub use ids::{DbAddr, Lsn, OpSeq, PageId, RecId, SlotId, TableId, TxnId};

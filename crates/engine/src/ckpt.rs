@@ -1,0 +1,502 @@
+//! Ping-pong checkpointing with audit certification (paper §2.1, §4.2).
+//!
+//! Two checkpoint images, `Ckpt_A` and `Ckpt_B`, alternate; the anchor
+//! file `cur_ckpt` names the most recent *certified* image. A checkpoint:
+//!
+//! 1. quiesces physical updates (and log migration) and snapshots — at a
+//!    single log position `CK_end` — the dirty pages, the ATT with local
+//!    undo logs, and the catalog;
+//! 2. writes the pages and metadata to the non-current image;
+//! 3. audits **every region of the database** (§4.2: auditing only the
+//!    written pages is insufficient because a transaction may have carried
+//!    corruption from an unwritten page); and
+//! 4. only if the audit is clean, toggles the anchor — the checkpoint is
+//!    *certified free of corruption*.
+//!
+//! A failed audit leaves the previous certified checkpoint in place,
+//! records the corrupt regions in a marker file, and poisons the engine so
+//! the caller restarts into corruption recovery.
+//!
+//! Dali itself writes fuzzy checkpoints and patches them consistent with a
+//! redo-log prefix; our quiescent snapshot obtains the same
+//! update-consistent-at-`CK_end` property directly (noted in DESIGN.md).
+
+use crate::catalog::Catalog;
+use crate::db::{CkptState, Db, EngineStats};
+use bytes::{Buf, BufMut, BytesMut};
+use dali_codeword::AuditReport;
+use dali_common::{DaliError, Lsn, PageId, Result};
+use dali_wal::record::LogRecord;
+use std::fs::OpenOptions;
+use std::io::{Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+const META_MAGIC: u32 = 0xDA11_CB01;
+const ANCHOR_MAGIC: u32 = 0xDA11_A0C1;
+
+/// Outcome of a checkpoint attempt.
+#[derive(Debug)]
+pub enum CheckpointOutcome {
+    /// Checkpoint written, audited clean, anchor toggled.
+    Certified {
+        /// The log position the checkpoint is consistent with.
+        ck_end: Lsn,
+        /// Pages written to the image file.
+        pages_written: usize,
+    },
+    /// The post-checkpoint audit found corruption; the anchor was *not*
+    /// toggled, a corruption marker was written, and the engine is
+    /// poisoned. Reopen the database to run corruption recovery.
+    CorruptionDetected(AuditReport),
+}
+
+/// Checkpoint metadata (one per image file).
+#[derive(Clone, Debug)]
+pub struct CkptMeta {
+    pub serial: u64,
+    /// Redo scans start here; the image is update-consistent with this
+    /// log position.
+    pub ck_end: Lsn,
+    pub next_txn: u64,
+    pub next_audit: u64,
+    /// `Audit_SN`: LSN of the begin record of the last clean audit at the
+    /// time the checkpoint was taken.
+    pub audit_sn: Option<Lsn>,
+    pub catalog: Catalog,
+    /// Serialized ATT (decoded lazily by recovery).
+    pub att_blob: Vec<u8>,
+}
+
+impl CkptMeta {
+    fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(META_MAGIC);
+        buf.put_u64_le(self.serial);
+        buf.put_u64_le(self.ck_end.0);
+        buf.put_u64_le(self.next_txn);
+        buf.put_u64_le(self.next_audit);
+        buf.put_u64_le(self.audit_sn.map_or(u64::MAX, |l| l.0));
+        let mut cat = BytesMut::new();
+        self.catalog.encode(&mut cat);
+        buf.put_u32_le(cat.len() as u32);
+        buf.extend_from_slice(&cat);
+        buf.put_u32_le(self.att_blob.len() as u32);
+        buf.extend_from_slice(&self.att_blob);
+        let sum = dali_wal::record::checksum(&buf);
+        buf.put_u32_le(sum);
+        buf.to_vec()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<CkptMeta> {
+        if bytes.len() < 8 {
+            return Err(DaliError::RecoveryFailed("ckpt meta truncated".into()));
+        }
+        let (body, sum_bytes) = bytes.split_at(bytes.len() - 4);
+        let stored = u32::from_le_bytes(sum_bytes.try_into().unwrap());
+        if dali_wal::record::checksum(body) != stored {
+            return Err(DaliError::RecoveryFailed(
+                "ckpt meta checksum mismatch".into(),
+            ));
+        }
+        let mut buf = body;
+        if buf.get_u32_le() != META_MAGIC {
+            return Err(DaliError::RecoveryFailed("ckpt meta bad magic".into()));
+        }
+        let serial = buf.get_u64_le();
+        let ck_end = Lsn(buf.get_u64_le());
+        let next_txn = buf.get_u64_le();
+        let next_audit = buf.get_u64_le();
+        let audit_sn = match buf.get_u64_le() {
+            u64::MAX => None,
+            v => Some(Lsn(v)),
+        };
+        let cat_len = buf.get_u32_le() as usize;
+        if buf.len() < cat_len {
+            return Err(DaliError::RecoveryFailed("ckpt catalog truncated".into()));
+        }
+        let mut cat_slice = &buf[..cat_len];
+        let catalog = Catalog::decode(&mut cat_slice)?;
+        buf.advance(cat_len);
+        let att_len = buf.get_u32_le() as usize;
+        if buf.len() < att_len {
+            return Err(DaliError::RecoveryFailed("ckpt ATT truncated".into()));
+        }
+        let att_blob = buf[..att_len].to_vec();
+        Ok(CkptMeta {
+            serial,
+            ck_end,
+            next_txn,
+            next_audit,
+            audit_sn,
+            catalog,
+            att_blob,
+        })
+    }
+}
+
+/// Atomically (write-temp + rename) persist `bytes` at `path`.
+fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_data()?;
+    }
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Write the checkpoint anchor.
+pub fn write_anchor(dir: &Path, image: usize, serial: u64) -> Result<()> {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(ANCHOR_MAGIC);
+    buf.put_u8(image as u8);
+    buf.put_u64_le(serial);
+    atomic_write(&Db::anchor_path(dir), &buf)
+}
+
+/// Read the checkpoint anchor: (image index, serial).
+pub fn read_anchor(dir: &Path) -> Result<(usize, u64)> {
+    let bytes = std::fs::read(Db::anchor_path(dir))?;
+    if bytes.len() != 13 {
+        return Err(DaliError::RecoveryFailed("anchor file malformed".into()));
+    }
+    let mut buf = &bytes[..];
+    if buf.get_u32_le() != ANCHOR_MAGIC {
+        return Err(DaliError::RecoveryFailed("anchor bad magic".into()));
+    }
+    let image = buf.get_u8() as usize;
+    let serial = buf.get_u64_le();
+    if image > 1 {
+        return Err(DaliError::RecoveryFailed(format!("anchor image {image}")));
+    }
+    Ok((image, serial))
+}
+
+/// Persist checkpoint metadata for an image.
+pub fn write_meta(dir: &Path, image: usize, meta: &CkptMeta) -> Result<()> {
+    atomic_write(&Db::meta_path(dir, image), &meta.encode())
+}
+
+/// Load checkpoint metadata for an image.
+pub fn read_meta(dir: &Path, image: usize) -> Result<CkptMeta> {
+    let bytes = std::fs::read(Db::meta_path(dir, image))?;
+    CkptMeta::decode(&bytes)
+}
+
+/// Write `pages` of the in-memory snapshot into an image file (positioned
+/// writes at `page * page_size`).
+fn write_pages(
+    dir: &Path,
+    image: usize,
+    page_size: usize,
+    db_bytes: usize,
+    pages: &[(PageId, Vec<u8>)],
+) -> Result<()> {
+    let mut f = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .open(Db::img_path(dir, image))?;
+    f.set_len(db_bytes as u64)?;
+    for (page, data) in pages {
+        debug_assert_eq!(data.len(), page_size);
+        f.seek(SeekFrom::Start(page.0 as u64 * page_size as u64))?;
+        f.write_all(data)?;
+    }
+    f.sync_data()?;
+    Ok(())
+}
+
+/// Run a full-database audit respecting the scheme's maintenance model:
+/// deferred-maintenance schemes quiesce physical updates, drain the
+/// queued codeword deltas, and sweep while quiesced (a queued-but-
+/// unapplied delta would otherwise read as a spurious mismatch);
+/// immediate-maintenance schemes sweep region by region under the
+/// protection latches, concurrently with updaters.
+fn sweep_audit(db: &Arc<Db>) -> Result<dali_codeword::AuditReport> {
+    if db.config.scheme.defers_maintenance() {
+        let _q = db.quiesce.write();
+        db.prot.drain_deferred();
+        db.prot.audit(&db.image)
+    } else {
+        db.prot.audit(&db.image)
+    }
+}
+
+/// Take a checkpoint (paper §2.1 + §4.2 certification). See module docs.
+pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
+    db.check_alive()?;
+    let dir = db.config.dir.clone();
+    let mut state = db.ckpt_state.lock();
+    let image = state.next_image;
+
+    // ---- quiescent snapshot ----
+    let (ck_end, att_blob, catalog, dirty_pages) = {
+        let _q = db.quiesce.write();
+        db.syslog.flush(false)?;
+        let ck_end = db.syslog.current_lsn();
+        let att_blob = db.att.encode_for_ckpt()?;
+        let catalog = db.catalog.read().clone();
+        let dirty = db.syslog.dirty().take(image);
+        let mut pages = Vec::with_capacity(dirty.len());
+        for p in dirty {
+            let mut buf = vec![0u8; db.config.page_size];
+            db.image.read_page(p, &mut buf)?;
+            pages.push((p, buf));
+        }
+        (ck_end, att_blob, catalog, pages)
+    };
+
+    // ---- write the image ----
+    let pages_written = dirty_pages.len();
+    write_pages(
+        &dir,
+        image,
+        db.config.page_size,
+        db.config.db_bytes(),
+        &dirty_pages,
+    )?;
+
+    // ---- certify: audit the whole database ----
+    if db.config.audit_on_checkpoint && db.config.scheme.maintains_codewords() {
+        let audit_id = db.next_audit_id();
+        let begin_lsn = {
+            let _q = db.quiesce.read();
+            db.syslog.append(&LogRecord::AuditBegin { audit_id })
+        };
+        let report = sweep_audit(db)?;
+        let clean = report.clean();
+        {
+            let _q = db.quiesce.read();
+            db.syslog.append(&LogRecord::AuditEnd { audit_id, clean });
+        }
+        db.syslog.flush(false)?;
+        EngineStats::bump(&db.stats.audits);
+        if !clean {
+            // Keep the previous certified checkpoint; the pages we drained
+            // must be re-noted so a future checkpoint rewrites them.
+            db.syslog
+                .dirty()
+                .note_all(dirty_pages.iter().map(|(p, _)| *p));
+            crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
+            return Ok(CheckpointOutcome::CorruptionDetected(report));
+        }
+        *db.last_clean_audit.lock() = Some(begin_lsn);
+    }
+
+    // ---- publish ----
+    state.serial += 1;
+    let meta = CkptMeta {
+        serial: state.serial,
+        ck_end,
+        next_txn: db.txn_counter.load(std::sync::atomic::Ordering::Relaxed),
+        next_audit: db.audit_counter.load(std::sync::atomic::Ordering::Relaxed),
+        audit_sn: *db.last_clean_audit.lock(),
+        catalog,
+        att_blob,
+    };
+    write_meta(&dir, image, &meta)?;
+    write_anchor(&dir, image, state.serial)?;
+    state.next_image = 1 - image;
+    {
+        let _q = db.quiesce.read();
+        db.syslog.append(&LogRecord::CkptComplete { ckpt_lsn: ck_end });
+    }
+    db.syslog.flush(false)?;
+    EngineStats::bump(&db.stats.checkpoints);
+    Ok(CheckpointOutcome::Certified {
+        ck_end,
+        pages_written,
+    })
+}
+
+/// Standalone audit of the whole database, logged with AuditBegin/End
+/// (paper §3.2's asynchronous audit). On failure, writes the corruption
+/// marker and poisons the engine.
+pub fn audit(db: &Arc<Db>) -> Result<AuditReport> {
+    db.check_alive()?;
+    let audit_id = db.next_audit_id();
+    let begin_lsn = {
+        let _q = db.quiesce.read();
+        db.syslog.append(&LogRecord::AuditBegin { audit_id })
+    };
+    let report = sweep_audit(db)?;
+    let clean = report.clean();
+    {
+        let _q = db.quiesce.read();
+        db.syslog.append(&LogRecord::AuditEnd { audit_id, clean });
+    }
+    db.syslog.flush(false)?;
+    EngineStats::bump(&db.stats.audits);
+    if clean {
+        *db.last_clean_audit.lock() = Some(begin_lsn);
+    } else {
+        crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
+    }
+    Ok(report)
+}
+
+/// Load checkpoint pages of `image` into a fresh byte vector of the full
+/// database size (recovery).
+pub fn load_image_bytes(dir: &Path, image: usize, db_bytes: usize) -> Result<Vec<u8>> {
+    let bytes = std::fs::read(Db::img_path(dir, image))?;
+    if bytes.len() != db_bytes {
+        return Err(DaliError::RecoveryFailed(format!(
+            "checkpoint image is {} bytes, expected {}",
+            bytes.len(),
+            db_bytes
+        )));
+    }
+    Ok(bytes)
+}
+
+/// Initialize checkpoint bookkeeping for a fresh database.
+pub fn initial_state() -> CkptState {
+    CkptState {
+        next_image: 0,
+        serial: 0,
+    }
+}
+
+/// Read selected pages straight from a checkpoint image file (cache
+/// recovery repairs regions from the certified checkpoint).
+pub fn read_ckpt_pages(
+    dir: &Path,
+    image: usize,
+    page_size: usize,
+    pages: &[PageId],
+) -> Result<Vec<(PageId, Vec<u8>)>> {
+    use std::io::Read;
+    let mut f = std::fs::File::open(Db::img_path(dir, image))?;
+    let mut out = Vec::with_capacity(pages.len());
+    for &p in pages {
+        let mut buf = vec![0u8; page_size];
+        f.seek(SeekFrom::Start(p.0 as u64 * page_size as u64))?;
+        f.read_exact(&mut buf)?;
+        out.push((p, buf));
+    }
+    Ok(out)
+}
+
+#[allow(unused_imports)]
+use crate::att as _att_doc; // keep rustdoc link target in scope
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::att::Att;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("dali-ckpt-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    #[test]
+    fn anchor_round_trip() {
+        let d = tmpdir("anchor");
+        write_anchor(&d, 1, 42).unwrap();
+        assert_eq!(read_anchor(&d).unwrap(), (1, 42));
+        write_anchor(&d, 0, 43).unwrap();
+        assert_eq!(read_anchor(&d).unwrap(), (0, 43));
+    }
+
+    #[test]
+    fn meta_round_trip() {
+        let d = tmpdir("meta");
+        let mut catalog = Catalog::new();
+        let m = catalog.plan_table("t", 8, 100, 4096, 1 << 20).unwrap();
+        catalog.register(m).unwrap();
+        let att = Att::new();
+        att.insert(dali_common::TxnId(7));
+        let meta = CkptMeta {
+            serial: 3,
+            ck_end: Lsn(1000),
+            next_txn: 8,
+            next_audit: 2,
+            audit_sn: Some(Lsn(900)),
+            catalog,
+            att_blob: att.encode_for_ckpt().unwrap(),
+        };
+        write_meta(&d, 0, &meta).unwrap();
+        let back = read_meta(&d, 0).unwrap();
+        assert_eq!(back.serial, 3);
+        assert_eq!(back.ck_end, Lsn(1000));
+        assert_eq!(back.audit_sn, Some(Lsn(900)));
+        assert_eq!(back.catalog.len(), 1);
+        let states = Att::decode_for_recovery(&back.att_blob).unwrap();
+        assert_eq!(states.len(), 1);
+    }
+
+    #[test]
+    fn meta_none_audit_sn() {
+        let d = tmpdir("meta2");
+        let meta = CkptMeta {
+            serial: 1,
+            ck_end: Lsn(0),
+            next_txn: 0,
+            next_audit: 0,
+            audit_sn: None,
+            catalog: Catalog::new(),
+            att_blob: Att::new().encode_for_ckpt().unwrap(),
+        };
+        write_meta(&d, 1, &meta).unwrap();
+        assert_eq!(read_meta(&d, 1).unwrap().audit_sn, None);
+    }
+
+    #[test]
+    fn meta_corruption_detected() {
+        let d = tmpdir("meta3");
+        let meta = CkptMeta {
+            serial: 1,
+            ck_end: Lsn(0),
+            next_txn: 0,
+            next_audit: 0,
+            audit_sn: None,
+            catalog: Catalog::new(),
+            att_blob: vec![0, 0, 0, 0],
+        };
+        write_meta(&d, 0, &meta).unwrap();
+        let p = Db::meta_path(&d, 0);
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[6] ^= 0xff;
+        std::fs::write(&p, &bytes).unwrap();
+        assert!(read_meta(&d, 0).is_err());
+    }
+
+    #[test]
+    fn pages_round_trip() {
+        let d = tmpdir("pages");
+        let ps = 4096;
+        let pages = vec![
+            (PageId(0), vec![1u8; ps]),
+            (PageId(3), vec![3u8; ps]),
+        ];
+        write_pages(&d, 0, ps, ps * 8, &pages).unwrap();
+        let bytes = load_image_bytes(&d, 0, ps * 8).unwrap();
+        assert!(bytes[..ps].iter().all(|&b| b == 1));
+        assert!(bytes[ps..2 * ps].iter().all(|&b| b == 0));
+        assert!(bytes[3 * ps..4 * ps].iter().all(|&b| b == 3));
+
+        let read = read_ckpt_pages(&d, 0, ps, &[PageId(3), PageId(1)]).unwrap();
+        assert_eq!(read[0].1, vec![3u8; ps]);
+        assert_eq!(read[1].1, vec![0u8; ps]);
+    }
+
+    #[test]
+    fn write_pages_updates_in_place() {
+        let d = tmpdir("inplace");
+        let ps = 4096;
+        write_pages(&d, 0, ps, ps * 4, &[(PageId(1), vec![7u8; ps])]).unwrap();
+        write_pages(&d, 0, ps, ps * 4, &[(PageId(2), vec![9u8; ps])]).unwrap();
+        let bytes = load_image_bytes(&d, 0, ps * 4).unwrap();
+        assert!(bytes[ps..2 * ps].iter().all(|&b| b == 7), "page 1 preserved");
+        assert!(bytes[2 * ps..3 * ps].iter().all(|&b| b == 9));
+    }
+}

@@ -1,0 +1,758 @@
+//! Restart recovery (paper §2.1) and delete-transaction corruption
+//! recovery (paper §4.3).
+//!
+//! Restart recovery loads the certified checkpoint image, replays the
+//! system log from `CK_end` (repeating history physically), and rolls
+//! back incomplete transactions level by level using logical undo from the
+//! checkpointed ATT and operation commit records.
+//!
+//! When a corruption marker is present (a failed audit brought the system
+//! down) — or unconditionally under the CW ReadLog scheme — the redo scan
+//! runs in *corruption mode*, maintaining the `CorruptTransTable` and
+//! `CorruptDataTable` of §4.3:
+//!
+//! * a read or write record touching corrupt data puts its transaction in
+//!   the CorruptTransTable (with region codewords in read records, the
+//!   test is instead a codeword comparison against the recovering image —
+//!   the view-consistent variant);
+//! * writes of corrupt transactions are suppressed and their target
+//!   ranges become corrupt;
+//! * a begin-operation record of a clean transaction that conflicts with
+//!   an operation in a corrupt transaction's undo log quarantines that
+//!   transaction too (so the corrupt transaction can still be rolled
+//!   back);
+//! * logical records of corrupt transactions are ignored, leaving them
+//!   incomplete so the undo phase rolls back their pre-corruption prefix;
+//! * when the scan passes `Audit_SN` (the last clean audit), the failing
+//!   audit's regions join the CorruptDataTable.
+//!
+//! Recovery ends with the mandatory certified checkpoint; only then is
+//! the corruption marker cleared, so a crash during recovery simply
+//! repeats it.
+
+use crate::att::{Att, TxnState};
+use crate::catalog::{Catalog, HeapMeta};
+use crate::ckpt;
+use crate::corruption::{self, CorruptionMarker, RangeSet};
+use crate::db::{CkptState, Db, EngineStats};
+use crate::heap::HeapRuntime;
+use crate::lock::LockManager;
+use crate::txn::rollback_direct;
+use dali_codeword::CodewordProtection;
+use dali_common::{DaliConfig, DaliError, DbAddr, Lsn, Result, TxnId};
+use dali_mem::{DbImage, PageProtector};
+use dali_wal::record::LogRecord;
+use dali_wal::SystemLog;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::Arc;
+
+/// How the database was brought up.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// Fresh database, nothing to recover.
+    Fresh,
+    /// Normal restart recovery (redo + undo).
+    Normal,
+    /// A corruption marker was present but the scheme keeps no read log:
+    /// rebuild from the certified checkpoint and clean redo (the
+    /// cache-recovery model — direct corruption vanishes, indirect
+    /// corruption is assumed absent).
+    CacheRecovery,
+    /// Delete-transaction corruption recovery ran (§4.3).
+    DeleteTxn,
+    /// Prior-state recovery (§4.1's second model): the database was
+    /// returned to a transaction-consistent state at a chosen log
+    /// position, discarding everything after it.
+    PriorState,
+}
+
+/// What recovery did.
+#[derive(Clone, Debug)]
+pub struct RecoveryOutcome {
+    pub mode: RecoveryMode,
+    /// Transactions deleted from history (the CorruptTransTable). Returned
+    /// to the user for manual compensation (§4.1).
+    pub deleted_txns: Vec<TxnId>,
+    /// Clean transactions that were simply incomplete at the crash and
+    /// rolled back.
+    pub rolled_back_txns: Vec<TxnId>,
+    /// Final contents of the CorruptDataTable.
+    pub corrupt_ranges: Vec<(DbAddr, usize)>,
+    /// Log records processed by the redo scan.
+    pub records_scanned: usize,
+}
+
+impl RecoveryOutcome {
+    fn fresh() -> RecoveryOutcome {
+        RecoveryOutcome {
+            mode: RecoveryMode::Fresh,
+            deleted_txns: Vec::new(),
+            rolled_back_txns: Vec::new(),
+            corrupt_ranges: Vec::new(),
+            records_scanned: 0,
+        }
+    }
+}
+
+/// Assemble a `Db` from its parts (shared by create and restart).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn build_db(
+    config: DaliConfig,
+    image: Arc<DbImage>,
+    syslog: SystemLog,
+    catalog: Catalog,
+    ckpt_state: CkptState,
+    next_txn: u64,
+    next_audit: u64,
+    last_clean_audit: Option<Lsn>,
+) -> Result<Arc<Db>> {
+    let prot = CodewordProtection::new(
+        &image,
+        config.scheme,
+        config.region_size,
+        config.regions_per_latch,
+    )?;
+    let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
+    let heaps: Vec<Arc<HeapRuntime>> = catalog
+        .iter()
+        .map(|m| Arc::new(HeapRuntime::new(m.clone())))
+        .collect();
+    let lock_timeout = config.lock_timeout;
+    let db = Arc::new(Db {
+        config,
+        image,
+        prot,
+        protector,
+        syslog,
+        att: Att::new(),
+        locks: LockManager::new(lock_timeout),
+        catalog: RwLock::new(catalog),
+        heaps: RwLock::new(heaps),
+        quiesce: RwLock::new(()),
+        ckpt_state: Mutex::new(ckpt_state),
+        txn_counter: AtomicU64::new(next_txn),
+        audit_counter: AtomicU64::new(next_audit),
+        last_clean_audit: Mutex::new(last_clean_audit),
+        crashed: AtomicBool::new(false),
+        stats: EngineStats::default(),
+    });
+    for h in db.heaps.read().iter() {
+        h.rebuild_from_image(&db.image)?;
+    }
+    Ok(db)
+}
+
+/// Create a fresh database in `config.dir`.
+pub fn create(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
+    config
+        .validate()
+        .map_err(DaliError::InvalidArg)?;
+    std::fs::create_dir_all(&config.dir)?;
+    let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
+    let syslog = SystemLog::create(Db::log_path(&config.dir), config.page_size)?;
+    // The whole (zeroed) image is dirty with respect to both checkpoint
+    // images.
+    syslog.dirty().note_range(config.db_pages);
+    let db = build_db(
+        config,
+        image,
+        syslog,
+        Catalog::new(),
+        ckpt::initial_state(),
+        0,
+        0,
+        None,
+    )?;
+    // Initial certified checkpoint so a crash right after create recovers.
+    ckpt::checkpoint(&db)?;
+    if db.config.scheme.uses_mprotect() {
+        db.protector.enable()?;
+    }
+    Ok((db, RecoveryOutcome::fresh()))
+}
+
+/// Open an existing database: restart recovery (normal or corruption
+/// mode).
+pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
+    config
+        .validate()
+        .map_err(DaliError::InvalidArg)?;
+    let dir = config.dir.clone();
+    let (image_idx, serial) = ckpt::read_anchor(&dir)?;
+    let meta = ckpt::read_meta(&dir, image_idx)?;
+    let marker = corruption::read_marker(&dir)?;
+
+    // Decide the mode. The CW ReadLog scheme runs corruption recovery on
+    // every restart (§4.3: codewords in read records detect corruption
+    // that occurred after the last audit but before a true crash).
+    let mode = match (&marker, config.scheme) {
+        (Some(_), s) if s.supports_delete_txn_recovery() => RecoveryMode::DeleteTxn,
+        (None, s) if s.logs_read_codewords() => RecoveryMode::DeleteTxn,
+        (Some(_), _) => RecoveryMode::CacheRecovery,
+        (None, _) => RecoveryMode::Normal,
+    };
+
+    // ---- load the certified checkpoint ----
+    let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
+    let bytes = ckpt::load_image_bytes(&dir, image_idx, config.db_bytes())?;
+    image.arena().write(0, &bytes)?;
+    drop(bytes);
+    let mut catalog = meta.catalog.clone();
+
+    // Reconstructed ATT, seeded from the checkpointed one.
+    let mut att: HashMap<TxnId, TxnState> = Att::decode_for_recovery(&meta.att_blob)?
+        .into_iter()
+        .map(|s| (s.id, s))
+        .collect();
+
+    // ---- redo phase ----
+    let corruption_mode = mode == RecoveryMode::DeleteTxn;
+    let use_codewords = config.scheme.logs_read_codewords();
+    let mut ctt: std::collections::HashSet<TxnId> = std::collections::HashSet::new();
+    let mut cdt = RangeSet::new();
+    // Byte ranges targeted by operations in corrupt transactions' undo
+    // logs: their rollback will change these bytes, so any *access* to
+    // them after the owning transaction was tainted would observe values
+    // the delete history does not contain. The paper quarantines
+    // conflicting begin-operation records (§4.3); tracking the ranges
+    // also catches plain reads and physical writes, which our engine does
+    // not wrap in operations.
+    let mut ctt_undo_ranges = RangeSet::new();
+    let region_size = config.region_size;
+
+    // Where does the failing audit's range list enter the CDT? At
+    // Audit_SN if it is inside the scan, otherwise right at the start.
+    let audit_sn = marker.as_ref().and_then(|m| m.audit_sn);
+    let mut marker_ranges_pending = corruption_mode && !use_codewords;
+    if marker_ranges_pending && audit_sn.map_or(true, |sn| sn <= meta.ck_end) {
+        seed_marker_ranges(&mut cdt, &marker);
+        marker_ranges_pending = false;
+    }
+
+    let records = SystemLog::scan_stable(Db::log_path(&dir), meta.ck_end)?;
+    let records_scanned = records.len();
+    let mut max_txn_seen = 0u64;
+    let mut max_audit_seen = 0u64;
+    // Physical redo is buffered per operation and applied when the
+    // operation's commit record arrives. Operation commit migrates its
+    // records to the system log as one batch, so in an intact log every
+    // physical record is followed by its OpCommit; the exception is a
+    // *torn final flush*, whose trailing partial batch must be discarded
+    // — applying it would write bytes that no undo information covers.
+    // (Compensation records of an abort are terminated by the TxnAbort
+    // record of the same batch instead.)
+    let mut pending_writes: HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>> =
+        HashMap::new();
+
+    // Taint a transaction: freeze its undo log (subsequent logical records
+    // are ignored) and protect its undo targets from later interference.
+    let taint = |txn: TxnId,
+                 ctt: &mut std::collections::HashSet<TxnId>,
+                 ctt_undo_ranges: &mut RangeSet,
+                 att: &HashMap<TxnId, TxnState>,
+                 catalog: &Catalog| {
+        if ctt.insert(txn) {
+            if let Some(st) = att.get(&txn) {
+                for entry in st.undo.iter() {
+                    match &entry.kind {
+                        dali_wal::UndoKind::Logical(u) => {
+                            let target = u.target();
+                            if let Ok(meta) = catalog.get(target.table) {
+                                ctt_undo_ranges
+                                    .insert(meta.slot_addr(target.slot), meta.rec_size);
+                            }
+                        }
+                        dali_wal::UndoKind::Physical { addr, before, .. } => {
+                            // Physical undo (an operation in flight at the
+                            // checkpoint) restores these exact bytes.
+                            ctt_undo_ranges.insert(*addr, before.len());
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    for (lsn, rec) in records {
+        if let Some(t) = rec.txn() {
+            max_txn_seen = max_txn_seen.max(t.0 + 1);
+        }
+        match rec {
+            LogRecord::TxnBegin { txn } => {
+                att.entry(txn).or_insert_with(|| TxnState::new_for_recovery(txn));
+            }
+            LogRecord::OpBegin { txn, rec, .. } => {
+                att.entry(txn).or_insert_with(|| TxnState::new_for_recovery(txn));
+                if corruption_mode && !ctt.contains(&txn) {
+                    // §4.3: quarantine transactions whose new operation
+                    // conflicts with an operation in a corrupt
+                    // transaction's undo log.
+                    let conflicts = ctt.iter().any(|ct| {
+                        att.get(ct)
+                            .map(|s| s.undo.logical_targets().any(|t| t == rec))
+                            .unwrap_or(false)
+                    });
+                    if conflicts {
+                        taint(txn, &mut ctt, &mut ctt_undo_ranges, &att, &catalog);
+                    }
+                }
+            }
+            LogRecord::PhysicalRedo {
+                txn, op, addr, data,
+            } => {
+                if corruption_mode {
+                    if ctt.contains(&txn) {
+                        // Suppress the write; what it would have written is
+                        // now (conservatively) corrupt data.
+                        cdt.insert(addr, data.len());
+                        continue;
+                    }
+                    if (!use_codewords && cdt.overlaps(addr, data.len()))
+                        || ctt_undo_ranges.overlaps(addr, data.len())
+                    {
+                        // Write record of a transaction touching corrupt
+                        // data (or data a corrupt transaction's rollback
+                        // will restore): the transaction is corrupt and
+                        // the write is suppressed.
+                        taint(txn, &mut ctt, &mut ctt_undo_ranges, &att, &catalog);
+                        cdt.insert(addr, data.len());
+                        continue;
+                    }
+                }
+                pending_writes.entry((txn, op)).or_default().push((addr, data));
+            }
+            LogRecord::ReadLog {
+                txn,
+                addr,
+                len,
+                codewords,
+            } => {
+                if corruption_mode && !ctt.contains(&txn) {
+                    let tainted = if !codewords.is_empty() {
+                        !codewords_match(&image, region_size, addr, len as usize, &codewords)?
+                    } else {
+                        cdt.overlaps(addr, len as usize)
+                    };
+                    // A read of data that a corrupt transaction's rollback
+                    // will restore observes a value absent from the delete
+                    // history — the reader must be deleted too, even under
+                    // the codeword variant (the recovering image at this
+                    // scan position still matches what the reader saw; the
+                    // divergence only appears at the undo phase).
+                    if tainted || ctt_undo_ranges.overlaps(addr, len as usize) {
+                        taint(txn, &mut ctt, &mut ctt_undo_ranges, &att, &catalog);
+                    }
+                }
+            }
+            LogRecord::OpCommit { txn, op, undo } => {
+                if corruption_mode && ctt.contains(&txn) {
+                    pending_writes.remove(&(txn, op));
+                    continue; // logical records of corrupt txns are ignored
+                }
+                // The operation committed: its buffered physical writes
+                // are covered by the logical undo below — apply them.
+                if let Some(writes) = pending_writes.remove(&(txn, op)) {
+                    for (addr, data) in writes {
+                        image.write(addr, &data)?;
+                    }
+                }
+                let st = att
+                    .entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
+                st.undo.commit_op(op, undo);
+                st.next_op = st.next_op.max(op.0 + 1);
+            }
+            LogRecord::TxnCommit { txn } | LogRecord::TxnAbort { txn } => {
+                if corruption_mode && ctt.contains(&txn) {
+                    pending_writes.retain(|(t, _), _| *t != txn);
+                    continue; // stays incomplete; undone in the undo phase
+                }
+                // An abort's compensation records are terminated by the
+                // TxnAbort record of the same batch: apply them now (in
+                // op, then insertion order — compensations of one rollback
+                // share an op only with themselves).
+                let mut keys: Vec<_> = pending_writes
+                    .keys()
+                    .filter(|(t, _)| *t == txn)
+                    .copied()
+                    .collect();
+                keys.sort_unstable_by_key(|(_, op)| op.0);
+                for key in keys {
+                    if let Some(writes) = pending_writes.remove(&key) {
+                        for (addr, data) in writes {
+                            image.write(addr, &data)?;
+                        }
+                    }
+                }
+                att.remove(&txn);
+            }
+            LogRecord::AuditBegin { audit_id } => {
+                max_audit_seen = max_audit_seen.max(audit_id + 1);
+                if marker_ranges_pending && audit_sn == Some(lsn) {
+                    seed_marker_ranges(&mut cdt, &marker);
+                    marker_ranges_pending = false;
+                }
+            }
+            LogRecord::AuditEnd { .. } | LogRecord::CkptComplete { .. } => {}
+            LogRecord::CreateTable {
+                table,
+                name,
+                rec_size,
+                capacity,
+                bitmap_base,
+                data_base,
+            } => {
+                catalog.register(replayed_meta(
+                    table,
+                    name,
+                    rec_size,
+                    capacity,
+                    bitmap_base,
+                    data_base,
+                    config.page_size,
+                )?)?;
+            }
+        }
+    }
+    // If Audit_SN was never passed (e.g. its record sat in a lost tail),
+    // seed the ranges anyway: better to over-taint than to miss.
+    if marker_ranges_pending {
+        seed_marker_ranges(&mut cdt, &marker);
+    }
+
+    // ---- build the engine (heaps needed for logical undo) ----
+    let syslog = SystemLog::open(Db::log_path(&dir), config.page_size)?;
+    let next_txn = meta.next_txn.max(max_txn_seen);
+    let next_audit = meta.next_audit.max(max_audit_seen);
+    let db = build_db(
+        config,
+        Arc::clone(&image),
+        syslog,
+        catalog,
+        CkptState {
+            next_image: 1 - image_idx,
+            serial,
+        },
+        next_txn,
+        next_audit,
+        None,
+    )?;
+
+    // ---- undo phase: roll back incomplete transactions level by level ----
+    let mut incomplete: Vec<TxnId> = att.keys().copied().collect();
+    incomplete.sort_unstable();
+    let mut deleted = Vec::new();
+    let mut rolled_back = Vec::new();
+    // Roll back in reverse id order (newest first) so that a quarantined
+    // transaction's writes are removed before the corrupt transaction it
+    // conflicted with is rolled back.
+    for id in incomplete.iter().rev() {
+        let st = att.get_mut(id).expect("present");
+        rollback_direct(&db, &mut st.undo)?;
+        if ctt.contains(id) {
+            deleted.push(*id);
+        } else {
+            rolled_back.push(*id);
+        }
+    }
+    deleted.sort_unstable();
+    rolled_back.sort_unstable();
+
+    // Record the aborts so the history reflects the rollback.
+    {
+        let aborts: Vec<LogRecord> = deleted
+            .iter()
+            .chain(rolled_back.iter())
+            .map(|&txn| LogRecord::TxnAbort { txn })
+            .collect();
+        db.syslog.append_batch(&aborts);
+        db.syslog.flush(false)?;
+    }
+
+    // ---- finish: rebuild runtime state, mandatory checkpoint ----
+    for h in db.heaps.read().iter() {
+        h.rebuild_from_image(&db.image)?;
+    }
+    db.prot.resync(&db.image)?;
+    // Every page may differ from both checkpoint images now.
+    db.syslog.dirty().note_range(db.config.db_pages);
+    ckpt::checkpoint(&db)?;
+    corruption::clear_marker(&db.config.dir)?;
+    if db.config.scheme.uses_mprotect() {
+        db.protector.enable()?;
+    }
+
+    Ok((
+        db,
+        RecoveryOutcome {
+            mode,
+            deleted_txns: deleted,
+            rolled_back_txns: rolled_back,
+            corrupt_ranges: cdt.ranges(),
+            records_scanned,
+        },
+    ))
+}
+
+/// Prior-state recovery (paper §4.1's second model, "supported by most
+/// commercial systems"): return the database to a transaction-consistent
+/// state as of log position `upto`, discarding all later work.
+///
+/// The user is responsible for compensating *every* transaction after
+/// `upto` — the paper contrasts this with the delete-transaction model,
+/// which only removes the transactions actually affected.
+///
+/// Requires a certified checkpoint with `ck_end <= upto`; the stable log
+/// is truncated at `upto` afterwards, so the discarded future cannot
+/// resurface in a later recovery.
+pub fn restore_prior_state(
+    config: DaliConfig,
+    upto: Lsn,
+) -> Result<(Arc<Db>, RecoveryOutcome)> {
+    config.validate().map_err(DaliError::InvalidArg)?;
+    let dir = config.dir.clone();
+    let (anchored, serial) = ckpt::read_anchor(&dir)?;
+    // Prefer the anchored image; fall back to the other image when the
+    // anchored checkpoint is too new.
+    let meta = match ckpt::read_meta(&dir, anchored) {
+        Ok(m) if m.ck_end <= upto => (anchored, m),
+        _ => {
+            let other = 1 - anchored;
+            let m = ckpt::read_meta(&dir, other)?;
+            if m.ck_end > upto {
+                return Err(DaliError::RecoveryFailed(format!(
+                    "no checkpoint is old enough to recover to {upto} \
+                     (oldest usable checkpoint is at {})",
+                    m.ck_end
+                )));
+            }
+            (other, m)
+        }
+    };
+    let (image_idx, meta) = meta;
+
+    let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
+    let bytes = ckpt::load_image_bytes(&dir, image_idx, config.db_bytes())?;
+    image.arena().write(0, &bytes)?;
+    drop(bytes);
+    let mut catalog = meta.catalog.clone();
+
+    let mut att: HashMap<TxnId, TxnState> = Att::decode_for_recovery(&meta.att_blob)?
+        .into_iter()
+        .map(|s| (s.id, s))
+        .collect();
+
+    // Redo up to (not beyond) `upto`, buffering physical writes per
+    // operation (see restart(): a prefix cut can split an operation's
+    // batch, and unmatched physical records must be discarded).
+    let records = SystemLog::scan_stable(Db::log_path(&dir), meta.ck_end)?;
+    let mut records_scanned = 0usize;
+    let mut max_txn_seen = 0u64;
+    let mut max_audit_seen = 0u64;
+    let mut pending_writes: HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>> =
+        HashMap::new();
+    for (lsn, rec) in records {
+        if lsn >= upto {
+            break;
+        }
+        records_scanned += 1;
+        if let Some(t) = rec.txn() {
+            max_txn_seen = max_txn_seen.max(t.0 + 1);
+        }
+        match rec {
+            LogRecord::TxnBegin { txn } => {
+                att.entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
+            }
+            LogRecord::OpBegin { txn, .. } => {
+                att.entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
+            }
+            LogRecord::PhysicalRedo { txn, op, addr, data } => {
+                pending_writes.entry((txn, op)).or_default().push((addr, data));
+            }
+            LogRecord::ReadLog { .. } => {}
+            LogRecord::OpCommit { txn, op, undo } => {
+                if let Some(writes) = pending_writes.remove(&(txn, op)) {
+                    for (addr, data) in writes {
+                        image.write(addr, &data)?;
+                    }
+                }
+                let st = att
+                    .entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
+                st.undo.commit_op(op, undo);
+                st.next_op = st.next_op.max(op.0 + 1);
+            }
+            LogRecord::TxnCommit { txn } | LogRecord::TxnAbort { txn } => {
+                let mut keys: Vec<_> = pending_writes
+                    .keys()
+                    .filter(|(t, _)| *t == txn)
+                    .copied()
+                    .collect();
+                keys.sort_unstable_by_key(|(_, op)| op.0);
+                for key in keys {
+                    if let Some(writes) = pending_writes.remove(&key) {
+                        for (addr, data) in writes {
+                            image.write(addr, &data)?;
+                        }
+                    }
+                }
+                att.remove(&txn);
+            }
+            LogRecord::AuditBegin { audit_id } => {
+                max_audit_seen = max_audit_seen.max(audit_id + 1);
+            }
+            LogRecord::AuditEnd { .. } | LogRecord::CkptComplete { .. } => {}
+            LogRecord::CreateTable {
+                table,
+                name,
+                rec_size,
+                capacity,
+                bitmap_base,
+                data_base,
+            } => {
+                catalog.register(replayed_meta(
+                    table,
+                    name,
+                    rec_size,
+                    capacity,
+                    bitmap_base,
+                    data_base,
+                    config.page_size,
+                )?)?;
+            }
+        }
+    }
+
+    // Truncate the discarded future before reopening the log for append.
+    {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(Db::log_path(&dir))?;
+        let len = f.metadata()?.len();
+        f.set_len(len.min(upto.0))?;
+        f.sync_data()?;
+    }
+
+    let syslog = SystemLog::open(Db::log_path(&dir), config.page_size)?;
+    let db = build_db(
+        config,
+        Arc::clone(&image),
+        syslog,
+        catalog,
+        CkptState {
+            next_image: 1 - image_idx,
+            serial,
+        },
+        meta.next_txn.max(max_txn_seen),
+        meta.next_audit.max(max_audit_seen),
+        None,
+    )?;
+
+    // Roll back transactions in flight at `upto` (transaction-consistent
+    // prior state).
+    let mut incomplete: Vec<TxnId> = att.keys().copied().collect();
+    incomplete.sort_unstable();
+    for id in incomplete.iter().rev() {
+        let st = att.get_mut(id).expect("present");
+        rollback_direct(&db, &mut st.undo)?;
+    }
+    {
+        let aborts: Vec<LogRecord> = incomplete
+            .iter()
+            .map(|&txn| LogRecord::TxnAbort { txn })
+            .collect();
+        db.syslog.append_batch(&aborts);
+        db.syslog.flush(false)?;
+    }
+
+    for h in db.heaps.read().iter() {
+        h.rebuild_from_image(&db.image)?;
+    }
+    db.prot.resync(&db.image)?;
+    db.syslog.dirty().note_range(db.config.db_pages);
+    ckpt::checkpoint(&db)?;
+    corruption::clear_marker(&db.config.dir)?;
+    if db.config.scheme.uses_mprotect() {
+        db.protector.enable()?;
+    }
+
+    Ok((
+        db,
+        RecoveryOutcome {
+            mode: RecoveryMode::PriorState,
+            deleted_txns: Vec::new(),
+            rolled_back_txns: incomplete,
+            corrupt_ranges: Vec::new(),
+            records_scanned,
+        },
+    ))
+}
+
+/// Rebuild a `HeapMeta` from a replayed CreateTable record. The layout is
+/// inferred: equal bitmap and data bases mean the page-local layout (its
+/// parameters are a pure function of record and page size).
+fn replayed_meta(
+    table: dali_common::TableId,
+    name: String,
+    rec_size: u32,
+    capacity: u64,
+    bitmap_base: DbAddr,
+    data_base: DbAddr,
+    page_size: usize,
+) -> Result<HeapMeta> {
+    let layout = if bitmap_base == data_base {
+        crate::catalog::HeapLayout::page_local(rec_size as usize, page_size)?
+    } else {
+        crate::catalog::HeapLayout::Separate
+    };
+    Ok(HeapMeta {
+        table,
+        name,
+        rec_size: rec_size as usize,
+        capacity: capacity as usize,
+        bitmap_base,
+        data_base,
+        layout,
+    })
+}
+
+fn seed_marker_ranges(cdt: &mut RangeSet, marker: &Option<CorruptionMarker>) {
+    if let Some(m) = marker {
+        for &(a, l) in &m.ranges {
+            cdt.insert(a, l);
+        }
+    }
+}
+
+/// Compare logged read codewords against the recovering image: the read
+/// record covers `[addr, addr+len)` and carries one codeword per
+/// overlapped protection region.
+fn codewords_match(
+    image: &DbImage,
+    region_size: usize,
+    addr: DbAddr,
+    len: usize,
+    logged: &[u32],
+) -> Result<bool> {
+    let first = addr.0 / region_size;
+    let last = if len == 0 {
+        first
+    } else {
+        (addr.0 + len - 1) / region_size
+    };
+    if logged.len() != last - first + 1 {
+        // Geometry changed between runs; treat as mismatch (conservative).
+        return Ok(false);
+    }
+    for (i, r) in (first..=last).enumerate() {
+        let cw = image.xor_fold(DbAddr(r * region_size), region_size)?;
+        if cw != logged[i] {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}

@@ -1,0 +1,171 @@
+//! Recovery edge cases around the checkpoint boundary — the paths that
+//! make Dali-style local logging subtle (paper §2.1).
+
+use dali_common::{DaliConfig, ProtectionScheme};
+use dali_engine::{DaliEngine, RecoveryMode};
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dali-edge-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn val(tag: u8) -> Vec<u8> {
+    vec![tag; 64]
+}
+
+/// A transaction that spans a checkpoint and never commits: its
+/// pre-checkpoint operation's logical undo lives only in the checkpointed
+/// ATT, its post-checkpoint operation's undo only in the log. Recovery
+/// must roll back both.
+#[test]
+fn incomplete_txn_spanning_checkpoint_fully_rolled_back() {
+    let config = DaliConfig::small(tmpdir("span")).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let setup = db.begin().unwrap();
+    let a = setup.insert(t, &val(1)).unwrap();
+    let b = setup.insert(t, &val(2)).unwrap();
+    setup.commit().unwrap();
+
+    let txn = db.begin().unwrap();
+    txn.update(a, &val(11)).unwrap(); // op committed before the ckpt
+    db.checkpoint().unwrap(); // txn is active: its undo log is checkpointed
+    txn.update(b, &val(22)).unwrap(); // op committed after the ckpt
+    std::mem::forget(txn); // crash with the transaction open
+    db.crash();
+
+    let (db, outcome) = DaliEngine::open(config).unwrap();
+    assert_eq!(outcome.mode, RecoveryMode::Normal);
+    assert_eq!(outcome.rolled_back_txns.len(), 1);
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(a).unwrap(), val(1), "pre-ckpt op undone via checkpointed ATT");
+    assert_eq!(check.read_vec(b).unwrap(), val(2), "post-ckpt op undone via log");
+    check.commit().unwrap();
+    assert!(db.audit().unwrap().clean());
+}
+
+/// A transaction that aborts *after* a checkpoint captured its updates:
+/// the checkpoint image contains the aborted updates; the logged
+/// compensations must remove them during recovery.
+#[test]
+fn abort_after_checkpoint_replays_compensations() {
+    let config = DaliConfig::small(tmpdir("abortckpt")).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let setup = db.begin().unwrap();
+    let a = setup.insert(t, &val(1)).unwrap();
+    setup.commit().unwrap();
+
+    let txn = db.begin().unwrap();
+    txn.update(a, &val(99)).unwrap();
+    let extra = txn.insert(t, &val(50)).unwrap();
+    db.checkpoint().unwrap(); // image now contains the doomed updates
+    txn.abort().unwrap(); // compensations logged after the checkpoint
+    db.crash();
+
+    let (db, _) = DaliEngine::open(config).unwrap();
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(a).unwrap(), val(1), "update compensated");
+    assert!(check.read_vec(extra).is_err(), "insert compensated");
+    check.commit().unwrap();
+    assert!(db.audit().unwrap().clean());
+}
+
+/// Operation committed before the checkpoint, transaction committed after:
+/// recovery sees only the TxnCommit in the log and must keep everything.
+#[test]
+fn op_before_ckpt_commit_after_ckpt_is_kept() {
+    let config = DaliConfig::small(tmpdir("opckpt")).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let setup = db.begin().unwrap();
+    let a = setup.insert(t, &val(1)).unwrap();
+    setup.commit().unwrap();
+
+    let txn = db.begin().unwrap();
+    txn.update(a, &val(42)).unwrap();
+    db.checkpoint().unwrap();
+    txn.commit().unwrap();
+    db.crash();
+
+    let (db, outcome) = DaliEngine::open(config).unwrap();
+    assert!(outcome.rolled_back_txns.is_empty());
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(a).unwrap(), val(42));
+    check.commit().unwrap();
+}
+
+/// Deletes across the checkpoint boundary: a record deleted before the
+/// checkpoint and a rollback re-insert after it.
+#[test]
+fn delete_rollback_across_checkpoint() {
+    let config = DaliConfig::small(tmpdir("delckpt")).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let setup = db.begin().unwrap();
+    let a = setup.insert(t, &val(7)).unwrap();
+    setup.commit().unwrap();
+
+    let txn = db.begin().unwrap();
+    txn.delete(a).unwrap();
+    db.checkpoint().unwrap(); // image has the delete; ATT has HeapDelete undo
+    std::mem::forget(txn);
+    db.crash();
+
+    let (db, _) = DaliEngine::open(config).unwrap();
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(a).unwrap(), val(7), "delete rolled back, image restored");
+    check.commit().unwrap();
+    let t = db.table("t").unwrap();
+    assert_eq!(db.record_count(t).unwrap(), 1);
+    assert!(db.audit().unwrap().clean());
+}
+
+/// Several checkpoints with no intervening log records: recovery from the
+/// latest must be a no-op redo.
+#[test]
+fn empty_redo_interval() {
+    let config = DaliConfig::small(tmpdir("empty")).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let txn = db.begin().unwrap();
+    let a = txn.insert(t, &val(3)).unwrap();
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+    db.checkpoint().unwrap();
+    db.checkpoint().unwrap();
+    db.crash();
+    let (db, outcome) = DaliEngine::open(config).unwrap();
+    assert!(outcome.rolled_back_txns.is_empty());
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(a).unwrap(), val(3));
+    check.commit().unwrap();
+}
+
+/// The recovery checkpoint itself must be recoverable: crash immediately
+/// after reopening, twice in a row.
+#[test]
+fn double_crash_immediately_after_recovery() {
+    let config = DaliConfig::small(tmpdir("double")).with_scheme(ProtectionScheme::ReadLogging);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let t = db.create_table("t", 64, 32).unwrap();
+    let txn = db.begin().unwrap();
+    let a = txn.insert(t, &val(9)).unwrap();
+    txn.commit().unwrap();
+    db.crash();
+    for _ in 0..2 {
+        let (db, _) = DaliEngine::open(config.clone()).unwrap();
+        let check = db.begin().unwrap();
+        assert_eq!(check.read_vec(a).unwrap(), val(9));
+        check.commit().unwrap();
+        db.crash();
+    }
+}

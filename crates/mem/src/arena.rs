@@ -1,0 +1,294 @@
+//! A page-aligned anonymous memory mapping.
+//!
+//! The arena is allocated with `mmap(MAP_ANONYMOUS | MAP_PRIVATE)` so that
+//! it is page-aligned (a requirement for `mprotect`) and zero-initialized.
+//! Access is deliberately raw: the database image is shared mutable state
+//! that application code can (and, in this reproduction, deliberately does)
+//! corrupt with stray writes, so we never create Rust references into it —
+//! every read and write is a bounds-checked raw-pointer copy.
+
+use dali_common::{DaliError, Result};
+use std::ptr::NonNull;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A fixed-size, page-aligned, zero-initialized memory region.
+///
+/// `Arena` is `Send + Sync`; synchronization of *contents* is the
+/// responsibility of higher layers (protection latches, the update
+/// interface). Concurrent raw access to overlapping ranges is a data race
+/// in the C++ sense — exactly the failure mode the paper's schemes defend
+/// against — and the engine only performs it under latches.
+pub struct Arena {
+    ptr: NonNull<u8>,
+    len: usize,
+    /// True when the memory came from mmap (and must be munmap'd).
+    mapped: bool,
+}
+
+// SAFETY: the arena is just memory; all access is via raw pointers with the
+// caller responsible for synchronization, as documented.
+unsafe impl Send for Arena {}
+unsafe impl Sync for Arena {}
+
+impl Arena {
+    /// Allocate `len` bytes of page-aligned, zeroed memory.
+    ///
+    /// Falls back to the global allocator (with page alignment) if `mmap`
+    /// fails; the fallback is still compatible with `mprotect` on Linux.
+    pub fn new(len: usize) -> Result<Arena> {
+        if len == 0 {
+            return Err(DaliError::InvalidArg("arena length must be positive".into()));
+        }
+        let page = os_page_size();
+        let len = dali_common::align::round_up(len, page);
+        // SAFETY: standard anonymous private mapping.
+        let ptr = unsafe {
+            libc::mmap(
+                std::ptr::null_mut(),
+                len,
+                libc::PROT_READ | libc::PROT_WRITE,
+                libc::MAP_ANONYMOUS | libc::MAP_PRIVATE,
+                -1,
+                0,
+            )
+        };
+        if ptr != libc::MAP_FAILED {
+            let nn = NonNull::new(ptr as *mut u8)
+                .ok_or_else(|| DaliError::OutOfSpace("mmap returned null".into()))?;
+            return Ok(Arena {
+                ptr: nn,
+                len,
+                mapped: true,
+            });
+        }
+        // Fallback: aligned allocation from the global allocator.
+        let layout = std::alloc::Layout::from_size_align(len, page)
+            .map_err(|e| DaliError::InvalidArg(format!("bad layout: {e}")))?;
+        // SAFETY: layout has non-zero size.
+        let raw = unsafe { std::alloc::alloc_zeroed(layout) };
+        let nn = NonNull::new(raw)
+            .ok_or_else(|| DaliError::OutOfSpace(format!("allocating {len} bytes failed")))?;
+        Ok(Arena {
+            ptr: nn,
+            len,
+            mapped: false,
+        })
+    }
+
+    /// Length of the arena in bytes (rounded up to the OS page size).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the arena has zero length (never the case post-construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Base pointer of the arena.
+    ///
+    /// This is the "direct access" door the paper worries about: anything
+    /// holding this pointer can write anywhere in the database image. The
+    /// fault injector uses it; well-behaved code goes through
+    /// [`read`](Arena::read)/[`write`](Arena::write).
+    #[inline]
+    pub fn base_ptr(&self) -> *mut u8 {
+        self.ptr.as_ptr()
+    }
+
+    #[inline]
+    fn check(&self, offset: usize, len: usize) -> Result<()> {
+        if offset.checked_add(len).map_or(true, |end| end > self.len) {
+            return Err(DaliError::InvalidArg(format!(
+                "range {offset}+{len} out of arena bounds ({})",
+                self.len
+            )));
+        }
+        Ok(())
+    }
+
+    /// Copy `buf.len()` bytes out of the arena starting at `offset`.
+    #[inline]
+    pub fn read(&self, offset: usize, buf: &mut [u8]) -> Result<()> {
+        self.check(offset, buf.len())?;
+        // SAFETY: bounds checked above; raw copy avoids creating &[u8] into
+        // memory that other threads may concurrently mutate.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                self.ptr.as_ptr().add(offset),
+                buf.as_mut_ptr(),
+                buf.len(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Copy `data` into the arena at `offset`.
+    #[inline]
+    pub fn write(&self, offset: usize, data: &[u8]) -> Result<()> {
+        self.check(offset, data.len())?;
+        // SAFETY: bounds checked above.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                data.as_ptr(),
+                self.ptr.as_ptr().add(offset),
+                data.len(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Read a single little-endian `u32` at a 4-byte-aligned offset.
+    #[inline]
+    pub fn read_u32(&self, offset: usize) -> Result<u32> {
+        self.check(offset, 4)?;
+        debug_assert!(offset % 4 == 0);
+        // SAFETY: bounds checked; alignment asserted (the base is
+        // page-aligned so offset alignment suffices).
+        Ok(unsafe { (self.ptr.as_ptr().add(offset) as *const u32).read() }.to_le())
+    }
+
+    /// XOR-fold the 32-bit words of `[offset, offset+len)`.
+    ///
+    /// `offset` and `len` must be 4-byte aligned. This is the codeword
+    /// computation primitive (paper §3: "the codeword is the bitwise
+    /// exclusive-or of the words in the region").
+    #[inline]
+    pub fn xor_fold(&self, offset: usize, len: usize) -> Result<u32> {
+        self.check(offset, len)?;
+        if offset % 4 != 0 || len % 4 != 0 {
+            return Err(DaliError::InvalidArg(format!(
+                "xor_fold range {offset}+{len} not word aligned"
+            )));
+        }
+        let mut acc: u32 = 0;
+        // SAFETY: bounds checked above; reads raw words without forming a
+        // slice reference.
+        unsafe {
+            let mut p = self.ptr.as_ptr().add(offset) as *const u32;
+            let end = self.ptr.as_ptr().add(offset + len) as *const u32;
+            while p < end {
+                acc ^= p.read();
+                p = p.add(1);
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Zero the whole arena.
+    pub fn zero(&self) {
+        // SAFETY: in-bounds by construction.
+        unsafe { std::ptr::write_bytes(self.ptr.as_ptr(), 0, self.len) };
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        if self.mapped {
+            // SAFETY: ptr/len came from a successful mmap.
+            unsafe { libc::munmap(self.ptr.as_ptr() as *mut libc::c_void, self.len) };
+        } else {
+            let layout =
+                std::alloc::Layout::from_size_align(self.len, os_page_size()).expect("layout");
+            // SAFETY: allocated with the same layout in `new`.
+            unsafe { std::alloc::dealloc(self.ptr.as_ptr(), layout) };
+        }
+    }
+}
+
+/// The operating system page size, cached after the first query.
+pub fn os_page_size() -> usize {
+    static CACHE: AtomicPtr<()> = AtomicPtr::new(std::ptr::null_mut());
+    let cached = CACHE.load(Ordering::Relaxed) as usize;
+    if cached != 0 {
+        return cached;
+    }
+    // SAFETY: sysconf is always safe to call.
+    let sz = unsafe { libc::sysconf(libc::_SC_PAGESIZE) };
+    let sz = if sz > 0 { sz as usize } else { 4096 };
+    CACHE.store(sz as *mut (), Ordering::Relaxed);
+    sz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_arena_is_zeroed_and_page_aligned() {
+        let a = Arena::new(10_000).unwrap();
+        assert!(a.len() >= 10_000);
+        assert_eq!(a.base_ptr() as usize % os_page_size(), 0);
+        let mut buf = vec![0xffu8; 128];
+        a.read(0, &mut buf).unwrap();
+        assert!(buf.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let a = Arena::new(4096).unwrap();
+        let data = [1u8, 2, 3, 4, 5];
+        a.write(100, &data).unwrap();
+        let mut out = [0u8; 5];
+        a.read(100, &mut out).unwrap();
+        assert_eq!(out, data);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let a = Arena::new(4096).unwrap();
+        let len = a.len();
+        assert!(a.write(len - 2, &[0u8; 4]).is_err());
+        let mut b = [0u8; 8];
+        assert!(a.read(len, &mut b).is_err());
+        assert!(a.read(usize::MAX - 3, &mut b).is_err());
+        // Exactly at the end is fine.
+        a.write(len - 4, &[9u8; 4]).unwrap();
+    }
+
+    #[test]
+    fn xor_fold_matches_manual() {
+        let a = Arena::new(4096).unwrap();
+        a.write(0, &0xdead_beefu32.to_le_bytes()).unwrap();
+        a.write(4, &0x0101_0101u32.to_le_bytes()).unwrap();
+        a.write(8, &0x0000_ffffu32.to_le_bytes()).unwrap();
+        let cw = a.xor_fold(0, 12).unwrap();
+        assert_eq!(cw, 0xdead_beef ^ 0x0101_0101 ^ 0x0000_ffff);
+    }
+
+    #[test]
+    fn xor_fold_zero_region_is_zero() {
+        let a = Arena::new(4096).unwrap();
+        assert_eq!(a.xor_fold(64, 64).unwrap(), 0);
+        assert_eq!(a.xor_fold(0, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn xor_fold_rejects_misalignment() {
+        let a = Arena::new(4096).unwrap();
+        assert!(a.xor_fold(2, 8).is_err());
+        assert!(a.xor_fold(0, 6).is_err());
+    }
+
+    #[test]
+    fn read_u32_little_endian() {
+        let a = Arena::new(4096).unwrap();
+        a.write(8, &[0x78, 0x56, 0x34, 0x12]).unwrap();
+        assert_eq!(a.read_u32(8).unwrap(), 0x1234_5678);
+    }
+
+    #[test]
+    fn zero_clears() {
+        let a = Arena::new(4096).unwrap();
+        a.write(10, &[0xaa; 16]).unwrap();
+        a.zero();
+        assert_eq!(a.xor_fold(0, 4096).unwrap(), 0);
+    }
+
+    #[test]
+    fn zero_length_rejected() {
+        assert!(Arena::new(0).is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! Memory substrate: the database image and hardware protection.
+//!
+//! A Dali-style main-memory database maps the whole database into the
+//! address space of the application (paper §2). This crate provides that
+//! substrate:
+//!
+//! * [`arena`] — a page-aligned anonymous memory mapping with raw-pointer
+//!   access semantics. All reads and writes go through raw pointers, never
+//!   long-lived references, because the whole point of the paper is that
+//!   *anyone* in the process (including buggy application code) can scribble
+//!   on this memory at any time.
+//! * [`image`] — the database image: the arena viewed as an array of pages,
+//!   with bounds-checked copy-in/copy-out accessors and the XOR fold used by
+//!   codeword computation.
+//! * [`protect`] — the Hardware Protection scheme's mprotect wrapper and
+//!   protection bitmap (paper §3 "Hardware Protection", after Sullivan &
+//!   Stonebraker), plus call statistics for the §5.3 pages-per-operation
+//!   observation.
+
+pub mod arena;
+pub mod image;
+pub mod protect;
+
+pub use arena::Arena;
+pub use image::DbImage;
+pub use protect::{PageProtector, ProtectStats};

@@ -1,0 +1,119 @@
+//! Dirty page tracking for ping-pong checkpointing.
+//!
+//! Dali notes pages dirtied by logged physical updates in a dirty page
+//! table (paper §2.1). With ping-pong checkpointing the two checkpoint
+//! images alternate, so a page dirtied once must be written to *both*
+//! images before it is clean everywhere: we keep one dirty set per image
+//! and add every dirtied page to both; the checkpointer drains the set of
+//! the image it is about to write.
+
+use dali_common::PageId;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// A pair of dirty-page sets, one per checkpoint image.
+#[derive(Default)]
+pub struct DualDirtySet {
+    sets: Mutex<[HashSet<PageId>; 2]>,
+}
+
+impl DualDirtySet {
+    /// Empty tracker.
+    pub fn new() -> DualDirtySet {
+        DualDirtySet::default()
+    }
+
+    /// Note that `page` was dirtied (adds to both images' sets).
+    pub fn note(&self, page: PageId) {
+        let mut sets = self.sets.lock();
+        sets[0].insert(page);
+        sets[1].insert(page);
+    }
+
+    /// Note several pages at once.
+    pub fn note_all(&self, pages: impl IntoIterator<Item = PageId>) {
+        let mut sets = self.sets.lock();
+        for p in pages {
+            sets[0].insert(p);
+            sets[1].insert(p);
+        }
+    }
+
+    /// Drain the dirty set for checkpoint image `image` (0 or 1), returning
+    /// the pages that must be written to that image.
+    pub fn take(&self, image: usize) -> Vec<PageId> {
+        assert!(image < 2);
+        let mut sets = self.sets.lock();
+        let mut pages: Vec<PageId> = sets[image].drain().collect();
+        pages.sort_unstable();
+        pages
+    }
+
+    /// Peek at the number of dirty pages for an image.
+    pub fn len(&self, image: usize) -> usize {
+        self.sets.lock()[image].len()
+    }
+
+    /// True if no page is dirty for `image`.
+    pub fn is_empty(&self, image: usize) -> bool {
+        self.len(image) == 0
+    }
+
+    /// Mark every page up to `pages` dirty (used when a fresh database is
+    /// created, so the first checkpoints capture the initial image).
+    pub fn note_range(&self, pages: usize) {
+        self.note_all((0..pages).map(|p| PageId(p as u32)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn note_marks_both_images() {
+        let d = DualDirtySet::new();
+        d.note(PageId(3));
+        assert_eq!(d.len(0), 1);
+        assert_eq!(d.len(1), 1);
+    }
+
+    #[test]
+    fn take_drains_only_one_image() {
+        let d = DualDirtySet::new();
+        d.note(PageId(1));
+        d.note(PageId(2));
+        let taken = d.take(0);
+        assert_eq!(taken, vec![PageId(1), PageId(2)]);
+        assert!(d.is_empty(0));
+        assert_eq!(d.len(1), 2);
+        // Image 1 still sees them on its next turn.
+        assert_eq!(d.take(1), vec![PageId(1), PageId(2)]);
+    }
+
+    #[test]
+    fn redirty_between_checkpoints() {
+        let d = DualDirtySet::new();
+        d.note(PageId(5));
+        let _ = d.take(0);
+        d.note(PageId(5));
+        assert_eq!(d.take(0), vec![PageId(5)]);
+        // Image 1 has it once (sets dedup).
+        assert_eq!(d.take(1), vec![PageId(5)]);
+    }
+
+    #[test]
+    fn take_is_sorted() {
+        let d = DualDirtySet::new();
+        d.note_all([PageId(9), PageId(1), PageId(5)]);
+        assert_eq!(d.take(0), vec![PageId(1), PageId(5), PageId(9)]);
+    }
+
+    #[test]
+    fn note_range_covers_initial_image() {
+        let d = DualDirtySet::new();
+        d.note_range(4);
+        assert_eq!(d.take(0).len(), 4);
+        assert_eq!(d.take(1).len(), 4);
+    }
+}

@@ -1,0 +1,654 @@
+//! Log record types and their checksummed binary encoding.
+//!
+//! Framing on the system log is `[len: u32][checksum: u32][payload]` where
+//! `checksum` is an XOR fold of the payload (in the same spirit as the
+//! paper's codewords — cheap parity that catches torn or overwritten log
+//! frames). An LSN is the byte offset of a frame's first byte.
+
+use bytes::{Buf, BufMut, BytesMut};
+use dali_common::{DaliError, DbAddr, Lsn, OpSeq, RecId, Result, SlotId, TableId, TxnId};
+
+/// Kinds of level-1 (heap) operations, recorded in `OpBegin` so that
+/// delete-transaction recovery can test operation conflicts (§4.3: a begin
+/// operation record is "checked against the operations in the undo logs of
+/// all transactions currently in CorruptTransTable").
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Insert a record.
+    Insert,
+    /// Delete a record.
+    Delete,
+    /// Update a record in place.
+    Update,
+}
+
+impl OpKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            OpKind::Insert => 0,
+            OpKind::Delete => 1,
+            OpKind::Update => 2,
+        }
+    }
+
+    fn from_u8(b: u8) -> Result<OpKind> {
+        Ok(match b {
+            0 => OpKind::Insert,
+            1 => OpKind::Delete,
+            2 => OpKind::Update,
+            _ => return Err(bad(format!("unknown op kind {b}"))),
+        })
+    }
+}
+
+/// Logical undo description, carried in operation commit log records and
+/// in the checkpointed ATT (paper §2.1: "a copy of the logical undo
+/// description is included in the operation commit log record for use in
+/// restart recovery").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogicalUndo {
+    /// Undo an insert by deleting the slot.
+    HeapInsert { rec: RecId },
+    /// Undo a delete by re-inserting the saved image into the slot.
+    HeapDelete { rec: RecId, image: Vec<u8> },
+    /// Undo an in-place update by writing back the before-image.
+    HeapUpdate { rec: RecId, before: Vec<u8> },
+}
+
+impl LogicalUndo {
+    /// The record this operation targeted (conflict granule for §4.3).
+    pub fn target(&self) -> RecId {
+        match self {
+            LogicalUndo::HeapInsert { rec }
+            | LogicalUndo::HeapDelete { rec, .. }
+            | LogicalUndo::HeapUpdate { rec, .. } => *rec,
+        }
+    }
+
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LogicalUndo::HeapInsert { rec } => {
+                buf.put_u8(0);
+                put_rec(buf, *rec);
+            }
+            LogicalUndo::HeapDelete { rec, image } => {
+                buf.put_u8(1);
+                put_rec(buf, *rec);
+                put_blob(buf, image);
+            }
+            LogicalUndo::HeapUpdate { rec, before } => {
+                buf.put_u8(2);
+                put_rec(buf, *rec);
+                put_blob(buf, before);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<LogicalUndo> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            0 => LogicalUndo::HeapInsert { rec: get_rec(buf)? },
+            1 => LogicalUndo::HeapDelete {
+                rec: get_rec(buf)?,
+                image: get_blob(buf)?,
+            },
+            2 => LogicalUndo::HeapUpdate {
+                rec: get_rec(buf)?,
+                before: get_blob(buf)?,
+            },
+            _ => return Err(bad(format!("unknown logical undo tag {tag}"))),
+        })
+    }
+}
+
+/// A record on the system log (or in a local redo log awaiting migration).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// Transaction start.
+    TxnBegin { txn: TxnId },
+    /// A level-1 operation started. Carried to the system log with the
+    /// operation's redo records at operation commit.
+    OpBegin {
+        txn: TxnId,
+        op: OpSeq,
+        kind: OpKind,
+        rec: RecId,
+    },
+    /// Physical after-image of an in-place update (redo is always physical
+    /// in Dali, §2.1).
+    PhysicalRedo {
+        txn: TxnId,
+        op: OpSeq,
+        addr: DbAddr,
+        data: Vec<u8>,
+    },
+    /// Read log record (§4.2): the identity of data read — a start point
+    /// and a number of bytes, *not the value* — plus, in the CW ReadLog
+    /// scheme, the maintained codewords of the overlapped protection
+    /// regions (§4.3 extension).
+    ReadLog {
+        txn: TxnId,
+        addr: DbAddr,
+        len: u32,
+        codewords: Vec<u32>,
+    },
+    /// Operation commit: the operation's logical undo description.
+    OpCommit {
+        txn: TxnId,
+        op: OpSeq,
+        undo: LogicalUndo,
+    },
+    /// Transaction commit.
+    TxnCommit { txn: TxnId },
+    /// Transaction abort (all undo already applied and logged as
+    /// compensation redo).
+    TxnAbort { txn: TxnId },
+    /// An audit pass began. `Audit_SN` in §4.3 is the LSN of the last
+    /// AuditBegin whose matching AuditEnd reported clean.
+    AuditBegin { audit_id: u64 },
+    /// An audit pass ended; `clean` is false when corruption was found.
+    AuditEnd { audit_id: u64, clean: bool },
+    /// A checkpoint completed and was certified; recovery scans start at
+    /// the `redo_start` recorded in the checkpoint header, this record is
+    /// informational.
+    CkptComplete { ckpt_lsn: Lsn },
+    /// DDL: a table was created (auto-committed). Recovery replays this to
+    /// rebuild catalog entries added after the checkpoint.
+    CreateTable {
+        table: TableId,
+        name: String,
+        rec_size: u32,
+        capacity: u64,
+        bitmap_base: DbAddr,
+        data_base: DbAddr,
+    },
+}
+
+impl LogRecord {
+    /// The transaction this record belongs to, if any.
+    pub fn txn(&self) -> Option<TxnId> {
+        match self {
+            LogRecord::TxnBegin { txn }
+            | LogRecord::OpBegin { txn, .. }
+            | LogRecord::PhysicalRedo { txn, .. }
+            | LogRecord::ReadLog { txn, .. }
+            | LogRecord::OpCommit { txn, .. }
+            | LogRecord::TxnCommit { txn }
+            | LogRecord::TxnAbort { txn } => Some(*txn),
+            _ => None,
+        }
+    }
+
+    /// Encode the payload (without framing) into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            LogRecord::TxnBegin { txn } => {
+                buf.put_u8(0);
+                buf.put_u64_le(txn.0);
+            }
+            LogRecord::OpBegin { txn, op, kind, rec } => {
+                buf.put_u8(1);
+                buf.put_u64_le(txn.0);
+                buf.put_u32_le(op.0);
+                buf.put_u8(kind.to_u8());
+                put_rec(buf, *rec);
+            }
+            LogRecord::PhysicalRedo {
+                txn,
+                op,
+                addr,
+                data,
+            } => {
+                buf.put_u8(2);
+                buf.put_u64_le(txn.0);
+                buf.put_u32_le(op.0);
+                buf.put_u64_le(addr.0 as u64);
+                put_blob(buf, data);
+            }
+            LogRecord::ReadLog {
+                txn,
+                addr,
+                len,
+                codewords,
+            } => {
+                buf.put_u8(3);
+                buf.put_u64_le(txn.0);
+                buf.put_u64_le(addr.0 as u64);
+                buf.put_u32_le(*len);
+                buf.put_u16_le(codewords.len() as u16);
+                for cw in codewords {
+                    buf.put_u32_le(*cw);
+                }
+            }
+            LogRecord::OpCommit { txn, op, undo } => {
+                buf.put_u8(4);
+                buf.put_u64_le(txn.0);
+                buf.put_u32_le(op.0);
+                undo.encode(buf);
+            }
+            LogRecord::TxnCommit { txn } => {
+                buf.put_u8(5);
+                buf.put_u64_le(txn.0);
+            }
+            LogRecord::TxnAbort { txn } => {
+                buf.put_u8(6);
+                buf.put_u64_le(txn.0);
+            }
+            LogRecord::AuditBegin { audit_id } => {
+                buf.put_u8(7);
+                buf.put_u64_le(*audit_id);
+            }
+            LogRecord::AuditEnd { audit_id, clean } => {
+                buf.put_u8(8);
+                buf.put_u64_le(*audit_id);
+                buf.put_u8(*clean as u8);
+            }
+            LogRecord::CkptComplete { ckpt_lsn } => {
+                buf.put_u8(9);
+                buf.put_u64_le(ckpt_lsn.0);
+            }
+            LogRecord::CreateTable {
+                table,
+                name,
+                rec_size,
+                capacity,
+                bitmap_base,
+                data_base,
+            } => {
+                buf.put_u8(10);
+                buf.put_u32_le(table.0);
+                put_blob(buf, name.as_bytes());
+                buf.put_u32_le(*rec_size);
+                buf.put_u64_le(*capacity);
+                buf.put_u64_le(bitmap_base.0 as u64);
+                buf.put_u64_le(data_base.0 as u64);
+            }
+        }
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: &[u8]) -> Result<LogRecord> {
+        let rec = Self::decode_inner(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(bad(format!("{} trailing bytes after record", buf.len())));
+        }
+        Ok(rec)
+    }
+
+    fn decode_inner(buf: &mut &[u8]) -> Result<LogRecord> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            0 => LogRecord::TxnBegin {
+                txn: TxnId(get_u64(buf)?),
+            },
+            1 => LogRecord::OpBegin {
+                txn: TxnId(get_u64(buf)?),
+                op: OpSeq(get_u32(buf)?),
+                kind: OpKind::from_u8(get_u8(buf)?)?,
+                rec: get_rec(buf)?,
+            },
+            2 => LogRecord::PhysicalRedo {
+                txn: TxnId(get_u64(buf)?),
+                op: OpSeq(get_u32(buf)?),
+                addr: DbAddr(get_u64(buf)? as usize),
+                data: get_blob(buf)?,
+            },
+            3 => {
+                let txn = TxnId(get_u64(buf)?);
+                let addr = DbAddr(get_u64(buf)? as usize);
+                let len = get_u32(buf)?;
+                let n = get_u16(buf)? as usize;
+                let mut codewords = Vec::with_capacity(n);
+                for _ in 0..n {
+                    codewords.push(get_u32(buf)?);
+                }
+                LogRecord::ReadLog {
+                    txn,
+                    addr,
+                    len,
+                    codewords,
+                }
+            }
+            4 => LogRecord::OpCommit {
+                txn: TxnId(get_u64(buf)?),
+                op: OpSeq(get_u32(buf)?),
+                undo: LogicalUndo::decode(buf)?,
+            },
+            5 => LogRecord::TxnCommit {
+                txn: TxnId(get_u64(buf)?),
+            },
+            6 => LogRecord::TxnAbort {
+                txn: TxnId(get_u64(buf)?),
+            },
+            7 => LogRecord::AuditBegin {
+                audit_id: get_u64(buf)?,
+            },
+            8 => LogRecord::AuditEnd {
+                audit_id: get_u64(buf)?,
+                clean: get_u8(buf)? != 0,
+            },
+            9 => LogRecord::CkptComplete {
+                ckpt_lsn: Lsn(get_u64(buf)?),
+            },
+            10 => LogRecord::CreateTable {
+                table: TableId(get_u32(buf)?),
+                name: String::from_utf8(get_blob(buf)?)
+                    .map_err(|_| bad("table name not utf-8".into()))?,
+                rec_size: get_u32(buf)?,
+                capacity: get_u64(buf)?,
+                bitmap_base: DbAddr(get_u64(buf)? as usize),
+                data_base: DbAddr(get_u64(buf)? as usize),
+            },
+            _ => return Err(bad(format!("unknown log record tag {tag}"))),
+        })
+    }
+}
+
+/// XOR-fold checksum over a payload (zero-padded trailing word).
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = payload.chunks_exact(4);
+    for c in &mut chunks {
+        acc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 4];
+        w[..rem.len()].copy_from_slice(rem);
+        acc ^= u32::from_le_bytes(w);
+    }
+    acc
+}
+
+/// Frame a record: `[len][checksum][payload]`. Returns bytes appended.
+pub fn frame(rec: &LogRecord, out: &mut BytesMut) -> usize {
+    let mut payload = BytesMut::with_capacity(64);
+    rec.encode(&mut payload);
+    out.put_u32_le(payload.len() as u32);
+    out.put_u32_le(checksum(&payload));
+    out.extend_from_slice(&payload);
+    8 + payload.len()
+}
+
+/// Parse one frame starting at `buf[0]`; returns the record and the frame
+/// length. Errors on truncation or checksum mismatch.
+pub fn unframe(buf: &[u8]) -> Result<(LogRecord, usize)> {
+    if buf.len() < 8 {
+        return Err(bad("truncated frame header".into()));
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    let sum = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
+    if buf.len() < 8 + len {
+        return Err(bad(format!(
+            "truncated frame: need {} bytes, have {}",
+            8 + len,
+            buf.len()
+        )));
+    }
+    let payload = &buf[8..8 + len];
+    if checksum(payload) != sum {
+        return Err(bad("log frame checksum mismatch".into()));
+    }
+    Ok((LogRecord::decode(payload)?, 8 + len))
+}
+
+// ---- primitive helpers ----
+
+fn bad(msg: String) -> DaliError {
+    DaliError::RecoveryFailed(msg)
+}
+
+fn put_rec(buf: &mut BytesMut, rec: RecId) {
+    buf.put_u32_le(rec.table.0);
+    buf.put_u32_le(rec.slot.0);
+}
+
+fn get_rec(buf: &mut &[u8]) -> Result<RecId> {
+    Ok(RecId::new(TableId(get_u32(buf)?), SlotId(get_u32(buf)?)))
+}
+
+fn put_blob(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+fn get_blob(buf: &mut &[u8]) -> Result<Vec<u8>> {
+    let n = get_u32(buf)? as usize;
+    if buf.len() < n {
+        return Err(bad(format!("blob truncated: need {n}, have {}", buf.len())));
+    }
+    let v = buf[..n].to_vec();
+    buf.advance(n);
+    Ok(v)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.is_empty() {
+        return Err(bad("unexpected end of record".into()));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16> {
+    if buf.len() < 2 {
+        return Err(bad("unexpected end of record".into()));
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(bad("unexpected end of record".into()));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(bad("unexpected end of record".into()));
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn rec_samples() -> Vec<LogRecord> {
+        vec![
+            LogRecord::TxnBegin { txn: TxnId(1) },
+            LogRecord::OpBegin {
+                txn: TxnId(1),
+                op: OpSeq(2),
+                kind: OpKind::Update,
+                rec: RecId::new(TableId(3), SlotId(4)),
+            },
+            LogRecord::PhysicalRedo {
+                txn: TxnId(1),
+                op: OpSeq(2),
+                addr: DbAddr(0xdead),
+                data: vec![1, 2, 3, 4, 5],
+            },
+            LogRecord::ReadLog {
+                txn: TxnId(1),
+                addr: DbAddr(64),
+                len: 100,
+                codewords: vec![],
+            },
+            LogRecord::ReadLog {
+                txn: TxnId(1),
+                addr: DbAddr(64),
+                len: 100,
+                codewords: vec![0xabcd, 0x1234],
+            },
+            LogRecord::OpCommit {
+                txn: TxnId(1),
+                op: OpSeq(2),
+                undo: LogicalUndo::HeapUpdate {
+                    rec: RecId::new(TableId(3), SlotId(4)),
+                    before: vec![9; 100],
+                },
+            },
+            LogRecord::OpCommit {
+                txn: TxnId(1),
+                op: OpSeq(3),
+                undo: LogicalUndo::HeapInsert {
+                    rec: RecId::new(TableId(1), SlotId(0)),
+                },
+            },
+            LogRecord::OpCommit {
+                txn: TxnId(1),
+                op: OpSeq(4),
+                undo: LogicalUndo::HeapDelete {
+                    rec: RecId::new(TableId(1), SlotId(7)),
+                    image: vec![0xaa; 32],
+                },
+            },
+            LogRecord::TxnCommit { txn: TxnId(1) },
+            LogRecord::TxnAbort { txn: TxnId(9) },
+            LogRecord::AuditBegin { audit_id: 77 },
+            LogRecord::AuditEnd {
+                audit_id: 77,
+                clean: false,
+            },
+            LogRecord::CkptComplete { ckpt_lsn: Lsn(123) },
+            LogRecord::CreateTable {
+                table: TableId(2),
+                name: "accounts".to_string(),
+                rec_size: 100,
+                capacity: 100_000,
+                bitmap_base: DbAddr(8192),
+                data_base: DbAddr(16384),
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        for rec in rec_samples() {
+            let mut buf = BytesMut::new();
+            rec.encode(&mut buf);
+            let back = LogRecord::decode(&buf).unwrap();
+            assert_eq!(back, rec);
+        }
+    }
+
+    #[test]
+    fn frame_round_trip_sequence() {
+        let mut out = BytesMut::new();
+        let recs = rec_samples();
+        for r in &recs {
+            frame(r, &mut out);
+        }
+        let mut cursor = &out[..];
+        let mut got = vec![];
+        while !cursor.is_empty() {
+            let (r, n) = unframe(cursor).unwrap();
+            got.push(r);
+            cursor = &cursor[n..];
+        }
+        assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn checksum_detects_flip() {
+        let rec = LogRecord::TxnCommit { txn: TxnId(42) };
+        let mut out = BytesMut::new();
+        frame(&rec, &mut out);
+        let mut bytes = out.to_vec();
+        bytes[9] ^= 0x10; // flip a payload bit
+        assert!(unframe(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_error() {
+        let rec = LogRecord::TxnCommit { txn: TxnId(42) };
+        let mut out = BytesMut::new();
+        frame(&rec, &mut out);
+        assert!(unframe(&out[..out.len() - 1]).is_err());
+        assert!(unframe(&out[..4]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_in_payload_rejected() {
+        let rec = LogRecord::TxnCommit { txn: TxnId(1) };
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        buf.put_u8(0);
+        assert!(LogRecord::decode(&buf).is_err());
+    }
+
+    #[test]
+    fn txn_accessor() {
+        assert_eq!(
+            LogRecord::TxnBegin { txn: TxnId(5) }.txn(),
+            Some(TxnId(5))
+        );
+        assert_eq!(LogRecord::AuditBegin { audit_id: 1 }.txn(), None);
+    }
+
+    #[test]
+    fn logical_undo_target() {
+        let r = RecId::new(TableId(1), SlotId(2));
+        assert_eq!(LogicalUndo::HeapInsert { rec: r }.target(), r);
+        assert_eq!(
+            LogicalUndo::HeapDelete {
+                rec: r,
+                image: vec![]
+            }
+            .target(),
+            r
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_physical_redo(
+            txn in any::<u64>(),
+            op in any::<u32>(),
+            addr in 0usize..1_000_000_000,
+            data in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let rec = LogRecord::PhysicalRedo {
+                txn: TxnId(txn),
+                op: OpSeq(op),
+                addr: DbAddr(addr),
+                data,
+            };
+            let mut buf = BytesMut::new();
+            rec.encode(&mut buf);
+            prop_assert_eq!(LogRecord::decode(&buf).unwrap(), rec);
+        }
+
+        #[test]
+        fn prop_round_trip_readlog(
+            txn in any::<u64>(),
+            addr in 0usize..1_000_000_000,
+            len in any::<u32>(),
+            cws in proptest::collection::vec(any::<u32>(), 0..8),
+        ) {
+            let rec = LogRecord::ReadLog {
+                txn: TxnId(txn),
+                addr: DbAddr(addr),
+                len,
+                codewords: cws,
+            };
+            let mut buf = BytesMut::new();
+            rec.encode(&mut buf);
+            prop_assert_eq!(LogRecord::decode(&buf).unwrap(), rec);
+        }
+
+        #[test]
+        fn prop_frame_survives_arbitrary_records(
+            which in 0usize..14,
+        ) {
+            let rec = rec_samples()[which].clone();
+            let mut out = BytesMut::new();
+            frame(&rec, &mut out);
+            let (back, n) = unframe(&out).unwrap();
+            prop_assert_eq!(n, out.len());
+            prop_assert_eq!(back, rec);
+        }
+    }
+}

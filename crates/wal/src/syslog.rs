@@ -1,0 +1,334 @@
+//! The system log: in-memory tail plus stable log file (paper §2.1).
+//!
+//! Appends go to the tail under the *system log latch* (a mutex, as in
+//! Dali). [`SystemLog::flush`] writes the tail to the stable file — on
+//! transaction commit and during checkpoints. `end_of_stable_log` is the
+//! LSN up to which records are known durable. While appending physical
+//! redo records, the pages they touch are noted in the dirty page table
+//! ([`crate::dpt::DualDirtySet`]).
+//!
+//! A *simulated crash* simply drops the `SystemLog` object: the unflushed
+//! tail is lost, exactly as Dali loses its in-memory tail. Recovery scans
+//! the stable file with [`SystemLog::scan_stable`]; [`SystemLog::open`]
+//! truncates a torn trailing frame (a partially completed flush) before
+//! resuming appends.
+
+use crate::dpt::DualDirtySet;
+use crate::record::{frame, unframe, LogRecord};
+use bytes::BytesMut;
+use dali_common::{DaliError, Lsn, PageId, Result};
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+struct Inner {
+    /// Unflushed frames.
+    tail: BytesMut,
+    /// LSN of the first byte of the tail (== bytes durable in the file).
+    tail_base: Lsn,
+    file: File,
+}
+
+/// The system log.
+pub struct SystemLog {
+    path: PathBuf,
+    page_size: usize,
+    inner: Mutex<Inner>,
+    dirty: DualDirtySet,
+}
+
+impl SystemLog {
+    /// Create a fresh, empty log at `path` (truncating any existing file).
+    pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)?;
+        Ok(SystemLog {
+            path,
+            page_size,
+            inner: Mutex::new(Inner {
+                tail: BytesMut::with_capacity(1 << 20),
+                tail_base: Lsn::ZERO,
+                file,
+            }),
+            dirty: DualDirtySet::new(),
+        })
+    }
+
+    /// Open an existing log for appending. Scans the file to find the end
+    /// of the last intact frame and truncates anything after it.
+    pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
+        let path = path.as_ref().to_path_buf();
+        let valid_end = {
+            let bytes = std::fs::read(&path)?;
+            valid_prefix_len(&bytes)
+        };
+        let file = OpenOptions::new().write(true).open(&path)?;
+        file.set_len(valid_end as u64)?;
+        let mut file = file;
+        file.seek(SeekFrom::End(0))?;
+        Ok(SystemLog {
+            path,
+            page_size,
+            inner: Mutex::new(Inner {
+                tail: BytesMut::with_capacity(1 << 20),
+                tail_base: Lsn(valid_end as u64),
+                file,
+            }),
+            dirty: DualDirtySet::new(),
+        })
+    }
+
+    /// Path of the stable log file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Dirty page table fed by physical-redo appends.
+    pub fn dirty(&self) -> &DualDirtySet {
+        &self.dirty
+    }
+
+    /// Append one record; returns its LSN.
+    pub fn append(&self, rec: &LogRecord) -> Lsn {
+        let mut inner = self.inner.lock();
+        self.append_locked(&mut inner, rec)
+    }
+
+    /// Append a batch of records atomically with respect to other
+    /// appenders (one lock acquisition — this is how an operation commit
+    /// migrates its local redo log). Returns the LSN of the first record
+    /// and of the next byte after the last.
+    pub fn append_batch(&self, recs: &[LogRecord]) -> (Lsn, Lsn) {
+        let mut inner = self.inner.lock();
+        let first = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
+        for rec in recs {
+            self.append_locked(&mut inner, rec);
+        }
+        let end = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
+        (first, end)
+    }
+
+    fn append_locked(&self, inner: &mut Inner, rec: &LogRecord) -> Lsn {
+        let lsn = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
+        frame(rec, &mut inner.tail);
+        if let LogRecord::PhysicalRedo { addr, data, .. } = rec {
+            let pages = dali_common::align::split_by_chunks(addr.0, data.len(), self.page_size)
+                .map(|(ci, _, _)| PageId(ci as u32));
+            self.dirty.note_all(pages);
+        }
+        lsn
+    }
+
+    /// LSN one past the last appended record.
+    pub fn current_lsn(&self) -> Lsn {
+        let inner = self.inner.lock();
+        Lsn(inner.tail_base.0 + inner.tail.len() as u64)
+    }
+
+    /// LSN up to which the log is on stable storage.
+    pub fn end_of_stable(&self) -> Lsn {
+        self.inner.lock().tail_base
+    }
+
+    /// Flush the tail to the stable file (under the system log latch).
+    /// With `sync`, also fsync. Returns the new end of stable log.
+    pub fn flush(&self, sync: bool) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        if !inner.tail.is_empty() {
+            let tail = std::mem::take(&mut inner.tail);
+            inner.file.write_all(&tail)?;
+            inner.tail_base = Lsn(inner.tail_base.0 + tail.len() as u64);
+            // Reuse the buffer's capacity.
+            let mut tail = tail;
+            tail.clear();
+            inner.tail = tail;
+        }
+        if sync {
+            inner.file.sync_data()?;
+        }
+        Ok(inner.tail_base)
+    }
+
+    /// Scan every intact record in the stable file from `from` onward.
+    /// (The in-memory tail is *not* visible: after a crash it is gone.)
+    pub fn scan_stable(path: impl AsRef<Path>, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
+        let bytes = std::fs::read(path.as_ref())?;
+        if from.0 as usize > bytes.len() {
+            return Err(DaliError::RecoveryFailed(format!(
+                "scan start {from} beyond stable log ({})",
+                bytes.len()
+            )));
+        }
+        let mut out = Vec::new();
+        let mut pos = from.0 as usize;
+        while pos < bytes.len() {
+            match unframe(&bytes[pos..]) {
+                Ok((rec, n)) => {
+                    out.push((Lsn(pos as u64), rec));
+                    pos += n;
+                }
+                Err(_) => break, // torn tail: stop at the last intact frame
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Length of the longest prefix of `bytes` consisting of intact frames.
+fn valid_prefix_len(bytes: &[u8]) -> usize {
+    let mut pos = 0;
+    while pos < bytes.len() {
+        match unframe(&bytes[pos..]) {
+            Ok((_, n)) => pos += n,
+            Err(_) => break,
+        }
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dali_common::{DbAddr, OpSeq, TxnId};
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dali-wal-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}.log", std::process::id()))
+    }
+
+    #[test]
+    fn append_flush_scan_round_trip() {
+        let path = tmp("round");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        let l0 = log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        let l1 = log.append(&LogRecord::TxnCommit { txn: TxnId(1) });
+        assert_eq!(l0, Lsn::ZERO);
+        assert!(l1 > l0);
+        assert_eq!(log.end_of_stable(), Lsn::ZERO);
+        let stable = log.flush(false).unwrap();
+        assert_eq!(stable, log.current_lsn());
+
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].0, l0);
+        assert_eq!(recs[1].0, l1);
+        assert_eq!(recs[1].1, LogRecord::TxnCommit { txn: TxnId(1) });
+    }
+
+    #[test]
+    fn unflushed_tail_is_lost_on_crash() {
+        let path = tmp("crashtail");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        log.flush(false).unwrap();
+        log.append(&LogRecord::TxnCommit { txn: TxnId(1) });
+        drop(log); // crash: tail never flushed
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 1);
+    }
+
+    #[test]
+    fn physical_redo_dirties_pages() {
+        let path = tmp("dirty");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        log.append(&LogRecord::PhysicalRedo {
+            txn: TxnId(1),
+            op: OpSeq(0),
+            addr: DbAddr(4090),
+            data: vec![0; 12], // spans pages 0 and 1
+        });
+        let d = log.dirty().take(0);
+        assert_eq!(d, vec![PageId(0), PageId(1)]);
+    }
+
+    #[test]
+    fn batch_append_is_contiguous() {
+        let path = tmp("batch");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        let recs = vec![
+            LogRecord::TxnBegin { txn: TxnId(1) },
+            LogRecord::TxnCommit { txn: TxnId(1) },
+        ];
+        let (first, end) = log.append_batch(&recs);
+        assert_eq!(first, Lsn::ZERO);
+        assert_eq!(end, log.current_lsn());
+        log.flush(false).unwrap();
+        let scanned = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(scanned.len(), 2);
+    }
+
+    #[test]
+    fn scan_from_mid_lsn() {
+        let path = tmp("mid");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        let l1 = log.append(&LogRecord::TxnBegin { txn: TxnId(2) });
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable(&path, l1).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].1, LogRecord::TxnBegin { txn: TxnId(2) });
+    }
+
+    #[test]
+    fn open_truncates_torn_frame_and_resumes() {
+        let path = tmp("torn");
+        {
+            let log = SystemLog::create(&path, 4096).unwrap();
+            log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+            log.flush(false).unwrap();
+        }
+        // Simulate a torn flush: append garbage bytes.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(&[0xff, 0x13, 0x22]).unwrap();
+        }
+        let log = SystemLog::open(&path, 4096).unwrap();
+        let resume = log.current_lsn();
+        log.append(&LogRecord::TxnCommit { txn: TxnId(1) });
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[1].0, resume);
+    }
+
+    #[test]
+    fn flush_with_sync() {
+        let path = tmp("sync");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        log.flush(true).unwrap();
+        assert_eq!(
+            SystemLog::scan_stable(&path, Lsn::ZERO).unwrap().len(),
+            1
+        );
+    }
+
+    #[test]
+    fn concurrent_appends_do_not_interleave_frames() {
+        let path = tmp("conc");
+        let log = std::sync::Arc::new(SystemLog::create(&path, 4096).unwrap());
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    log.append(&LogRecord::TxnBegin {
+                        txn: TxnId(t * 1000 + i),
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 2000);
+    }
+}

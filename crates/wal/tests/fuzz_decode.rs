@@ -1,0 +1,73 @@
+//! Robustness of the log decoder: arbitrary bytes must never panic the
+//! unframe/decode path — a corrupted log file must surface as an error,
+//! not a crash, because log corruption is exactly the adjacent failure
+//! mode this system exists to handle gracefully.
+
+use bytes::BytesMut;
+use dali_wal::record::{frame, unframe, LogRecord};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 512, .. ProptestConfig::default() })]
+
+    #[test]
+    fn unframe_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = unframe(&bytes); // must not panic
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = LogRecord::decode(&bytes); // must not panic
+    }
+
+    #[test]
+    fn bitflip_in_frame_is_detected_or_identical(
+        txn in any::<u64>(),
+        addr in 0usize..1_000_000,
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_byte in 0usize..64,
+        flip_bit in 0u8..8,
+    ) {
+        let rec = LogRecord::PhysicalRedo {
+            txn: dali_common::TxnId(txn),
+            op: dali_common::OpSeq(1),
+            addr: dali_common::DbAddr(addr),
+            data,
+        };
+        let mut buf = BytesMut::new();
+        frame(&rec, &mut buf);
+        let mut bytes = buf.to_vec();
+        let i = flip_byte % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        match unframe(&bytes) {
+            // The flip must be caught by the length prefix, the checksum,
+            // or the decoder...
+            Err(_) => {}
+            // ...UNLESS the flip landed in the checksum field itself and
+            // produced... no: flipping any single bit of len/checksum/payload
+            // always breaks the XOR parity. A successful parse can only
+            // happen if the frame was re-interpreted with a shorter length
+            // that still checksums; in that case it must not equal the
+            // original record.
+            Ok((parsed, _)) => prop_assert_ne!(parsed, rec),
+        }
+    }
+
+    #[test]
+    fn truncations_are_errors_not_panics(
+        txn in any::<u64>(),
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..100,
+    ) {
+        let rec = LogRecord::PhysicalRedo {
+            txn: dali_common::TxnId(txn),
+            op: dali_common::OpSeq(0),
+            addr: dali_common::DbAddr(0),
+            data,
+        };
+        let mut buf = BytesMut::new();
+        frame(&rec, &mut buf);
+        let keep = cut.min(buf.len().saturating_sub(1));
+        prop_assert!(unframe(&buf[..keep]).is_err());
+    }
+}

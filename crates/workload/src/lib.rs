@@ -1,0 +1,406 @@
+//! TPC-B style workload (paper §5.2).
+//!
+//! Four tables — Branch, Teller, Account, History — each with 100-byte
+//! records. The paper's sizing: 100 000 accounts, 10 000 tellers, 1 000
+//! branches (ratios deliberately changed from TPC-B to limit CPU-cache
+//! effects on the small tables). An *operation* updates the balance field
+//! of one account, one teller and one branch, and appends a History
+//! record; transactions commit every 500 operations so commit cost does
+//! not dominate. A run is 50 000 operations.
+//!
+//! The driver maintains the TPC-B consistency invariant — the sums of
+//! account, teller and branch balances all equal the sum of history
+//! deltas — which doubles as a whole-database integrity check after crash
+//! and corruption recovery in the test suite.
+
+pub mod records;
+
+use dali_common::{DaliError, RecId, Result, TableId};
+use dali_engine::{DaliEngine, TxnHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use records::{balance_of, encode_account, encode_branch, encode_history, encode_teller, REC_SIZE};
+use std::time::Instant;
+
+/// Workload sizing.
+#[derive(Clone, Debug)]
+pub struct TpcbConfig {
+    pub accounts: usize,
+    pub tellers: usize,
+    pub branches: usize,
+    /// Capacity of the history table (must hold every op of the run).
+    pub history_capacity: usize,
+    /// Operations per transaction (the paper commits every 500).
+    pub ops_per_txn: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl TpcbConfig {
+    /// The paper's configuration: 100 000 / 10 000 / 1 000, 500 ops per
+    /// transaction, sized for a 50 000-op run.
+    pub fn paper() -> TpcbConfig {
+        TpcbConfig {
+            accounts: 100_000,
+            tellers: 10_000,
+            branches: 1_000,
+            history_capacity: 60_000,
+            ops_per_txn: 500,
+            seed: 0xDA11,
+        }
+    }
+
+    /// A small configuration for tests: same shape, ~1% of the size.
+    pub fn small() -> TpcbConfig {
+        TpcbConfig {
+            accounts: 1_000,
+            tellers: 100,
+            branches: 10,
+            history_capacity: 4_096,
+            ops_per_txn: 50,
+            seed: 0xDA11,
+        }
+    }
+
+    /// Database pages needed to hold the four tables (with page-aligned
+    /// bitmap and data extents) under the given page size.
+    pub fn required_pages(&self, page_size: usize) -> usize {
+        let table = |cap: usize| {
+            let bitmap = cap.div_ceil(32) * 4;
+            let data = cap * REC_SIZE;
+            dali_common::align::round_up(bitmap, page_size)
+                + dali_common::align::round_up(data, page_size)
+        };
+        let bytes = table(self.accounts)
+            + table(self.tellers)
+            + table(self.branches)
+            + table(self.history_capacity)
+            + 4 * page_size; // slack for alignment
+        bytes.div_ceil(page_size)
+    }
+}
+
+/// Result of a timed run.
+#[derive(Clone, Debug)]
+pub struct RunStats {
+    pub ops: usize,
+    pub txns: usize,
+    pub elapsed_secs: f64,
+}
+
+impl RunStats {
+    /// Operations per second — the metric of Table 2.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_secs
+    }
+}
+
+/// The TPC-B driver bound to an engine.
+pub struct TpcbDriver {
+    engine: DaliEngine,
+    cfg: TpcbConfig,
+    accounts: TableId,
+    tellers: TableId,
+    branches: TableId,
+    history: TableId,
+    account_recs: Vec<RecId>,
+    teller_recs: Vec<RecId>,
+    branch_recs: Vec<RecId>,
+    rng: StdRng,
+    /// Monotonic op counter (feeds history records).
+    op_counter: u64,
+    /// FIFO of live history records; when the table approaches capacity
+    /// the oldest entry is deleted in the same transaction (circular
+    /// history). Keeps unbounded benchmark loops from exhausting the
+    /// heap; never triggers in the paper-sized 50 000-op run.
+    history_ring: std::collections::VecDeque<RecId>,
+}
+
+impl TpcbDriver {
+    /// Create the four tables and populate them with zero balances.
+    pub fn setup(engine: &DaliEngine, cfg: TpcbConfig) -> Result<TpcbDriver> {
+        let accounts = engine.create_table("account", REC_SIZE, cfg.accounts)?;
+        let tellers = engine.create_table("teller", REC_SIZE, cfg.tellers)?;
+        let branches = engine.create_table("branch", REC_SIZE, cfg.branches)?;
+        let history = engine.create_table("history", REC_SIZE, cfg.history_capacity)?;
+
+        let mut driver = TpcbDriver {
+            engine: engine.clone(),
+            cfg,
+            accounts,
+            tellers,
+            branches,
+            history,
+            account_recs: Vec::new(),
+            teller_recs: Vec::new(),
+            branch_recs: Vec::new(),
+            rng: StdRng::seed_from_u64(0),
+            op_counter: 0,
+            history_ring: std::collections::VecDeque::new(),
+        };
+        driver.rng = StdRng::seed_from_u64(driver.cfg.seed);
+
+        driver.account_recs =
+            populate(engine, accounts, driver.cfg.accounts, encode_account)?;
+        driver.teller_recs = populate(engine, tellers, driver.cfg.tellers, encode_teller)?;
+        driver.branch_recs =
+            populate(engine, branches, driver.cfg.branches, encode_branch)?;
+        Ok(driver)
+    }
+
+    /// Attach to an existing, already-populated database (e.g. after a
+    /// crash/recovery cycle). Record ids are reconstructed positionally:
+    /// population inserts rows in slot order.
+    pub fn attach(engine: &DaliEngine, cfg: TpcbConfig) -> Result<TpcbDriver> {
+        let accounts = engine.table("account")?;
+        let tellers = engine.table("teller")?;
+        let branches = engine.table("branch")?;
+        let history = engine.table("history")?;
+        let recs = |t: TableId, n: usize| -> Vec<RecId> {
+            (0..n)
+                .map(|i| RecId::new(t, dali_common::SlotId(i as u32)))
+                .collect()
+        };
+        Ok(TpcbDriver {
+            engine: engine.clone(),
+            cfg: cfg.clone(),
+            accounts,
+            tellers,
+            branches,
+            history,
+            account_recs: recs(accounts, cfg.accounts),
+            teller_recs: recs(tellers, cfg.tellers),
+            branch_recs: recs(branches, cfg.branches),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            op_counter: 0,
+            history_ring: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// The engine this driver runs against.
+    pub fn engine(&self) -> &DaliEngine {
+        &self.engine
+    }
+
+    /// Table ids (account, teller, branch, history).
+    pub fn tables(&self) -> (TableId, TableId, TableId, TableId) {
+        (self.accounts, self.tellers, self.branches, self.history)
+    }
+
+    /// A random account record id (for fault-injection targeting).
+    pub fn random_account(&mut self) -> RecId {
+        self.account_recs[self.rng.gen_range(0..self.account_recs.len())]
+    }
+
+    /// Execute one TPC-B operation inside `txn`.
+    pub fn run_op(&mut self, txn: &TxnHandle) -> Result<()> {
+        let a = self.rng.gen_range(0..self.account_recs.len());
+        let t = self.rng.gen_range(0..self.teller_recs.len());
+        let b = self.rng.gen_range(0..self.branch_recs.len());
+        let delta = self.rng.gen_range(-999_999i64..=999_999);
+
+        for (rec, encode) in [
+            (
+                self.account_recs[a],
+                encode_account as fn(u64, i64) -> Vec<u8>,
+            ),
+            (self.teller_recs[t], encode_teller as fn(u64, i64) -> Vec<u8>),
+            (
+                self.branch_recs[b],
+                encode_branch as fn(u64, i64) -> Vec<u8>,
+            ),
+        ] {
+            let cur = txn.read_vec(rec)?;
+            let bal = balance_of(&cur);
+            txn.update(rec, &encode(rec.slot.0 as u64, bal + delta))?;
+        }
+        let h = txn.insert(
+            self.history,
+            &encode_history(self.op_counter, a as u64, t as u64, b as u64, delta),
+        )?;
+        self.history_ring.push_back(h);
+        // Circular history: keep enough slack that deferred frees within
+        // the current transaction cannot exhaust the heap.
+        let margin = 2 * self.cfg.ops_per_txn + 64;
+        if self.history_ring.len() + margin >= self.cfg.history_capacity {
+            if let Some(old) = self.history_ring.pop_front() {
+                txn.delete(old)?;
+            }
+        }
+        self.op_counter += 1;
+        Ok(())
+    }
+
+    /// Run `n` operations in transactions of `ops_per_txn`, timed.
+    pub fn run_ops(&mut self, n: usize) -> Result<RunStats> {
+        let start = Instant::now();
+        let mut done = 0usize;
+        let mut txns = 0usize;
+        while done < n {
+            let txn = self.engine.begin()?;
+            let in_this = self.cfg.ops_per_txn.min(n - done);
+            for _ in 0..in_this {
+                self.run_op(&txn)?;
+            }
+            txn.commit()?;
+            txns += 1;
+            done += in_this;
+        }
+        Ok(RunStats {
+            ops: done,
+            txns,
+            elapsed_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The paper's full run: 50 000 operations.
+    pub fn run_paper_workload(&mut self) -> Result<RunStats> {
+        self.run_ops(50_000)
+    }
+
+    /// Check the TPC-B consistency invariant: the sums of account, teller
+    /// and branch balances are equal (each history delta was applied to
+    /// exactly one of each). Returns the common sum.
+    pub fn verify_invariant(&self) -> Result<i64> {
+        let txn = self.engine.begin()?;
+        let sum = |recs: &[RecId]| -> Result<i64> {
+            let mut s = 0i64;
+            for &r in recs {
+                s += balance_of(&txn.read_vec(r)?);
+            }
+            Ok(s)
+        };
+        let sa = sum(&self.account_recs)?;
+        let st = sum(&self.teller_recs)?;
+        let sb = sum(&self.branch_recs)?;
+        txn.commit()?;
+        if sa != st || st != sb {
+            return Err(DaliError::InvalidArg(format!(
+                "TPC-B invariant violated: accounts {sa}, tellers {st}, branches {sb}"
+            )));
+        }
+        Ok(sa)
+    }
+}
+
+/// Populate a table with `n` zero-balance rows (committed in batches so
+/// the local logs stay small).
+fn populate(
+    engine: &DaliEngine,
+    table: TableId,
+    n: usize,
+    encode: fn(u64, i64) -> Vec<u8>,
+) -> Result<Vec<RecId>> {
+    let mut recs = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        let txn = engine.begin()?;
+        let batch_end = (i + 2_000).min(n);
+        for k in i..batch_end {
+            recs.push(txn.insert(table, &encode(k as u64, 0))?);
+        }
+        txn.commit()?;
+        i = batch_end;
+    }
+    Ok(recs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dali_common::{DaliConfig, ProtectionScheme};
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "dali-tpcb-{name}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn engine(scheme: ProtectionScheme, name: &str, cfg: &TpcbConfig) -> DaliEngine {
+        let mut c = DaliConfig::small(tmpdir(name)).with_scheme(scheme);
+        c.db_pages = cfg.required_pages(c.page_size);
+        let (db, _) = DaliEngine::create(c).unwrap();
+        db
+    }
+
+    #[test]
+    fn setup_populates_tables() {
+        let cfg = TpcbConfig::small();
+        let db = engine(ProtectionScheme::Baseline, "setup", &cfg);
+        let d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
+        let (a, t, b, h) = d.tables();
+        assert_eq!(db.record_count(a).unwrap(), cfg.accounts);
+        assert_eq!(db.record_count(t).unwrap(), cfg.tellers);
+        assert_eq!(db.record_count(b).unwrap(), cfg.branches);
+        assert_eq!(db.record_count(h).unwrap(), 0);
+        assert_eq!(d.verify_invariant().unwrap(), 0);
+    }
+
+    #[test]
+    fn ops_preserve_invariant() {
+        let cfg = TpcbConfig::small();
+        let db = engine(ProtectionScheme::DataCodeword, "inv", &cfg);
+        let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+        let stats = d.run_ops(200).unwrap();
+        assert_eq!(stats.ops, 200);
+        assert_eq!(stats.txns, 4);
+        d.verify_invariant().unwrap();
+        let (_, _, _, h) = d.tables();
+        assert_eq!(db.record_count(h).unwrap(), 200);
+        assert!(db.audit().unwrap().clean());
+    }
+
+    #[test]
+    fn runs_under_every_scheme() {
+        for scheme in ProtectionScheme::ALL {
+            let cfg = TpcbConfig::small();
+            let db = engine(scheme, &format!("all-{scheme:?}"), &cfg);
+            let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+            d.run_ops(60).unwrap();
+            d.verify_invariant()
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = TpcbConfig::small();
+        let db1 = engine(ProtectionScheme::Baseline, "det1", &cfg);
+        let mut d1 = TpcbDriver::setup(&db1, cfg.clone()).unwrap();
+        d1.run_ops(100).unwrap();
+        let v1 = d1.verify_invariant().unwrap();
+
+        let db2 = engine(ProtectionScheme::Baseline, "det2", &cfg);
+        let mut d2 = TpcbDriver::setup(&db2, cfg).unwrap();
+        d2.run_ops(100).unwrap();
+        assert_eq!(v1, d2.verify_invariant().unwrap());
+    }
+
+    #[test]
+    fn invariant_survives_crash_recovery() {
+        let cfg = TpcbConfig::small();
+        let dir = tmpdir("crashinv");
+        let mut dbcfg = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+        dbcfg.db_pages = cfg.required_pages(dbcfg.page_size);
+        let (db, _) = DaliEngine::create(dbcfg.clone()).unwrap();
+        let mut d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
+        d.run_ops(150).unwrap();
+        db.crash();
+
+        let (db, _) = DaliEngine::open(dbcfg).unwrap();
+        let d = TpcbDriver::attach(&db, cfg).unwrap();
+        d.verify_invariant().unwrap();
+    }
+
+    #[test]
+    fn required_pages_fits() {
+        let cfg = TpcbConfig::paper();
+        // ~23 MB of data → a few thousand 8K pages.
+        let pages = cfg.required_pages(8192);
+        assert!(pages > 2000 && pages < 5000, "{pages}");
+    }
+}

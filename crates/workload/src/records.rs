@@ -1,0 +1,124 @@
+//! TPC-B record layouts: 100 bytes per record (paper §5.2), word-aligned
+//! fields, remainder filler.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! offset  0: id      u64
+//! offset  8: balance i64            (the non-key field operations update)
+//! offset 16: kind    u32            (0 account, 1 teller, 2 branch, 3 history)
+//! offset 20: filler  [u8; 80]
+//! ```
+//!
+//! History records reuse the same size with a different interpretation:
+//!
+//! ```text
+//! offset  0: seq     u64
+//! offset  8: delta   i64
+//! offset 16: kind    u32 = 3
+//! offset 20: account u64
+//! offset 28: teller  u64
+//! offset 36: branch  u64
+//! offset 44: filler
+//! ```
+
+/// Record size used by every TPC-B table.
+pub const REC_SIZE: usize = 100;
+
+fn base(id: u64, balance: i64, kind: u32) -> Vec<u8> {
+    let mut v = vec![0u8; REC_SIZE];
+    v[0..8].copy_from_slice(&id.to_le_bytes());
+    v[8..16].copy_from_slice(&balance.to_le_bytes());
+    v[16..20].copy_from_slice(&kind.to_le_bytes());
+    // Deterministic filler so corrupted filler bytes are detectable too.
+    for (i, b) in v[20..].iter_mut().enumerate() {
+        *b = (id as u8).wrapping_add(i as u8).wrapping_mul(31);
+    }
+    v
+}
+
+/// Encode an account record.
+pub fn encode_account(id: u64, balance: i64) -> Vec<u8> {
+    base(id, balance, 0)
+}
+
+/// Encode a teller record.
+pub fn encode_teller(id: u64, balance: i64) -> Vec<u8> {
+    base(id, balance, 1)
+}
+
+/// Encode a branch record.
+pub fn encode_branch(id: u64, balance: i64) -> Vec<u8> {
+    base(id, balance, 2)
+}
+
+/// Encode a history record.
+pub fn encode_history(seq: u64, account: u64, teller: u64, branch: u64, delta: i64) -> Vec<u8> {
+    let mut v = base(seq, delta, 3);
+    v[20..28].copy_from_slice(&account.to_le_bytes());
+    v[28..36].copy_from_slice(&teller.to_le_bytes());
+    v[36..44].copy_from_slice(&branch.to_le_bytes());
+    v
+}
+
+/// The balance (or history delta) field of a record.
+pub fn balance_of(rec: &[u8]) -> i64 {
+    i64::from_le_bytes(rec[8..16].try_into().expect("record too short"))
+}
+
+/// The id (or history sequence) field of a record.
+pub fn id_of(rec: &[u8]) -> u64 {
+    u64::from_le_bytes(rec[0..8].try_into().expect("record too short"))
+}
+
+/// The kind tag of a record.
+pub fn kind_of(rec: &[u8]) -> u32 {
+    u32::from_le_bytes(rec[16..20].try_into().expect("record too short"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_fields() {
+        let r = encode_account(42, -1234);
+        assert_eq!(r.len(), REC_SIZE);
+        assert_eq!(id_of(&r), 42);
+        assert_eq!(balance_of(&r), -1234);
+        assert_eq!(kind_of(&r), 0);
+        assert_eq!(kind_of(&encode_teller(1, 0)), 1);
+        assert_eq!(kind_of(&encode_branch(1, 0)), 2);
+    }
+
+    #[test]
+    fn history_fields() {
+        let r = encode_history(7, 100, 200, 300, -5);
+        assert_eq!(id_of(&r), 7);
+        assert_eq!(balance_of(&r), -5);
+        assert_eq!(kind_of(&r), 3);
+        assert_eq!(u64::from_le_bytes(r[20..28].try_into().unwrap()), 100);
+        assert_eq!(u64::from_le_bytes(r[28..36].try_into().unwrap()), 200);
+        assert_eq!(u64::from_le_bytes(r[36..44].try_into().unwrap()), 300);
+    }
+
+    #[test]
+    fn filler_is_deterministic() {
+        assert_eq!(encode_account(9, 5), encode_account(9, 5));
+        assert_ne!(encode_account(9, 5), encode_account(10, 5));
+    }
+
+    #[test]
+    fn balance_update_changes_only_balance_bytes() {
+        let a = encode_account(3, 0);
+        let b = encode_account(3, 999);
+        let diff: Vec<usize> = a
+            .iter()
+            .zip(&b)
+            .enumerate()
+            .filter(|(_, (x, y))| x != y)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(diff.iter().all(|&i| (8..16).contains(&i)), "{diff:?}");
+    }
+}

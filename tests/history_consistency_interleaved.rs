@@ -1,0 +1,208 @@
+//! Second property test of §4.1 conflict-consistency, with a stronger
+//! transaction shape than `history_consistency.rs`: each transaction is a
+//! *sequence* of interleaved reads and writes, so a transaction can write
+//! cleanly **before** reading corrupt data. Those pre-taint writes are
+//! rolled back when the transaction is deleted, so any later transaction
+//! that read them must be quarantined too — the case §4.3's conflict
+//! check exists for.
+
+use dali::{
+    DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecId, RecoveryMode, TableId,
+};
+use proptest::prelude::*;
+
+const REC: usize = 128;
+const NRECS: usize = 10;
+
+#[derive(Clone, Debug)]
+enum Step {
+    Read(usize),
+    /// Write record, value derived from everything read so far (plus the
+    /// transaction tag).
+    Write(usize),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..NRECS).prop_map(Step::Read),
+        (0..NRECS).prop_map(Step::Write),
+    ]
+}
+
+#[derive(Clone, Debug)]
+struct Scenario {
+    txns: Vec<Vec<Step>>,
+    corrupt_after: usize,
+    victim: usize,
+    scheme_cw: bool,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (
+        proptest::collection::vec(proptest::collection::vec(step(), 1..5), 2..7),
+        0..5usize,
+        0..NRECS,
+        any::<bool>(),
+    )
+        .prop_map(|(txns, ca, victim, scheme_cw)| Scenario {
+            corrupt_after: ca.min(txns.len()),
+            txns,
+            victim,
+            scheme_cw,
+        })
+}
+
+fn initial(i: usize) -> Vec<u8> {
+    let mut v = vec![0u8; REC];
+    v[0..8].copy_from_slice(&(0xABC0u64 + i as u64).to_le_bytes());
+    v[16] = i as u8;
+    v
+}
+
+fn derived(tag: u64, step_no: usize, reads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = vec![0u8; REC];
+    out[0..8].copy_from_slice(&tag.to_le_bytes());
+    out[8..16].copy_from_slice(&(step_no as u64).to_le_bytes());
+    for r in reads {
+        for (o, b) in out.iter_mut().skip(16).zip(&r[16..]) {
+            *o ^= *b;
+        }
+    }
+    out
+}
+
+fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
+    let dir = std::env::temp_dir().join(format!(
+        "dali-hist2-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    let scheme = if s.scheme_cw {
+        ProtectionScheme::CwReadLogging
+    } else {
+        ProtectionScheme::ReadLogging
+    };
+    let config = DaliConfig::small(&dir).with_scheme(scheme);
+    let (db, _) = DaliEngine::create(config.clone()).unwrap();
+    let table: TableId = db.create_table("t", REC, 64).unwrap();
+    let setup = db.begin().unwrap();
+    let recs: Vec<RecId> = (0..NRECS)
+        .map(|i| setup.insert(table, &initial(i)).unwrap())
+        .collect();
+    setup.commit().unwrap();
+    db.checkpoint().unwrap();
+    prop_assert!(db.audit().unwrap().clean());
+
+    let inj = FaultInjector::new(&db);
+    let mut txn_ids = Vec::new();
+    let mut corrupted = false;
+    for (i, steps) in s.txns.iter().enumerate() {
+        if i == s.corrupt_after {
+            inj.wild_write_bytes(
+                db.record_addr(recs[s.victim]).unwrap().add(32),
+                &[0xDE, 0xAD, 0xBE, 0xEF],
+            )
+            .unwrap();
+            corrupted = true;
+        }
+        let txn = db.begin().unwrap();
+        txn_ids.push(txn.id());
+        let mut reads: Vec<Vec<u8>> = Vec::new();
+        for (sn, st) in steps.iter().enumerate() {
+            match st {
+                Step::Read(r) => reads.push(txn.read_vec(recs[*r]).unwrap()),
+                Step::Write(w) => txn
+                    .update(recs[*w], &derived(i as u64 + 1, sn, &reads))
+                    .unwrap(),
+            }
+        }
+        txn.commit().unwrap();
+    }
+    if !corrupted {
+        inj.wild_write_bytes(
+            db.record_addr(recs[s.victim]).unwrap().add(32),
+            &[0xDE, 0xAD, 0xBE, 0xEF],
+        )
+        .unwrap();
+    }
+
+    prop_assert!(!db.audit().unwrap().clean(), "wild write must be detected");
+    let (db, outcome) = DaliEngine::open(config).unwrap();
+    prop_assert_eq!(outcome.mode, RecoveryMode::DeleteTxn);
+
+    // Replay the delete history the engine chose: skip deleted txns,
+    // recompute surviving txns' writes from model values. The recovered
+    // image must match exactly (conflict-consistency, §4.1).
+    let deleted: std::collections::HashSet<usize> = (0..s.txns.len())
+        .filter(|i| outcome.deleted_txns.contains(&txn_ids[*i]))
+        .collect();
+    let mut model: Vec<Vec<u8>> = (0..NRECS).map(initial).collect();
+    for (i, steps) in s.txns.iter().enumerate() {
+        if deleted.contains(&i) {
+            continue;
+        }
+        let mut reads: Vec<Vec<u8>> = Vec::new();
+        for (sn, st) in steps.iter().enumerate() {
+            match st {
+                Step::Read(r) => reads.push(model[*r].clone()),
+                Step::Write(w) => model[*w] = derived(i as u64 + 1, sn, &reads),
+            }
+        }
+    }
+    // Minimal completeness: every txn that read the victim record after
+    // corruption must be deleted.
+    let mut dirty = std::collections::HashSet::new();
+    dirty.insert(s.victim);
+    for (i, steps) in s.txns.iter().enumerate().skip(s.corrupt_after) {
+        let mut tainted = false;
+        for st in steps {
+            match st {
+                Step::Read(r) if dirty.contains(r) => tainted = true,
+                Step::Write(w) if tainted => {
+                    dirty.insert(*w);
+                }
+                _ => {}
+            }
+        }
+        if tainted {
+            prop_assert!(
+                deleted.contains(&i),
+                "txn #{i} read corrupt data but survived ({:?})",
+                outcome.deleted_txns
+            );
+        }
+    }
+
+    let check = db.begin().unwrap();
+    for (i, rec) in recs.iter().enumerate() {
+        let got = check.read_vec(*rec).unwrap();
+        prop_assert_eq!(
+            &got,
+            &model[i],
+            "record {} diverges from the delete history (deleted={:?})",
+            i,
+            deleted
+        );
+    }
+    check.commit().unwrap();
+    prop_assert!(db.audit().unwrap().clean());
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 50,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn interleaved_histories_are_conflict_consistent(s in scenario()) {
+        run_scenario(&s)?;
+    }
+}

@@ -1,0 +1,95 @@
+//! Documents the known blind spot of XOR codewords: a wild write whose
+//! per-word XOR deltas cancel (e.g. a 4-byte-periodic pattern over
+//! word-aligned identical data) is invisible to the audit. The paper's
+//! schemes detect corruption only "with high probability" (§3); this is
+//! the residual miss case.
+
+use dali::{DaliConfig, DaliEngine, FaultInjector, ProtectionScheme};
+
+fn setup(name: &str) -> (DaliEngine, dali::RecId) {
+    let dir = std::env::temp_dir().join(format!(
+        "dali-parity-{name}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let t = db.create_table("t", 128, 64).unwrap();
+    let txn = db.begin().unwrap();
+    let rec = txn.insert(t, &vec![0u8; 128]).unwrap(); // uniform contents
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+    (db, rec)
+}
+
+#[test]
+fn periodic_pattern_over_uniform_data_cancels_in_the_codeword() {
+    let (db, rec) = setup("cancel");
+    let inj = FaultInjector::new(&db);
+    // Two words flipped identically: XOR parity unchanged — undetected.
+    let eff = inj
+        .wild_write(db.record_addr(rec).unwrap().add(32), 0xEE, 8)
+        .unwrap();
+    assert!(eff.landed());
+    assert!(
+        db.audit().unwrap().clean(),
+        "XOR parity cancellation: this corruption is in the scheme's blind spot"
+    );
+}
+
+#[test]
+fn matching_arithmetic_ramps_also_cancel() {
+    // Subtler variant: overwriting an arithmetic byte sequence with
+    // another arithmetic sequence of the same stride produces a constant
+    // per-byte delta, so all word deltas are equal and XOR-cancel in
+    // pairs. Single-word (4-byte) writes can never cancel.
+    let dir = std::env::temp_dir().join(format!("dali-parity-ramp-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let t = db.create_table("t", 128, 64).unwrap();
+    let txn = db.begin().unwrap();
+    let ramp: Vec<u8> = (0..128).map(|i| i as u8).collect();
+    let rec = txn.insert(t, &ramp).unwrap();
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+
+    let inj = FaultInjector::new(&db);
+    // 0xE0..0xE7 over 0x00..0x07: per-byte delta 0xE0 everywhere.
+    inj.wild_write_bytes(
+        db.record_addr(rec).unwrap(),
+        &[0xE0, 0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7],
+    )
+    .unwrap();
+    assert!(
+        db.audit().unwrap().clean(),
+        "same-stride ramp overwrite is in the blind spot"
+    );
+}
+
+#[test]
+fn non_periodic_pattern_is_always_detected() {
+    let (db, rec) = setup("detect");
+    let inj = FaultInjector::new(&db);
+    let eff = inj
+        .wild_write_bytes(
+            db.record_addr(rec).unwrap().add(32),
+            &[0xE1, 0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8],
+        )
+        .unwrap();
+    assert!(eff.landed());
+    assert!(!db.audit().unwrap().clean());
+}
+
+#[test]
+fn single_word_change_is_always_detected() {
+    let (db, rec) = setup("word");
+    let inj = FaultInjector::new(&db);
+    assert!(inj
+        .wild_write(db.record_addr(rec).unwrap().add(32), 0xEE, 4)
+        .unwrap()
+        .landed());
+    assert!(!db.audit().unwrap().clean());
+}
