@@ -46,5 +46,10 @@ fn bench_maintenance_vs_region_size(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fold, bench_delta, bench_maintenance_vs_region_size);
+criterion_group!(
+    benches,
+    bench_fold,
+    bench_delta,
+    bench_maintenance_vs_region_size
+);
 criterion_main!(benches);

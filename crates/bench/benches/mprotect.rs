@@ -32,7 +32,10 @@ fn bench_mprotect_pair(c: &mut Criterion) {
         let prot = PageProtector::new(Arc::clone(&image), real);
         prot.enable().unwrap();
         group.bench_function(
-            BenchmarkId::new("expose_reprotect", if real { "real" } else { "bitmap_only" }),
+            BenchmarkId::new(
+                "expose_reprotect",
+                if real { "real" } else { "bitmap_only" },
+            ),
             |b| {
                 b.iter(|| {
                     prot.expose(dali_common::DbAddr(100), 100).unwrap();

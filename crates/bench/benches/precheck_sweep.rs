@@ -28,7 +28,11 @@ fn bench_plain_read_reference(c: &mut Criterion) {
     let image = DbImage::new(16, 8192).unwrap();
     let mut buf = vec![0u8; 100];
     c.bench_function("plain_read_100B", |b| {
-        b.iter(|| image.read(DbAddr(4096), std::hint::black_box(&mut buf)).unwrap())
+        b.iter(|| {
+            image
+                .read(DbAddr(4096), std::hint::black_box(&mut buf))
+                .unwrap()
+        })
     });
 }
 

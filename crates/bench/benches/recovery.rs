@@ -24,7 +24,9 @@ fn prepare(scheme: ProtectionScheme, ops: usize, corrupt: bool, tag: &str) -> Da
         // Single-word pattern: immune to XOR parity cancellation (a
         // uniform multi-word pattern over a zero balance would cancel —
         // see tests/parity_blind_spot.rs).
-        db.raw_image().write(addr.add(8), &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        db.raw_image()
+            .write(addr.add(8), &[0xDE, 0xAD, 0xBE, 0xEF])
+            .unwrap();
         let txn = db.begin().unwrap();
         let dirty = txn.read_vec(victim).unwrap();
         let other = driver.random_account();

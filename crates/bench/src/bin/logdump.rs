@@ -71,11 +71,12 @@ fn render(rec: &LogRecord) -> String {
         LogRecord::OpBegin { txn, op, kind, rec } => {
             format!("OP-BEGIN    {txn} op{} {kind:?} {rec}", op.0)
         }
-        LogRecord::PhysicalRedo { txn, op, addr, data } => format!(
-            "REDO        {txn} op{} {addr}+{}",
-            op.0,
-            data.len()
-        ),
+        LogRecord::PhysicalRedo {
+            txn,
+            op,
+            addr,
+            data,
+        } => format!("REDO        {txn} op{} {addr}+{}", op.0, data.len()),
         LogRecord::ReadLog {
             txn,
             addr,
@@ -85,24 +86,26 @@ fn render(rec: &LogRecord) -> String {
             if codewords.is_empty() {
                 format!("READ        {txn} {addr}+{len}")
             } else {
-                format!(
-                    "READ        {txn} {addr}+{len} cw={:08x?}",
-                    codewords
-                )
+                format!("READ        {txn} {addr}+{len} cw={:08x?}", codewords)
             }
         }
-        LogRecord::OpCommit { txn, op, undo } =>
-
-            format!("OP-COMMIT   {txn} op{} undo {}", op.0, match undo {
+        LogRecord::OpCommit { txn, op, undo } => format!(
+            "OP-COMMIT   {txn} op{} undo {}",
+            op.0,
+            match undo {
                 dali_wal::record::LogicalUndo::HeapInsert { rec } => format!("delete {rec}"),
                 dali_wal::record::LogicalUndo::HeapDelete { rec, .. } => format!("reinsert {rec}"),
                 dali_wal::record::LogicalUndo::HeapUpdate { rec, .. } => format!("writeback {rec}"),
-            }),
+            }
+        ),
         LogRecord::TxnCommit { txn } => format!("COMMIT      {txn}"),
         LogRecord::TxnAbort { txn } => format!("ABORT       {txn}"),
         LogRecord::AuditBegin { audit_id } => format!("AUDIT-BEGIN #{audit_id}"),
         LogRecord::AuditEnd { audit_id, clean } => {
-            format!("AUDIT-END   #{audit_id} {}", if *clean { "clean" } else { "CORRUPT" })
+            format!(
+                "AUDIT-END   #{audit_id} {}",
+                if *clean { "clean" } else { "CORRUPT" }
+            )
         }
         LogRecord::CkptComplete { ckpt_lsn } => format!("CKPT        at {ckpt_lsn}"),
         LogRecord::CreateTable {

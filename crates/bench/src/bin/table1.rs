@@ -25,8 +25,8 @@ fn main() {
     for (platform, rate) in dali_bench::table1_paper_rows() {
         println!("{:<24} {:>14}", format!("{platform} (paper)"), fmt(rate));
     }
-    let measured = dali_mem::protect::measure_protect_pairs(pages, reps)
-        .expect("mprotect measurement failed");
+    let measured =
+        dali_mem::protect::measure_protect_pairs(pages, reps).expect("mprotect measurement failed");
     println!("{:<24} {:>14}", "this machine", fmt(measured));
     println!();
     println!(
@@ -43,7 +43,7 @@ fn fmt(rate: f64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

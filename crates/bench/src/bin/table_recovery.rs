@@ -74,11 +74,7 @@ fn main() {
             "{:>9} {:>14} {:>14} {:>16} {:>14.1}",
             carriers,
             outcome.deleted_txns.len(),
-            outcome
-                .corrupt_ranges
-                .iter()
-                .map(|(_, l)| l)
-                .sum::<usize>(),
+            outcome.corrupt_ranges.iter().map(|(_, l)| l).sum::<usize>(),
             outcome.records_scanned,
             elapsed
         );

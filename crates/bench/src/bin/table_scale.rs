@@ -1,0 +1,119 @@
+//! Thread-scaling sweep: the paper's Table 2 extended with a thread
+//! axis. Runs the concurrent TPC-B driver at 1/2/4/8 threads under
+//! Baseline, Data CW, Precheck, ReadLog and Deferred Maintenance, and
+//! emits a markdown table of ops/s (wall) with per-scheme speedups.
+//!
+//! Commits are durable (`sync_commit`) by default: that is the regime
+//! where extra threads help — workers overlap their commit fsyncs and
+//! piggyback on each other's — and where the latch-mode differences
+//! between schemes (shared for plain codeword maintenance, exclusive for
+//! prechecked reads) actually contend. `--no-sync` shows the pure-CPU
+//! regime instead, which on a single-core host cannot scale.
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin table_scale [-- options]
+//!
+//! Options:
+//!   --ops N          operations per cell (default 6000)
+//!   --reps N         interleaved repetitions per cell, median reported (default 3)
+//!   --threads LIST   comma-separated thread counts (default 1,2,4,8)
+//!   --scale paper    use the full paper-sized tables (default: scale config,
+//!                    10% tables, 10-op transactions)
+//!   --no-sync        buffered commits (no fsync)
+//!
+//! Set DALI_BENCH_VERBOSE=1 to print every repetition.
+
+use dali_bench::{format_scale_markdown, run_scale_sweep, scale_schemes};
+use dali_workload::TpcbConfig;
+
+const USAGE: &str = "usage: table_scale [--ops N] [--reps N] [--threads LIST] \
+                     [--scale paper|scale] [--no-sync]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut ops: usize = 6_000;
+    let mut reps: usize = 3;
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut wl = TpcbConfig::scale();
+    let mut sync_commit = true;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => {
+                ops = value(&mut args, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--reps" => {
+                reps = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps must be a number"));
+            }
+            "--threads" => {
+                threads = value(&mut args, "--threads")
+                    .split(',')
+                    .map(|t| {
+                        t.trim()
+                            .parse()
+                            .unwrap_or_else(|_| fail("--threads must be comma-separated numbers"))
+                    })
+                    .collect();
+            }
+            "--scale" => {
+                wl = match value(&mut args, "--scale").as_str() {
+                    "paper" => TpcbConfig::paper(),
+                    "scale" => TpcbConfig::scale(),
+                    other => fail(&format!("unknown --scale '{other}' (paper|scale)")),
+                };
+            }
+            "--no-sync" => sync_commit = false,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if ops == 0 || reps == 0 {
+        fail("--ops and --reps must be positive");
+    }
+    if threads.is_empty() {
+        fail("--threads needs at least one count");
+    }
+    // The driver partitions branch rows across workers, so a worker count
+    // above the branch count cannot be satisfied.
+    if let Some(&bad) = threads.iter().find(|&&t| t == 0 || t > wl.branches) {
+        fail(&format!(
+            "thread count {bad} out of range (1..={} branches)",
+            wl.branches
+        ));
+    }
+    let schemes = scale_schemes();
+
+    println!("Thread scaling: TPC-B ops/s vs worker threads");
+    println!(
+        "({} accounts / {} tellers / {} branches, {} ops per cell x {} reps \
+         (interleaved, median), {} ops/txn, durable commits: {})\n",
+        wl.accounts, wl.tellers, wl.branches, ops, reps, wl.ops_per_txn, sync_commit
+    );
+    eprintln!(
+        "running {} schemes x {:?} threads x {reps} reps; \
+         use --ops 2000 --reps 1 for a quick pass",
+        schemes.len(),
+        threads
+    );
+
+    // Warmup pass, discarded (page cache, frequency ramp).
+    let _ = dali_bench::run_scale_cell(schemes[0], &wl, threads[0], ops, sync_commit);
+    let cells = run_scale_sweep(&schemes, &wl, &threads, ops, sync_commit, reps);
+    println!("{}", format_scale_markdown(&schemes, &threads, &cells));
+}

@@ -54,14 +54,54 @@ impl SchemeSpec {
 pub fn table2_specs() -> Vec<SchemeSpec> {
     use ProtectionScheme::*;
     vec![
-        SchemeSpec { scheme: Baseline, region_size: 64, paper_ops_per_sec: 417.0, paper_pct_slower: 0.0 },
-        SchemeSpec { scheme: DataCodeword, region_size: 64, paper_ops_per_sec: 380.0, paper_pct_slower: 8.5 },
-        SchemeSpec { scheme: ReadPrecheck, region_size: 64, paper_ops_per_sec: 366.0, paper_pct_slower: 12.2 },
-        SchemeSpec { scheme: ReadLogging, region_size: 64, paper_ops_per_sec: 345.0, paper_pct_slower: 17.1 },
-        SchemeSpec { scheme: CwReadLogging, region_size: 64, paper_ops_per_sec: 323.0, paper_pct_slower: 22.4 },
-        SchemeSpec { scheme: ReadPrecheck, region_size: 512, paper_ops_per_sec: 311.0, paper_pct_slower: 25.4 },
-        SchemeSpec { scheme: MemoryProtection, region_size: 64, paper_ops_per_sec: 257.0, paper_pct_slower: 38.2 },
-        SchemeSpec { scheme: ReadPrecheck, region_size: 8192, paper_ops_per_sec: 115.0, paper_pct_slower: 72.4 },
+        SchemeSpec {
+            scheme: Baseline,
+            region_size: 64,
+            paper_ops_per_sec: 417.0,
+            paper_pct_slower: 0.0,
+        },
+        SchemeSpec {
+            scheme: DataCodeword,
+            region_size: 64,
+            paper_ops_per_sec: 380.0,
+            paper_pct_slower: 8.5,
+        },
+        SchemeSpec {
+            scheme: ReadPrecheck,
+            region_size: 64,
+            paper_ops_per_sec: 366.0,
+            paper_pct_slower: 12.2,
+        },
+        SchemeSpec {
+            scheme: ReadLogging,
+            region_size: 64,
+            paper_ops_per_sec: 345.0,
+            paper_pct_slower: 17.1,
+        },
+        SchemeSpec {
+            scheme: CwReadLogging,
+            region_size: 64,
+            paper_ops_per_sec: 323.0,
+            paper_pct_slower: 22.4,
+        },
+        SchemeSpec {
+            scheme: ReadPrecheck,
+            region_size: 512,
+            paper_ops_per_sec: 311.0,
+            paper_pct_slower: 25.4,
+        },
+        SchemeSpec {
+            scheme: MemoryProtection,
+            region_size: 64,
+            paper_ops_per_sec: 257.0,
+            paper_pct_slower: 38.2,
+        },
+        SchemeSpec {
+            scheme: ReadPrecheck,
+            region_size: 8192,
+            paper_ops_per_sec: 115.0,
+            paper_pct_slower: 72.4,
+        },
     ]
 }
 
@@ -112,11 +152,7 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
 }
 
 /// Build an engine + populated TPC-B driver for one scheme row.
-pub fn setup_engine(
-    spec: &SchemeSpec,
-    wl: &TpcbConfig,
-    tag: &str,
-) -> (DaliEngine, TpcbDriver) {
+pub fn setup_engine(spec: &SchemeSpec, wl: &TpcbConfig, tag: &str) -> (DaliEngine, TpcbDriver) {
     let mut config = DaliConfig::small(scratch_dir(tag)).with_scheme(spec.scheme);
     config.region_size = spec.region_size;
     config.db_pages = wl.required_pages(config.page_size);
@@ -129,12 +165,7 @@ pub fn setup_engine(
 
 /// Run one Table 2 repetition: `ops` operations with a mid-run checkpoint
 /// (logging and checkpointing on, as in the paper's runs).
-pub fn run_row(
-    spec: &SchemeSpec,
-    wl: &TpcbConfig,
-    ops: usize,
-    checkpoint: bool,
-) -> RowMeasurement {
+pub fn run_row(spec: &SchemeSpec, wl: &TpcbConfig, ops: usize, checkpoint: bool) -> RowMeasurement {
     let (db, mut driver) = setup_engine(
         spec,
         wl,
@@ -223,7 +254,10 @@ pub fn run_rows_interleaved(
 pub fn run_table2(wl: &TpcbConfig, ops: usize, checkpoint: bool, reps: usize) -> Vec<Table2Row> {
     let specs = table2_specs();
     let _ = run_row(&specs[0], wl, ops, checkpoint); // warmup, discarded
-    build_rows(specs.clone(), run_rows_interleaved(&specs, wl, ops, checkpoint, reps))
+    build_rows(
+        specs.clone(),
+        run_rows_interleaved(&specs, wl, ops, checkpoint, reps),
+    )
 }
 
 /// Pair specs with measurements and compute slowdowns against the
@@ -255,6 +289,145 @@ pub fn deferred_spec() -> SchemeSpec {
         paper_ops_per_sec: f64::NAN,
         paper_pct_slower: f64::NAN,
     }
+}
+
+/// Schemes swept by the thread-scaling harness (`table_scale`), all with
+/// the paper's 64-byte regions.
+pub fn scale_schemes() -> Vec<ProtectionScheme> {
+    use ProtectionScheme::*;
+    vec![
+        Baseline,
+        DataCodeword,
+        ReadPrecheck,
+        ReadLogging,
+        DeferredMaintenance,
+    ]
+}
+
+/// One measured cell of the thread-scaling table.
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleCell {
+    pub wall_ops_per_sec: f64,
+    pub cpu_us_per_op: f64,
+    /// Transactions re-run after lock denials (expected 0: TPC-B worker
+    /// partitions are disjoint).
+    pub retries: usize,
+}
+
+/// Measure one (scheme, threads) cell: fresh engine, populated TPC-B
+/// tables, `ops` operations split across `threads` workers.
+///
+/// Durable commits (`sync_commit`) are the interesting regime for
+/// scaling: with them off the workload is pure CPU and cannot beat one
+/// thread on a single-core host; with them on, worker threads overlap
+/// their commit fsyncs (and piggyback on each other's), which is where
+/// the extra threads pay off.
+pub fn run_scale_cell(
+    scheme: ProtectionScheme,
+    wl: &TpcbConfig,
+    threads: usize,
+    ops: usize,
+    sync_commit: bool,
+) -> ScaleCell {
+    let mut config =
+        DaliConfig::small(scratch_dir(&format!("scale-{scheme:?}-{threads}"))).with_scheme(scheme);
+    config.db_pages = wl.required_pages(config.page_size);
+    config.sync_commit = sync_commit;
+    let (db, _) = DaliEngine::create(config).expect("create db");
+    let mut driver = TpcbDriver::setup(&db, wl.clone()).expect("populate");
+    let stats = driver.run_concurrent(threads, ops).expect("concurrent run");
+    driver.verify_invariant().expect("invariant");
+    let dir = db.config().dir.clone();
+    drop(driver);
+    drop(db);
+    let _ = std::fs::remove_dir_all(dir);
+    ScaleCell {
+        wall_ops_per_sec: stats.ops_per_sec(),
+        cpu_us_per_op: stats.cpu_us_per_op(),
+        retries: stats.retries,
+    }
+}
+
+/// Run the thread-scaling sweep with repetitions interleaved round-robin
+/// across cells (host drift hits every cell equally); returns the
+/// per-cell median by wall throughput, indexed `[scheme][thread]`.
+pub fn run_scale_sweep(
+    schemes: &[ProtectionScheme],
+    wl: &TpcbConfig,
+    threads: &[usize],
+    ops: usize,
+    sync_commit: bool,
+    reps: usize,
+) -> Vec<Vec<ScaleCell>> {
+    let verbose = std::env::var_os("DALI_BENCH_VERBOSE").is_some();
+    let mut samples: Vec<Vec<Vec<ScaleCell>>> =
+        vec![vec![Vec::new(); threads.len()]; schemes.len()];
+    for rep in 0..reps.max(1) {
+        for (i, &scheme) in schemes.iter().enumerate() {
+            for (j, &t) in threads.iter().enumerate() {
+                let cell = run_scale_cell(scheme, wl, t, ops, sync_commit);
+                if verbose {
+                    eprintln!(
+                        "  rep {rep} {:<22} {t} thr: {:>9.0} ops/s  {:>6.1} cpu-us/op",
+                        scheme.label(64),
+                        cell.wall_ops_per_sec,
+                        cell.cpu_us_per_op
+                    );
+                }
+                samples[i][j].push(cell);
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|mut reps| {
+                    reps.sort_by(|a, b| {
+                        a.wall_ops_per_sec.partial_cmp(&b.wall_ops_per_sec).unwrap()
+                    });
+                    reps[reps.len() / 2]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Render a scale sweep as a markdown table: ops/s per thread count with
+/// the speedup over the scheme's own 1-thread cell in parentheses.
+pub fn format_scale_markdown(
+    schemes: &[ProtectionScheme],
+    threads: &[usize],
+    cells: &[Vec<ScaleCell>],
+) -> String {
+    let mut out = String::new();
+    out.push_str("| Scheme |");
+    for t in threads {
+        out.push_str(&format!(" {t} thr |"));
+    }
+    out.push_str(&format!(" cpu µs/op ({} thr) |\n|:--|", threads[0]));
+    for _ in threads {
+        out.push_str("--:|");
+    }
+    out.push_str("--:|\n");
+    for (i, &scheme) in schemes.iter().enumerate() {
+        out.push_str(&format!("| {} |", scheme.label(64)));
+        let base = cells[i][0].wall_ops_per_sec;
+        for (j, _) in threads.iter().enumerate() {
+            let c = &cells[i][j];
+            if j == 0 {
+                out.push_str(&format!(" {:.0} |", c.wall_ops_per_sec));
+            } else {
+                out.push_str(&format!(
+                    " {:.0} ({:.2}x) |",
+                    c.wall_ops_per_sec,
+                    c.wall_ops_per_sec / base
+                ));
+            }
+        }
+        out.push_str(&format!(" {:.1} |\n", cells[i][0].cpu_us_per_op));
+    }
+    out
 }
 
 /// Paper Table 1 reference rows: platform, pairs/second (1998 hardware).

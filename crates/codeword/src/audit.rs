@@ -180,15 +180,12 @@ mod tests {
         // Corrupt page 0 and page 2.
         image.write(DbAddr(10), &[1]).unwrap();
         image.write(DbAddr(2 * 4096 + 10), &[1]).unwrap();
-        let report =
-            audit_pages(&image, &geom, &table, &latches, &[PageId(0)]).unwrap();
+        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(0)]).unwrap();
         assert_eq!(report.corrupt.len(), 1);
         assert_eq!(report.regions_checked, 4096 / 64);
-        let report =
-            audit_pages(&image, &geom, &table, &latches, &[PageId(1)]).unwrap();
+        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(1)]).unwrap();
         assert!(report.clean());
-        let report =
-            audit_pages(&image, &geom, &table, &latches, &[PageId(0), PageId(2)]).unwrap();
+        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(0), PageId(2)]).unwrap();
         assert_eq!(report.corrupt.len(), 2);
     }
 

@@ -24,7 +24,7 @@ use dali_common::align::WORD;
 #[inline]
 pub fn fold(bytes: &[u8]) -> u32 {
     debug_assert!(
-        bytes.len() % WORD == 0,
+        bytes.len().is_multiple_of(WORD),
         "fold over unaligned length {}",
         bytes.len()
     );

@@ -6,7 +6,8 @@
 //! | Scheme | update latch | read path |
 //! |---|---|---|
 //! | Baseline / MemoryProtection | none | plain copy |
-//! | DataCodeword / ReadLogging / CwReadLogging | shared | plain copy (+ read log in the engine) |
+//! | DataCodeword / ReadLogging | shared | plain copy (+ read log in the engine) |
+//! | CwReadLogging | exclusive (write-as-read folds the whole region) | plain copy + read log with codewords |
 //! | DeferredMaintenance | none (audits quiesce updates globally) | plain copy |
 //! | ReadPrecheck | exclusive | [`checked_read`](CodewordProtection::checked_read) |
 //!
@@ -93,6 +94,11 @@ impl CodewordProtection {
     pub fn update_latch_mode(&self) -> LatchMode {
         match self.scheme {
             ProtectionScheme::ReadPrecheck => LatchMode::Exclusive,
+            // CW ReadLogging treats every write as a read (§4.3): the
+            // write-as-read record's codeword is a fold of the *whole*
+            // pre-update region, which only describes a consistent state
+            // if no other updater is mutating the region mid-fold.
+            ProtectionScheme::CwReadLogging => LatchMode::Exclusive,
             // Deferred maintenance audits quiesce updates globally, so
             // updaters need no per-region latch at all — that is the
             // scheme's point.
@@ -157,12 +163,7 @@ impl CodewordProtection {
     /// deltas are self-inverse — provided as a named alias for clarity at
     /// call sites.
     #[inline]
-    pub fn unapply_update(
-        &self,
-        image: &DbImage,
-        waddr: DbAddr,
-        old_widened: &[u8],
-    ) -> Result<()> {
+    pub fn unapply_update(&self, image: &DbImage, waddr: DbAddr, old_widened: &[u8]) -> Result<()> {
         self.apply_update(image, waddr, old_widened)
     }
 
@@ -214,6 +215,12 @@ impl CodewordProtection {
     /// Compute the contents codewords of the regions overlapping
     /// `[addr, addr+len)` under an exclusive latch span (the write-as-read
     /// record of the CW ReadLog scheme).
+    ///
+    /// Callers that already hold the span — an updater inside its
+    /// beginUpdate/endUpdate bracket (the latches are not reentrant), or
+    /// single-threaded recovery — must use
+    /// [`compute_region_codewords`](Self::compute_region_codewords)
+    /// instead.
     pub fn snapshot_region_codewords(
         &self,
         image: &DbImage,
@@ -221,9 +228,12 @@ impl CodewordProtection {
         len: usize,
     ) -> Result<Vec<u32>> {
         let (first, last) = self.geom.region_span(addr, len);
-        (first..=last)
-            .map(|r| image.xor_fold(self.geom.region_base(r), self.geom.region_size()))
-            .collect()
+        self.latches
+            .with_span(first, last, LatchMode::Exclusive, || {
+                (first..=last)
+                    .map(|r| image.xor_fold(self.geom.region_base(r), self.geom.region_size()))
+                    .collect()
+            })
     }
 
     /// Audit the whole database (region-by-region, latched).
@@ -249,8 +259,9 @@ impl CodewordProtection {
     }
 
     /// Compute the codeword of the region containing `addr` directly from
-    /// the image (recovery-time helper for the CW ReadLog comparison; no
-    /// latching — recovery is single-threaded).
+    /// the image, with no latching. For callers that are single-threaded
+    /// (recovery) or already hold an exclusive span over the regions (an
+    /// updater inside its beginUpdate/endUpdate bracket).
     pub fn compute_region_codewords(
         &self,
         image: &DbImage,
@@ -312,7 +323,7 @@ mod tests {
     fn unaligned_cross_region_update_maintains_all_regions() {
         let (image, prot) = setup(ProtectionScheme::DataCodeword);
         // 3 regions: [64..128), [128..192), [192..256); update 100..=200.
-        prescribed_update(&image, &prot, DbAddr(101), &vec![0xabu8; 100]);
+        prescribed_update(&image, &prot, DbAddr(101), &[0xabu8; 100]);
         assert!(prot.audit(&image).unwrap().clean());
     }
 
@@ -323,7 +334,9 @@ mod tests {
         // Stray write bypassing the interface:
         image.write(DbAddr(130), &[0xff]).unwrap();
         let mut buf = [0u8; 8];
-        let err = prot.checked_read(&image, DbAddr(128), &mut buf).unwrap_err();
+        let err = prot
+            .checked_read(&image, DbAddr(128), &mut buf)
+            .unwrap_err();
         assert!(matches!(err, DaliError::CorruptionDetected { .. }));
     }
 
@@ -340,7 +353,9 @@ mod tests {
         let (image, prot) = setup(ProtectionScheme::CwReadLogging);
         prescribed_update(&image, &prot, DbAddr(60), &[5u8; 10]);
         let mut buf = [0u8; 10];
-        let cws = prot.read_with_codewords(&image, DbAddr(60), &mut buf).unwrap();
+        let cws = prot
+            .read_with_codewords(&image, DbAddr(60), &mut buf)
+            .unwrap();
         assert_eq!(cws.len(), 2);
         assert_eq!(buf, [5u8; 10]);
         let computed = prot
@@ -385,8 +400,8 @@ mod tests {
         assert_eq!(prot.deferred_len(), 1);
         // Without draining, the table is stale: a raw sweep would flag the
         // region. (audit_all used directly to bypass the engine's drain.)
-        let raw = crate::audit::audit_all(&image, prot.geometry(), prot.table(), prot.latches())
-            .unwrap();
+        let raw =
+            crate::audit::audit_all(&image, prot.geometry(), prot.table(), prot.latches()).unwrap();
         assert!(!raw.clean(), "queued delta not yet applied");
         prot.drain_deferred();
         assert_eq!(prot.deferred_len(), 0);

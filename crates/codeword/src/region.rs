@@ -28,7 +28,7 @@ impl RegionGeometry {
                 "region size {region_size} must be a power of two >= 4"
             )));
         }
-        if total_bytes % region_size != 0 || total_bytes == 0 {
+        if !total_bytes.is_multiple_of(region_size) || total_bytes == 0 {
             return Err(DaliError::InvalidArg(format!(
                 "total bytes {total_bytes} not a positive multiple of region size {region_size}"
             )));

@@ -8,8 +8,8 @@
 //! the protection latch exclusively (an auditor or a prechecking reader).
 
 use crate::region::{RegionGeometry, RegionId};
-use dali_mem::DbImage;
 use dali_common::Result;
+use dali_mem::DbImage;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Maintained codewords for every protection region of an image.
@@ -150,15 +150,9 @@ mod tests {
     fn recompute_region_fixes_mismatch() {
         let (image, geom, t) = setup();
         image.write(DbAddr(0), &[0xff; 4]).unwrap(); // "wild write"
-        assert_ne!(
-            t.get(0),
-            image.xor_fold(geom.region_base(0), 64).unwrap()
-        );
+        assert_ne!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
         t.recompute_region(&image, &geom, 0).unwrap();
-        assert_eq!(
-            t.get(0),
-            image.xor_fold(geom.region_base(0), 64).unwrap()
-        );
+        assert_eq!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
     }
 
     #[test]

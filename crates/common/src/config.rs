@@ -218,7 +218,10 @@ impl DaliConfig {
     /// problem found.
     pub fn validate(&self) -> std::result::Result<(), String> {
         if !self.page_size.is_power_of_two() || self.page_size < 512 {
-            return Err(format!("page_size {} must be a power of two >= 512", self.page_size));
+            return Err(format!(
+                "page_size {} must be a power of two >= 512",
+                self.page_size
+            ));
         }
         if self.db_pages == 0 {
             return Err("db_pages must be positive".into());
@@ -249,7 +252,13 @@ mod tests {
         use ProtectionScheme::*;
         assert!(!Baseline.maintains_codewords());
         assert!(!MemoryProtection.maintains_codewords());
-        for s in [DataCodeword, DeferredMaintenance, ReadPrecheck, ReadLogging, CwReadLogging] {
+        for s in [
+            DataCodeword,
+            DeferredMaintenance,
+            ReadPrecheck,
+            ReadLogging,
+            CwReadLogging,
+        ] {
             assert!(s.maintains_codewords(), "{s:?}");
         }
         assert!(DeferredMaintenance.defers_maintenance());

@@ -111,7 +111,7 @@ mod tests {
 
     #[test]
     fn io_error_converts_and_sources() {
-        let e: DaliError = io::Error::new(io::ErrorKind::Other, "boom").into();
+        let e: DaliError = io::Error::other("boom").into();
         assert!(matches!(e, DaliError::Io(_)));
         use std::error::Error;
         assert!(e.source().is_some());

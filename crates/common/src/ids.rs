@@ -43,6 +43,7 @@ pub struct DbAddr(pub usize);
 impl DbAddr {
     /// Address advanced by `n` bytes.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: usize) -> DbAddr {
         DbAddr(self.0 + n)
     }
@@ -84,6 +85,7 @@ impl Lsn {
 
     /// LSN advanced by `n` bytes.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, n: u64) -> Lsn {
         Lsn(self.0 + n)
     }
@@ -167,9 +169,6 @@ mod tests {
         assert_eq!(PageId(3).to_string(), "P3");
         assert_eq!(DbAddr(255).to_string(), "@0xff");
         assert_eq!(TxnId(9).to_string(), "T9");
-        assert_eq!(
-            RecId::new(TableId(2), SlotId(7)).to_string(),
-            "tbl2:7"
-        );
+        assert_eq!(RecId::new(TableId(2), SlotId(7)).to_string(), "tbl2:7");
     }
 }

@@ -194,8 +194,8 @@ impl Att {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dali_wal::record::LogicalUndo;
     use dali_common::{SlotId, TableId};
+    use dali_wal::record::LogicalUndo;
 
     #[test]
     fn insert_get_remove() {
@@ -225,7 +225,8 @@ mod tests {
             let st = att.insert(TxnId(7));
             let mut g = st.lock();
             g.next_op = 3;
-            g.undo.push_physical(OpSeq(2), DbAddr(100), vec![1, 2, 3, 4]);
+            g.undo
+                .push_physical(OpSeq(2), DbAddr(100), vec![1, 2, 3, 4]);
             g.undo.seal_top_physical(OpSeq(2)).unwrap();
             g.undo.commit_op(
                 OpSeq(2),

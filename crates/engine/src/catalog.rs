@@ -149,9 +149,7 @@ impl HeapMeta {
                 records_per_page,
                 page_size,
                 ..
-            } => {
-                self.capacity.div_ceil(records_per_page as usize) * page_size as usize
-            }
+            } => self.capacity.div_ceil(records_per_page as usize) * page_size as usize,
         }
     }
 
@@ -274,9 +272,11 @@ impl Catalog {
         colocate: bool,
     ) -> Result<HeapMeta> {
         if self.by_name.contains_key(name) {
-            return Err(DaliError::InvalidArg(format!("table '{name}' already exists")));
+            return Err(DaliError::InvalidArg(format!(
+                "table '{name}' already exists"
+            )));
         }
-        if rec_size == 0 || rec_size % 4 != 0 {
+        if rec_size == 0 || !rec_size.is_multiple_of(4) {
             return Err(DaliError::InvalidArg(format!(
                 "record size {rec_size} must be a positive multiple of 4"
             )));

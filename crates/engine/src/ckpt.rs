@@ -200,6 +200,7 @@ fn write_pages(
 ) -> Result<()> {
     let mut f = OpenOptions::new()
         .create(true)
+        .truncate(false) // partial page set: keep the untouched pages
         .write(true)
         .open(Db::img_path(dir, image))?;
     f.set_len(db_bytes as u64)?;
@@ -305,7 +306,8 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
     state.next_image = 1 - image;
     {
         let _q = db.quiesce.read();
-        db.syslog.append(&LogRecord::CkptComplete { ckpt_lsn: ck_end });
+        db.syslog
+            .append(&LogRecord::CkptComplete { ckpt_lsn: ck_end });
     }
     db.syslog.flush(false)?;
     EngineStats::bump(&db.stats.checkpoints);
@@ -474,10 +476,7 @@ mod tests {
     fn pages_round_trip() {
         let d = tmpdir("pages");
         let ps = 4096;
-        let pages = vec![
-            (PageId(0), vec![1u8; ps]),
-            (PageId(3), vec![3u8; ps]),
-        ];
+        let pages = vec![(PageId(0), vec![1u8; ps]), (PageId(3), vec![3u8; ps])];
         write_pages(&d, 0, ps, ps * 8, &pages).unwrap();
         let bytes = load_image_bytes(&d, 0, ps * 8).unwrap();
         assert!(bytes[..ps].iter().all(|&b| b == 1));
@@ -496,7 +495,10 @@ mod tests {
         write_pages(&d, 0, ps, ps * 4, &[(PageId(1), vec![7u8; ps])]).unwrap();
         write_pages(&d, 0, ps, ps * 4, &[(PageId(2), vec![9u8; ps])]).unwrap();
         let bytes = load_image_bytes(&d, 0, ps * 4).unwrap();
-        assert!(bytes[ps..2 * ps].iter().all(|&b| b == 7), "page 1 preserved");
+        assert!(
+            bytes[ps..2 * ps].iter().all(|&b| b == 7),
+            "page 1 preserved"
+        );
         assert!(bytes[2 * ps..3 * ps].iter().all(|&b| b == 9));
     }
 }

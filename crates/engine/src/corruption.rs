@@ -83,10 +83,7 @@ impl RangeSet {
 
     /// The ranges as `(addr, len)` pairs.
     pub fn ranges(&self) -> Vec<(DbAddr, usize)> {
-        self.map
-            .iter()
-            .map(|(&s, &e)| (DbAddr(s), e - s))
-            .collect()
+        self.map.iter().map(|(&s, &e)| (DbAddr(s), e - s)).collect()
     }
 
     /// Total bytes covered.
@@ -247,8 +244,7 @@ pub fn cache_repair(db: &std::sync::Arc<Db>, ranges: &[(DbAddr, usize)]) -> Resu
     // Rebuild from the certified checkpoint...
     let (image_idx, _serial) = ckpt::read_anchor(&db.config.dir)?;
     let meta = ckpt::read_meta(&db.config.dir, image_idx)?;
-    let ckpt_pages =
-        ckpt::read_ckpt_pages(&db.config.dir, image_idx, db.config.page_size, &pages)?;
+    let ckpt_pages = ckpt::read_ckpt_pages(&db.config.dir, image_idx, db.config.page_size, &pages)?;
     for (p, data) in &ckpt_pages {
         db.image.write_page(*p, data)?;
     }
@@ -279,9 +275,7 @@ pub fn cache_repair(db: &std::sync::Arc<Db>, ranges: &[(DbAddr, usize)]) -> Resu
             let base = p.base(db.config.page_size);
             let (first, last) = geom.region_span(base, db.config.page_size);
             for r in first..=last {
-                db.prot
-                    .table()
-                    .recompute_region(&db.image, geom, r)?;
+                db.prot.table().recompute_region(&db.image, geom, r)?;
             }
         }
     }

@@ -111,11 +111,19 @@ impl Db {
     }
 
     pub fn img_path(dir: &std::path::Path, image: usize) -> PathBuf {
-        dir.join(if image == 0 { "ckpt_a.img" } else { "ckpt_b.img" })
+        dir.join(if image == 0 {
+            "ckpt_a.img"
+        } else {
+            "ckpt_b.img"
+        })
     }
 
     pub fn meta_path(dir: &std::path::Path, image: usize) -> PathBuf {
-        dir.join(if image == 0 { "ckpt_a.meta" } else { "ckpt_b.meta" })
+        dir.join(if image == 0 {
+            "ckpt_a.meta"
+        } else {
+            "ckpt_b.meta"
+        })
     }
 
     pub fn anchor_path(dir: &std::path::Path) -> PathBuf {

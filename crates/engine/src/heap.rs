@@ -170,9 +170,7 @@ mod tests {
     fn setup(cap: usize) -> (DbImage, HeapRuntime) {
         let image = DbImage::new(64, 4096).unwrap();
         let mut cat = Catalog::new();
-        let meta = cat
-            .plan_table("t", 8, cap, 4096, image.len())
-            .unwrap();
+        let meta = cat.plan_table("t", 8, cap, 4096, image.len()).unwrap();
         cat.register(meta.clone()).unwrap();
         (image, HeapRuntime::new(meta))
     }

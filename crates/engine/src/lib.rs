@@ -133,12 +133,7 @@ impl DaliEngine {
     /// `rec_size` must be a multiple of 4 (records are word-aligned for
     /// codeword maintenance). Allocation bitmaps get their own pages,
     /// separate from record data (the Dali layout, paper §2).
-    pub fn create_table(
-        &self,
-        name: &str,
-        rec_size: usize,
-        capacity: usize,
-    ) -> Result<TableId> {
+    pub fn create_table(&self, name: &str, rec_size: usize, capacity: usize) -> Result<TableId> {
         self.db.check_alive()?;
         let _q = self.db.quiesce.read();
         let mut catalog = self.db.catalog.write();

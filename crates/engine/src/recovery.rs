@@ -48,6 +48,10 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64};
 use std::sync::Arc;
 
+/// Physical redo buffered per (transaction, operation) until the
+/// operation's commit record arrives.
+type PendingWrites = HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>>;
+
 /// How the database was brought up.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum RecoveryMode {
@@ -146,9 +150,7 @@ pub(crate) fn build_db(
 
 /// Create a fresh database in `config.dir`.
 pub fn create(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
-    config
-        .validate()
-        .map_err(DaliError::InvalidArg)?;
+    config.validate().map_err(DaliError::InvalidArg)?;
     std::fs::create_dir_all(&config.dir)?;
     let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
     let syslog = SystemLog::create(Db::log_path(&config.dir), config.page_size)?;
@@ -176,9 +178,7 @@ pub fn create(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
 /// Open an existing database: restart recovery (normal or corruption
 /// mode).
 pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
-    config
-        .validate()
-        .map_err(DaliError::InvalidArg)?;
+    config.validate().map_err(DaliError::InvalidArg)?;
     let dir = config.dir.clone();
     let (image_idx, serial) = ckpt::read_anchor(&dir)?;
     let meta = ckpt::read_meta(&dir, image_idx)?;
@@ -226,7 +226,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     // Audit_SN if it is inside the scan, otherwise right at the start.
     let audit_sn = marker.as_ref().and_then(|m| m.audit_sn);
     let mut marker_ranges_pending = corruption_mode && !use_codewords;
-    if marker_ranges_pending && audit_sn.map_or(true, |sn| sn <= meta.ck_end) {
+    if marker_ranges_pending && audit_sn.is_none_or(|sn| sn <= meta.ck_end) {
         seed_marker_ranges(&mut cdt, &marker);
         marker_ranges_pending = false;
     }
@@ -243,8 +243,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     // — applying it would write bytes that no undo information covers.
     // (Compensation records of an abort are terminated by the TxnAbort
     // record of the same batch instead.)
-    let mut pending_writes: HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>> =
-        HashMap::new();
+    let mut pending_writes: PendingWrites = HashMap::new();
 
     // Taint a transaction: freeze its undo log (subsequent logical records
     // are ignored) and protect its undo targets from later interference.
@@ -260,8 +259,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
                         dali_wal::UndoKind::Logical(u) => {
                             let target = u.target();
                             if let Ok(meta) = catalog.get(target.table) {
-                                ctt_undo_ranges
-                                    .insert(meta.slot_addr(target.slot), meta.rec_size);
+                                ctt_undo_ranges.insert(meta.slot_addr(target.slot), meta.rec_size);
                             }
                         }
                         dali_wal::UndoKind::Physical { addr, before, .. } => {
@@ -281,10 +279,12 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         }
         match rec {
             LogRecord::TxnBegin { txn } => {
-                att.entry(txn).or_insert_with(|| TxnState::new_for_recovery(txn));
+                att.entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
             }
             LogRecord::OpBegin { txn, rec, .. } => {
-                att.entry(txn).or_insert_with(|| TxnState::new_for_recovery(txn));
+                att.entry(txn)
+                    .or_insert_with(|| TxnState::new_for_recovery(txn));
                 if corruption_mode && !ctt.contains(&txn) {
                     // §4.3: quarantine transactions whose new operation
                     // conflicts with an operation in a corrupt
@@ -300,7 +300,10 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
                 }
             }
             LogRecord::PhysicalRedo {
-                txn, op, addr, data,
+                txn,
+                op,
+                addr,
+                data,
             } => {
                 if corruption_mode {
                     if ctt.contains(&txn) {
@@ -321,7 +324,10 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
                         continue;
                     }
                 }
-                pending_writes.entry((txn, op)).or_default().push((addr, data));
+                pending_writes
+                    .entry((txn, op))
+                    .or_default()
+                    .push((addr, data));
             }
             LogRecord::ReadLog {
                 txn,
@@ -507,10 +513,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
 /// Requires a certified checkpoint with `ck_end <= upto`; the stable log
 /// is truncated at `upto` afterwards, so the discarded future cannot
 /// resurface in a later recovery.
-pub fn restore_prior_state(
-    config: DaliConfig,
-    upto: Lsn,
-) -> Result<(Arc<Db>, RecoveryOutcome)> {
+pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, RecoveryOutcome)> {
     config.validate().map_err(DaliError::InvalidArg)?;
     let dir = config.dir.clone();
     let (anchored, serial) = ckpt::read_anchor(&dir)?;
@@ -551,8 +554,7 @@ pub fn restore_prior_state(
     let mut records_scanned = 0usize;
     let mut max_txn_seen = 0u64;
     let mut max_audit_seen = 0u64;
-    let mut pending_writes: HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>> =
-        HashMap::new();
+    let mut pending_writes: PendingWrites = HashMap::new();
     for (lsn, rec) in records {
         if lsn >= upto {
             break;
@@ -570,8 +572,16 @@ pub fn restore_prior_state(
                 att.entry(txn)
                     .or_insert_with(|| TxnState::new_for_recovery(txn));
             }
-            LogRecord::PhysicalRedo { txn, op, addr, data } => {
-                pending_writes.entry((txn, op)).or_default().push((addr, data));
+            LogRecord::PhysicalRedo {
+                txn,
+                op,
+                addr,
+                data,
+            } => {
+                pending_writes
+                    .entry((txn, op))
+                    .or_default()
+                    .push((addr, data));
             }
             LogRecord::ReadLog { .. } => {}
             LogRecord::OpCommit { txn, op, undo } => {

@@ -56,11 +56,7 @@ impl TaintReport {
 ///   transaction;
 /// * a tainted transaction's rollback (abort) *un*taints nothing — the
 ///   trace is conservative.
-pub fn trace_taint(
-    log_path: &Path,
-    from: Lsn,
-    seeds: &[TxnId],
-) -> Result<TaintReport> {
+pub fn trace_taint(log_path: &Path, from: Lsn, seeds: &[TxnId]) -> Result<TaintReport> {
     let records = SystemLog::scan_stable(log_path, from)?;
     let mut tainted: HashSet<TxnId> = seeds.iter().copied().collect();
     let mut data = RangeSet::new();
@@ -114,20 +110,14 @@ mod tests {
     use super::*;
     use dali_common::{DaliConfig, ProtectionScheme};
 
-    fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "dali-trace-{name}-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
+    fn tmpdir(name: &str) -> dali_testutil::TempDir {
+        dali_testutil::TempDir::new(&format!("trace-{name}"))
     }
 
     #[test]
     fn taint_closure_follows_reads() {
         let dir = tmpdir("closure");
-        let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+        let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
         let (db, _) = crate::DaliEngine::create(config).unwrap();
         let t = db.create_table("t", 128, 32).unwrap();
 
@@ -165,12 +155,7 @@ mod tests {
         t4.commit().unwrap();
 
         db.db().syslog.flush(false).unwrap();
-        let report = trace_taint(
-            &db.config().dir.join("system.log"),
-            Lsn::ZERO,
-            &[t1_id],
-        )
-        .unwrap();
+        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[t1_id]).unwrap();
         assert!(report.contains(t1_id));
         assert!(report.contains(t2_id), "{report:?}");
         assert!(report.contains(t4_id), "{report:?}");
@@ -182,15 +167,14 @@ mod tests {
     #[test]
     fn empty_seed_taints_nothing() {
         let dir = tmpdir("empty");
-        let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+        let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
         let (db, _) = crate::DaliEngine::create(config).unwrap();
         let t = db.create_table("t", 8, 8).unwrap();
         let txn = db.begin().unwrap();
         txn.insert(t, &[1u8; 8]).unwrap();
         txn.commit().unwrap();
         db.db().syslog.flush(false).unwrap();
-        let report =
-            trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[]).unwrap();
+        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[]).unwrap();
         assert!(report.tainted_txns.is_empty());
         assert!(report.tainted_data.is_empty());
     }
@@ -198,7 +182,7 @@ mod tests {
     #[test]
     fn trace_without_read_logging_flags_it() {
         let dir = tmpdir("noreads");
-        let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::Baseline);
+        let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::Baseline);
         let (db, _) = crate::DaliEngine::create(config).unwrap();
         let t = db.create_table("t", 8, 8).unwrap();
         let t1 = db.begin().unwrap();
@@ -209,9 +193,11 @@ mod tests {
         let _ = t2.read_vec(rec).unwrap(); // not logged under Baseline
         t2.commit().unwrap();
         db.db().syslog.flush(false).unwrap();
-        let report =
-            trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[t1_id]).unwrap();
-        assert_eq!(report.read_records_seen, 0, "caller can tell the trace is blind");
+        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[t1_id]).unwrap();
+        assert_eq!(
+            report.read_records_seen, 0,
+            "caller can tell the trace is blind"
+        );
         assert!(report.contains(t1_id));
     }
 }

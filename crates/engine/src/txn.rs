@@ -183,7 +183,13 @@ impl TxnHandle {
         let addr = heap.meta().slot_addr(slot);
         physical_update(&self.db, &mut st, self.id, op, addr, data)?;
 
-        commit_op(&self.db, &mut st, self.id, op, LogicalUndo::HeapInsert { rec })?;
+        commit_op(
+            &self.db,
+            &mut st,
+            self.id,
+            op,
+            LogicalUndo::HeapInsert { rec },
+        )?;
         EngineStats::bump(&self.db.stats.inserts);
         Ok(rec)
     }
@@ -442,38 +448,47 @@ fn physical_update(
     st.op_exposures.push((addr, len));
     let (ws, wl) = dali_common::align::widen_to_words(addr.0, len);
     let waddr = DbAddr(ws);
-    let mut old = vec![0u8; wl];
-    db.image.read(waddr, &mut old)?;
     let mode = db.prot.update_latch_mode();
     let (first, last) = db.prot.geometry().region_span(waddr, wl);
     db.prot.latches().lock_span(first, last, mode);
-    st.undo.push_physical(op, waddr, old.clone());
-    st.cur_update = Some(InFlightUpdate {
-        waddr,
-        wlen: wl,
-        exact_addr: addr,
-        exact_len: len,
-        latch_first: first,
-        latch_last: last,
-        latch_mode: mode,
-    });
-
-    // CW ReadLog treats a write as a read followed by a write (§4.3): log
-    // the pre-update region codewords, computed from the contents the
-    // updater saw (we hold the latch span).
-    if db.config.scheme.logs_read_codewords() {
-        let cws = db.prot.snapshot_region_codewords(&db.image, waddr, wl)?;
-        st.redo.push(LogRecord::ReadLog {
-            txn,
-            addr: waddr,
-            len: wl as u32,
-            codewords: cws,
-        });
-        EngineStats::bump(&db.stats.read_log_records);
-    }
-
-    // --- the in-place write ---
+    // Every fallible step runs inside this closure so the latch span is
+    // released on the error paths too.
     let res = (|| -> Result<()> {
+        // Capture the before-image *inside* the latch span: under
+        // exclusive update latching a concurrent updater could otherwise
+        // slip a write between our read and our span acquisition, and the
+        // stale before-image would corrupt the codeword delta at
+        // endUpdate.
+        let mut old = vec![0u8; wl];
+        db.image.read(waddr, &mut old)?;
+        st.undo.push_physical(op, waddr, old.clone());
+        st.cur_update = Some(InFlightUpdate {
+            waddr,
+            wlen: wl,
+            exact_addr: addr,
+            exact_len: len,
+            latch_first: first,
+            latch_last: last,
+            latch_mode: mode,
+        });
+
+        // CW ReadLog treats a write as a read followed by a write (§4.3):
+        // log the pre-update region codewords, computed from the contents
+        // the updater saw. We hold the (exclusive) latch span, so the
+        // unlatched compute variant is required — the latches are not
+        // reentrant.
+        if db.config.scheme.logs_read_codewords() {
+            let cws = db.prot.compute_region_codewords(&db.image, waddr, wl)?;
+            st.redo.push(LogRecord::ReadLog {
+                txn,
+                addr: waddr,
+                len: wl as u32,
+                codewords: cws,
+            });
+            EngineStats::bump(&db.stats.read_log_records);
+        }
+
+        // --- the in-place write ---
         db.image.write(addr, data)?;
         // --- endUpdate ---
         db.prot.apply_update(&db.image, waddr, &old)?;
@@ -648,7 +663,13 @@ fn compensate_logical(db: &Db, st: &mut TxnState, txn: TxnId, undo: LogicalUndo)
             let mut cur = vec![0u8; before.len()];
             db.image.read(addr, &mut cur)?;
             physical_update(db, st, txn, op, addr, &before)?;
-            commit_op(db, st, txn, op, LogicalUndo::HeapUpdate { rec, before: cur })?;
+            commit_op(
+                db,
+                st,
+                txn,
+                op,
+                LogicalUndo::HeapUpdate { rec, before: cur },
+            )?;
         }
     }
     Ok(())
@@ -657,10 +678,7 @@ fn compensate_logical(db: &Db, st: &mut TxnState, txn: TxnId, undo: LogicalUndo)
 /// Apply a logical undo *directly* to the image without transactions,
 /// latching, or logging — used by restart recovery's undo phase, which is
 /// single-threaded and followed by a checkpoint.
-pub(crate) fn apply_logical_undo_direct(
-    db: &Db,
-    undo: &LogicalUndo,
-) -> Result<()> {
+pub(crate) fn apply_logical_undo_direct(db: &Db, undo: &LogicalUndo) -> Result<()> {
     match undo {
         LogicalUndo::HeapInsert { rec } => {
             let heap = db.heap(rec.table)?;

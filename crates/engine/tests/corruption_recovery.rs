@@ -354,7 +354,11 @@ fn recovery_is_idempotent_across_crash_during_recovery() {
     assert_eq!(o1.deleted_txns, vec![t2_id]);
     db.crash();
     let (db, o2) = DaliEngine::open(s.config.clone()).unwrap();
-    assert_eq!(o2.mode, RecoveryMode::Normal, "marker cleared, normal restart");
+    assert_eq!(
+        o2.mode,
+        RecoveryMode::Normal,
+        "marker cleared, normal restart"
+    );
     assert!(o2.deleted_txns.is_empty());
     assert_eq!(read_one(&db, s.x), val(1));
     assert_eq!(read_one(&db, s.y), val(2));

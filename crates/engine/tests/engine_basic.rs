@@ -82,7 +82,11 @@ fn abort_rolls_back_everything() {
     txn.abort().unwrap();
 
     let txn = db.begin().unwrap();
-    assert_eq!(txn.read_vec(keep).unwrap(), rec100(1), "update+delete undone");
+    assert_eq!(
+        txn.read_vec(keep).unwrap(),
+        rec100(1),
+        "update+delete undone"
+    );
     assert!(txn.read_vec(gone).is_err(), "insert undone");
     txn.commit().unwrap();
     assert_eq!(db.record_count(t).unwrap(), 1);
@@ -125,11 +129,15 @@ fn crash_recovers_committed_loses_uncommitted() {
             db.crash();
         }
         let (db, outcome) = DaliEngine::open(config).unwrap();
-        assert_eq!(outcome.mode, if scheme.logs_read_codewords() {
-            RecoveryMode::DeleteTxn
-        } else {
-            RecoveryMode::Normal
-        }, "{scheme:?}");
+        assert_eq!(
+            outcome.mode,
+            if scheme.logs_read_codewords() {
+                RecoveryMode::DeleteTxn
+            } else {
+                RecoveryMode::Normal
+            },
+            "{scheme:?}"
+        );
         let t = db.table("t").unwrap();
         let txn = db.begin().unwrap();
         assert_eq!(txn.read_vec(committed).unwrap(), rec100(5), "{scheme:?}");

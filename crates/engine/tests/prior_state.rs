@@ -43,7 +43,11 @@ fn discards_everything_after_the_chosen_point() {
     let (db, outcome) = DaliEngine::open_prior_state(config, point).unwrap();
     assert_eq!(outcome.mode, RecoveryMode::PriorState);
     let txn = db.begin().unwrap();
-    assert_eq!(txn.read_vec(keep).unwrap(), val(1), "post-point update gone");
+    assert_eq!(
+        txn.read_vec(keep).unwrap(),
+        val(1),
+        "post-point update gone"
+    );
     assert!(txn.read_vec(gone).is_err(), "post-point insert gone");
     txn.commit().unwrap();
 }
@@ -108,7 +112,11 @@ fn point_in_flight_transactions_are_rolled_back() {
     let (db, outcome) = DaliEngine::open_prior_state(config, point).unwrap();
     assert!(outcome.rolled_back_txns.contains(&txn_id));
     let check = db.begin().unwrap();
-    assert_eq!(check.read_vec(rec).unwrap(), val(1), "mid-txn point rolls back all of it");
+    assert_eq!(
+        check.read_vec(rec).unwrap(),
+        val(1),
+        "mid-txn point rolls back all of it"
+    );
     check.commit().unwrap();
 }
 
@@ -159,7 +167,11 @@ fn prior_state_works_after_corruption_too() {
     let (db, outcome) = DaliEngine::open_prior_state(config, point).unwrap();
     assert_eq!(outcome.mode, RecoveryMode::PriorState);
     let txn = db.begin().unwrap();
-    assert_eq!(txn.read_vec(rec).unwrap(), val(1), "image from before corruption");
+    assert_eq!(
+        txn.read_vec(rec).unwrap(),
+        val(1),
+        "image from before corruption"
+    );
     txn.commit().unwrap();
     assert!(db.audit().unwrap().clean());
 }

@@ -46,8 +46,16 @@ fn incomplete_txn_spanning_checkpoint_fully_rolled_back() {
     assert_eq!(outcome.mode, RecoveryMode::Normal);
     assert_eq!(outcome.rolled_back_txns.len(), 1);
     let check = db.begin().unwrap();
-    assert_eq!(check.read_vec(a).unwrap(), val(1), "pre-ckpt op undone via checkpointed ATT");
-    assert_eq!(check.read_vec(b).unwrap(), val(2), "post-ckpt op undone via log");
+    assert_eq!(
+        check.read_vec(a).unwrap(),
+        val(1),
+        "pre-ckpt op undone via checkpointed ATT"
+    );
+    assert_eq!(
+        check.read_vec(b).unwrap(),
+        val(2),
+        "post-ckpt op undone via log"
+    );
     check.commit().unwrap();
     assert!(db.audit().unwrap().clean());
 }
@@ -122,7 +130,11 @@ fn delete_rollback_across_checkpoint() {
 
     let (db, _) = DaliEngine::open(config).unwrap();
     let check = db.begin().unwrap();
-    assert_eq!(check.read_vec(a).unwrap(), val(7), "delete rolled back, image restored");
+    assert_eq!(
+        check.read_vec(a).unwrap(),
+        val(7),
+        "delete rolled back, image restored"
+    );
     check.commit().unwrap();
     let t = db.table("t").unwrap();
     assert_eq!(db.record_count(t).unwrap(), 1);

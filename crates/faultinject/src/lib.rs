@@ -22,7 +22,11 @@ use rand::Rng;
 pub enum InjectionEffect {
     /// The stray write landed: `changed` bytes actually differ from the
     /// previous contents.
-    Written { addr: DbAddr, len: usize, changed: usize },
+    Written {
+        addr: DbAddr,
+        len: usize,
+        changed: usize,
+    },
     /// The hardware-protection scheme would have trapped the write; the
     /// image is untouched.
     Trapped { addr: DbAddr },
@@ -91,7 +95,11 @@ impl FaultInjector {
     /// deltas cannot all cancel).
     pub fn wild_write_noise(&self, addr: DbAddr, len: usize) -> Result<InjectionEffect> {
         let bytes: Vec<u8> = (0..len)
-            .map(|i| (i as u8).wrapping_mul(0x9D).wrapping_add(0xE1 ^ (i as u8 >> 3)))
+            .map(|i| {
+                (i as u8)
+                    .wrapping_mul(0x9D)
+                    .wrapping_add(0xE1 ^ (i as u8 >> 3))
+            })
             .collect();
         self.inject(addr, &bytes)
     }
@@ -181,25 +189,21 @@ mod tests {
     use dali_common::{DaliConfig, ProtectionScheme};
     use rand::SeedableRng;
 
-    fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "dali-fi-{name}-{}-{:?}",
-            std::process::id(),
-            std::thread::current().id()
-        ));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
+    fn tmpdir(name: &str) -> dali_testutil::TempDir {
+        dali_testutil::TempDir::new(&format!("fi-{name}"))
     }
 
-    fn engine(scheme: ProtectionScheme, name: &str) -> DaliEngine {
-        let (db, _) = DaliEngine::create(DaliConfig::small(tmpdir(name)).with_scheme(scheme)).unwrap();
-        db
+    /// Engine plus the guard keeping its scratch directory alive.
+    fn engine(scheme: ProtectionScheme, name: &str) -> (DaliEngine, dali_testutil::TempDir) {
+        let dir = tmpdir(name);
+        let (db, _) =
+            DaliEngine::create(DaliConfig::small(dir.path()).with_scheme(scheme)).unwrap();
+        (db, dir)
     }
 
     #[test]
     fn wild_write_lands_and_audit_catches_it() {
-        let db = engine(ProtectionScheme::DataCodeword, "audit");
+        let (db, _dir) = engine(ProtectionScheme::DataCodeword, "audit");
         let t = db.create_table("t", 100, 64).unwrap();
         let txn = db.begin().unwrap();
         let rec = txn.insert(t, &[3u8; 100]).unwrap();
@@ -216,7 +220,7 @@ mod tests {
 
     #[test]
     fn hardware_protection_traps_wild_write() {
-        let db = engine(ProtectionScheme::MemoryProtection, "trap");
+        let (db, _dir) = engine(ProtectionScheme::MemoryProtection, "trap");
         let t = db.create_table("t", 100, 64).unwrap();
         let txn = db.begin().unwrap();
         let rec = txn.insert(t, &[3u8; 100]).unwrap();
@@ -234,7 +238,7 @@ mod tests {
 
     #[test]
     fn baseline_scheme_lets_wild_writes_through_silently() {
-        let db = engine(ProtectionScheme::Baseline, "silent");
+        let (db, _dir) = engine(ProtectionScheme::Baseline, "silent");
         let t = db.create_table("t", 100, 64).unwrap();
         let txn = db.begin().unwrap();
         let rec = txn.insert(t, &[3u8; 100]).unwrap();
@@ -254,7 +258,7 @@ mod tests {
 
     #[test]
     fn copy_overrun_spills_into_neighbor() {
-        let db = engine(ProtectionScheme::DataCodeword, "overrun");
+        let (db, _dir) = engine(ProtectionScheme::DataCodeword, "overrun");
         let t = db.create_table("t", 8, 64).unwrap();
         let txn = db.begin().unwrap();
         let a = txn.insert(t, &[1u8; 8]).unwrap();
@@ -273,7 +277,7 @@ mod tests {
 
     #[test]
     fn bit_flip_detected() {
-        let db = engine(ProtectionScheme::DataCodeword, "flip");
+        let (db, _dir) = engine(ProtectionScheme::DataCodeword, "flip");
         let t = db.create_table("t", 8, 64).unwrap();
         let txn = db.begin().unwrap();
         let rec = txn.insert(t, &[0u8; 8]).unwrap();
@@ -285,7 +289,7 @@ mod tests {
 
     #[test]
     fn random_campaign_against_mprotect_mostly_traps() {
-        let db = engine(ProtectionScheme::MemoryProtection, "campaign");
+        let (db, _dir) = engine(ProtectionScheme::MemoryProtection, "campaign");
         db.create_table("t", 100, 64).unwrap();
         let inj = FaultInjector::new(&db);
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
@@ -299,14 +303,15 @@ mod tests {
 
     #[test]
     fn precheck_prevents_reading_corrupt_data() {
-        let db = engine(ProtectionScheme::ReadPrecheck, "precheck");
+        let (db, _dir) = engine(ProtectionScheme::ReadPrecheck, "precheck");
         let t = db.create_table("t", 100, 64).unwrap();
         let txn = db.begin().unwrap();
         let rec = txn.insert(t, &[7u8; 100]).unwrap();
         txn.commit().unwrap();
 
         let inj = FaultInjector::new(&db);
-        inj.wild_write(db.record_addr(rec).unwrap(), 0xAB, 2).unwrap();
+        inj.wild_write(db.record_addr(rec).unwrap(), 0xAB, 2)
+            .unwrap();
 
         let txn = db.begin().unwrap();
         let err = txn.read_vec(rec).unwrap_err();

@@ -37,7 +37,9 @@ impl Arena {
     /// fails; the fallback is still compatible with `mprotect` on Linux.
     pub fn new(len: usize) -> Result<Arena> {
         if len == 0 {
-            return Err(DaliError::InvalidArg("arena length must be positive".into()));
+            return Err(DaliError::InvalidArg(
+                "arena length must be positive".into(),
+            ));
         }
         let page = os_page_size();
         let len = dali_common::align::round_up(len, page);
@@ -100,7 +102,7 @@ impl Arena {
 
     #[inline]
     fn check(&self, offset: usize, len: usize) -> Result<()> {
-        if offset.checked_add(len).map_or(true, |end| end > self.len) {
+        if offset.checked_add(len).is_none_or(|end| end > self.len) {
             return Err(DaliError::InvalidArg(format!(
                 "range {offset}+{len} out of arena bounds ({})",
                 self.len
@@ -131,11 +133,7 @@ impl Arena {
         self.check(offset, data.len())?;
         // SAFETY: bounds checked above.
         unsafe {
-            std::ptr::copy_nonoverlapping(
-                data.as_ptr(),
-                self.ptr.as_ptr().add(offset),
-                data.len(),
-            );
+            std::ptr::copy_nonoverlapping(data.as_ptr(), self.ptr.as_ptr().add(offset), data.len());
         }
         Ok(())
     }
@@ -144,7 +142,7 @@ impl Arena {
     #[inline]
     pub fn read_u32(&self, offset: usize) -> Result<u32> {
         self.check(offset, 4)?;
-        debug_assert!(offset % 4 == 0);
+        debug_assert!(offset.is_multiple_of(4));
         // SAFETY: bounds checked; alignment asserted (the base is
         // page-aligned so offset alignment suffices).
         Ok(unsafe { (self.ptr.as_ptr().add(offset) as *const u32).read() }.to_le())
@@ -158,7 +156,7 @@ impl Arena {
     #[inline]
     pub fn xor_fold(&self, offset: usize, len: usize) -> Result<u32> {
         self.check(offset, len)?;
-        if offset % 4 != 0 || len % 4 != 0 {
+        if !offset.is_multiple_of(4) || !len.is_multiple_of(4) {
             return Err(DaliError::InvalidArg(format!(
                 "xor_fold range {offset}+{len} not word aligned"
             )));

@@ -63,7 +63,7 @@ impl DbImage {
 
     #[inline]
     fn check(&self, addr: DbAddr, len: usize) -> Result<()> {
-        if addr.0.checked_add(len).map_or(true, |end| end > self.len()) {
+        if addr.0.checked_add(len).is_none_or(|end| end > self.len()) {
             return Err(DaliError::InvalidArg(format!(
                 "range {addr}+{len} out of image bounds ({})",
                 self.len()

@@ -77,7 +77,7 @@ impl PageProtector {
     /// a multiple of the OS page size; otherwise falls back to
     /// bitmap-only).
     pub fn new(image: Arc<DbImage>, real: bool) -> PageProtector {
-        let real = real && image.page_size() % os_page_size() == 0;
+        let real = real && image.page_size().is_multiple_of(os_page_size());
         let pages = image.pages();
         PageProtector {
             image,
@@ -141,11 +141,7 @@ impl PageProtector {
             let base = self.image.arena().base_ptr();
             // SAFETY: whole-arena range, page-aligned by construction.
             let rc = unsafe {
-                libc::mprotect(
-                    base as *mut libc::c_void,
-                    self.image.len(),
-                    libc::PROT_READ,
-                )
+                libc::mprotect(base as *mut libc::c_void, self.image.len(), libc::PROT_READ)
             };
             if rc != 0 {
                 st.enabled = false;
@@ -265,8 +261,7 @@ pub fn measure_protect_pairs(pages: usize, reps: usize) -> Result<f64> {
             if rc != 0 {
                 return Err(DaliError::Io(std::io::Error::last_os_error()));
             }
-            let rc =
-                unsafe { libc::mprotect(addr, ps, libc::PROT_READ | libc::PROT_WRITE) };
+            let rc = unsafe { libc::mprotect(addr, ps, libc::PROT_READ | libc::PROT_WRITE) };
             if rc != 0 {
                 return Err(DaliError::Io(std::io::Error::last_os_error()));
             }

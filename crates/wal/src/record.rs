@@ -581,10 +581,7 @@ mod tests {
 
     #[test]
     fn txn_accessor() {
-        assert_eq!(
-            LogRecord::TxnBegin { txn: TxnId(5) }.txn(),
-            Some(TxnId(5))
-        );
+        assert_eq!(LogRecord::TxnBegin { txn: TxnId(5) }.txn(), Some(TxnId(5)));
         assert_eq!(LogRecord::AuditBegin { audit_id: 1 }.txn(), None);
     }
 

@@ -20,6 +20,9 @@ use dali_engine::{DaliEngine, TxnHandle};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use records::{balance_of, encode_account, encode_branch, encode_history, encode_teller, REC_SIZE};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Workload sizing.
@@ -46,6 +49,23 @@ impl TpcbConfig {
             branches: 1_000,
             history_capacity: 60_000,
             ops_per_txn: 500,
+            seed: 0xDA11,
+        }
+    }
+
+    /// Configuration for thread-scaling runs: 10% of the paper's table
+    /// sizes (so per-cell setup stays cheap across a sweep) and short
+    /// transactions. Commit-heavy transactions put the run in the
+    /// durable-commit-dominated regime where multi-threaded overlap of
+    /// commit fsyncs is visible even on a single CPU; the paper's
+    /// 500-op transactions amortize commit cost away entirely.
+    pub fn scale() -> TpcbConfig {
+        TpcbConfig {
+            accounts: 10_000,
+            tellers: 1_000,
+            branches: 100,
+            history_capacity: 30_000,
+            ops_per_txn: 10,
             seed: 0xDA11,
         }
     }
@@ -95,6 +115,197 @@ impl RunStats {
     }
 }
 
+/// Statistics from one worker thread of [`TpcbDriver::run_concurrent`].
+#[derive(Clone, Debug)]
+pub struct ThreadStats {
+    pub thread: usize,
+    pub ops: usize,
+    pub txns: usize,
+    /// Transactions re-run after a lock denial.
+    pub retries: usize,
+    /// CPU time this worker thread consumed (`CLOCK_THREAD_CPUTIME_ID`).
+    pub cpu_secs: f64,
+}
+
+/// Aggregate result of [`TpcbDriver::run_concurrent`].
+#[derive(Clone, Debug)]
+pub struct ConcurrentStats {
+    pub threads: usize,
+    pub ops: usize,
+    pub txns: usize,
+    pub retries: usize,
+    /// Wall-clock time from first spawn to last join.
+    pub elapsed_secs: f64,
+    /// Total CPU time summed over the worker threads.
+    pub cpu_secs: f64,
+    pub per_thread: Vec<ThreadStats>,
+}
+
+impl ConcurrentStats {
+    /// Aggregate operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_secs
+    }
+
+    /// CPU microseconds per operation (preemption-immune cost metric).
+    pub fn cpu_us_per_op(&self) -> f64 {
+        self.cpu_secs * 1e6 / self.ops as f64
+    }
+}
+
+/// CPU time consumed by the calling thread, in seconds.
+fn thread_cpu_seconds() -> f64 {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: clock_gettime with a valid clock id and out-pointer.
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    assert_eq!(rc, 0, "clock_gettime failed");
+    ts.tv_sec as f64 + ts.tv_nsec as f64 * 1e-9
+}
+
+/// Thread `k`'s contiguous share of `n` row indices.
+fn partition(n: usize, threads: usize, k: usize) -> std::ops::Range<usize> {
+    (k * n / threads)..((k + 1) * n / threads)
+}
+
+/// One worker thread's state: a disjoint partition of the account,
+/// teller and branch rows plus its own RNG stream and history-ring
+/// share. Partitions keep TPC-B workers conflict-free in the lock
+/// manager (protection latches on shared region boundaries still
+/// contend), and make the run deterministic for a given
+/// `(seed, threads)` pair: each worker's operation sequence depends
+/// only on its own RNG.
+struct Worker {
+    engine: DaliEngine,
+    history: TableId,
+    account_recs: Vec<RecId>,
+    teller_recs: Vec<RecId>,
+    branch_recs: Vec<RecId>,
+    /// Global index of the first row of each partition, so history
+    /// records carry table-wide indices.
+    a_base: usize,
+    t_base: usize,
+    b_base: usize,
+    ops_per_txn: usize,
+    /// This worker's slice of the history table's capacity.
+    ring_share: usize,
+    rng: StdRng,
+    ring: VecDeque<RecId>,
+    /// Shared monotonic op counter feeding history record ids.
+    op_counter: Arc<AtomicU64>,
+}
+
+impl Worker {
+    /// Run one transaction of `ops` operations; returns the number of
+    /// retries. A lock denial aborts the transaction and re-runs it from
+    /// the same RNG state (disjoint partitions make TPC-B workers
+    /// conflict-free among themselves, but callers may run concurrent
+    /// ad-hoc transactions — e.g. invariant checks — that do conflict).
+    fn run_txn(&mut self, ops: usize) -> Result<usize> {
+        let margin = 2 * self.ops_per_txn + 64;
+        let mut retries = 0usize;
+        loop {
+            let rng_snapshot = self.rng.clone();
+            let txn = self.engine.begin()?;
+            // Ring mutations are staged and applied only on commit so an
+            // aborted transaction leaves the ring (and RNG) untouched.
+            let mut inserted: Vec<RecId> = Vec::with_capacity(ops);
+            let mut drop_front = 0usize;
+            let res = (|| -> Result<()> {
+                for _ in 0..ops {
+                    let a = self.rng.gen_range(0..self.account_recs.len());
+                    let t = self.rng.gen_range(0..self.teller_recs.len());
+                    let b = self.rng.gen_range(0..self.branch_recs.len());
+                    let delta = self.rng.gen_range(-999_999i64..=999_999);
+                    for (rec, encode) in [
+                        (
+                            self.account_recs[a],
+                            encode_account as fn(u64, i64) -> Vec<u8>,
+                        ),
+                        (
+                            self.teller_recs[t],
+                            encode_teller as fn(u64, i64) -> Vec<u8>,
+                        ),
+                        (
+                            self.branch_recs[b],
+                            encode_branch as fn(u64, i64) -> Vec<u8>,
+                        ),
+                    ] {
+                        let cur = txn.read_vec(rec)?;
+                        let bal = balance_of(&cur);
+                        txn.update(rec, &encode(rec.slot.0 as u64, bal + delta))?;
+                    }
+                    let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+                    let h = txn.insert(
+                        self.history,
+                        &encode_history(
+                            op,
+                            (self.a_base + a) as u64,
+                            (self.t_base + t) as u64,
+                            (self.b_base + b) as u64,
+                            delta,
+                        ),
+                    )?;
+                    inserted.push(h);
+                    let live = self.ring.len() - drop_front + inserted.len();
+                    if live + margin >= self.ring_share && drop_front < self.ring.len() {
+                        txn.delete(self.ring[drop_front])?;
+                        drop_front += 1;
+                    }
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => {
+                    txn.commit()?;
+                    self.ring.drain(..drop_front);
+                    self.ring.extend(inserted);
+                    return Ok(retries);
+                }
+                Err(DaliError::LockDenied { .. }) => {
+                    txn.abort()?;
+                    self.rng = rng_snapshot;
+                    retries += 1;
+                    if retries > 1_000 {
+                        return Err(DaliError::InvalidArg(
+                            "concurrent TPC-B worker starved: 1000 lock denials".into(),
+                        ));
+                    }
+                }
+                Err(e) => {
+                    let _ = txn.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Run `n` operations in transactions of `ops_per_txn`.
+    fn run(mut self, thread: usize, n: usize) -> Result<(Worker, ThreadStats)> {
+        let cpu0 = thread_cpu_seconds();
+        let mut done = 0usize;
+        let mut txns = 0usize;
+        let mut retries = 0usize;
+        while done < n {
+            let in_this = self.ops_per_txn.min(n - done);
+            retries += self.run_txn(in_this)?;
+            txns += 1;
+            done += in_this;
+        }
+        let cpu_secs = thread_cpu_seconds() - cpu0;
+        let stats = ThreadStats {
+            thread,
+            ops: done,
+            txns,
+            retries,
+            cpu_secs,
+        };
+        Ok((self, stats))
+    }
+}
+
 /// The TPC-B driver bound to an engine.
 pub struct TpcbDriver {
     engine: DaliEngine,
@@ -140,11 +351,9 @@ impl TpcbDriver {
         };
         driver.rng = StdRng::seed_from_u64(driver.cfg.seed);
 
-        driver.account_recs =
-            populate(engine, accounts, driver.cfg.accounts, encode_account)?;
+        driver.account_recs = populate(engine, accounts, driver.cfg.accounts, encode_account)?;
         driver.teller_recs = populate(engine, tellers, driver.cfg.tellers, encode_teller)?;
-        driver.branch_recs =
-            populate(engine, branches, driver.cfg.branches, encode_branch)?;
+        driver.branch_recs = populate(engine, branches, driver.cfg.branches, encode_branch)?;
         Ok(driver)
     }
 
@@ -204,7 +413,10 @@ impl TpcbDriver {
                 self.account_recs[a],
                 encode_account as fn(u64, i64) -> Vec<u8>,
             ),
-            (self.teller_recs[t], encode_teller as fn(u64, i64) -> Vec<u8>),
+            (
+                self.teller_recs[t],
+                encode_teller as fn(u64, i64) -> Vec<u8>,
+            ),
             (
                 self.branch_recs[b],
                 encode_branch as fn(u64, i64) -> Vec<u8>,
@@ -256,6 +468,108 @@ impl TpcbDriver {
     /// The paper's full run: 50 000 operations.
     pub fn run_paper_workload(&mut self) -> Result<RunStats> {
         self.run_ops(50_000)
+    }
+
+    /// Run `n_ops` operations split across `threads` worker threads.
+    ///
+    /// Each worker owns a disjoint contiguous partition of the account,
+    /// teller and branch rows and its own RNG stream derived from
+    /// `cfg.seed` and the thread index, so a run is deterministic for a
+    /// given `(seed, threads, n_ops)` triple: the final balance sums do
+    /// not depend on scheduling. Workers share the history table (ids
+    /// from one atomic counter, capacity split evenly) and commit every
+    /// `ops_per_txn` operations, as in the serial driver.
+    ///
+    /// The TPC-B invariant holds afterwards — each operation applies one
+    /// delta to exactly one account, teller and branch — and is checked
+    /// by callers via [`TpcbDriver::verify_invariant`].
+    pub fn run_concurrent(&mut self, threads: usize, n_ops: usize) -> Result<ConcurrentStats> {
+        if threads == 0 {
+            return Err(DaliError::InvalidArg("run_concurrent: zero threads".into()));
+        }
+        if threads > self.branch_recs.len() {
+            return Err(DaliError::InvalidArg(format!(
+                "run_concurrent: {threads} threads but only {} branches; \
+                 a worker's branch partition would be empty",
+                self.branch_recs.len()
+            )));
+        }
+
+        let op_counter = Arc::new(AtomicU64::new(self.op_counter));
+        // Hand each worker a contiguous slice of any history records the
+        // serial driver already owns, so they stay eligible for ring
+        // reclamation.
+        let mut existing: VecDeque<RecId> = std::mem::take(&mut self.history_ring);
+        let mut workers = Vec::with_capacity(threads);
+        for k in 0..threads {
+            let ar = partition(self.account_recs.len(), threads, k);
+            let tr = partition(self.teller_recs.len(), threads, k);
+            let br = partition(self.branch_recs.len(), threads, k);
+            let ring_take = existing.len() / (threads - k);
+            workers.push(Worker {
+                engine: self.engine.clone(),
+                history: self.history,
+                a_base: ar.start,
+                t_base: tr.start,
+                b_base: br.start,
+                account_recs: self.account_recs[ar].to_vec(),
+                teller_recs: self.teller_recs[tr].to_vec(),
+                branch_recs: self.branch_recs[br].to_vec(),
+                ops_per_txn: self.cfg.ops_per_txn,
+                ring_share: self.cfg.history_capacity / threads,
+                rng: StdRng::seed_from_u64(
+                    self.cfg
+                        .seed
+                        .wrapping_add((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                ),
+                ring: existing.drain(..ring_take).collect(),
+                op_counter: Arc::clone(&op_counter),
+            });
+        }
+
+        let start = Instant::now();
+        let results: Vec<Result<(Worker, ThreadStats)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(k, w)| {
+                    let ops = n_ops / threads + usize::from(k < n_ops % threads);
+                    s.spawn(move || w.run(k, ops))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let elapsed_secs = start.elapsed().as_secs_f64();
+
+        self.op_counter = op_counter.load(Ordering::Relaxed);
+        let mut per_thread = Vec::with_capacity(threads);
+        let mut err = None;
+        for res in results {
+            match res {
+                Ok((w, stats)) => {
+                    // Reclaim the worker's ring so later serial ops (or
+                    // another concurrent run) keep trimming history.
+                    self.history_ring.extend(w.ring);
+                    per_thread.push(stats);
+                }
+                Err(e) => err = Some(e),
+            }
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(ConcurrentStats {
+            threads,
+            ops: per_thread.iter().map(|t| t.ops).sum(),
+            txns: per_thread.iter().map(|t| t.txns).sum(),
+            retries: per_thread.iter().map(|t| t.retries).sum(),
+            elapsed_secs,
+            cpu_secs: per_thread.iter().map(|t| t.cpu_secs).sum(),
+            per_thread,
+        })
     }
 
     /// Check the TPC-B consistency invariant: the sums of account, teller
@@ -310,27 +624,25 @@ mod tests {
     use super::*;
     use dali_common::{DaliConfig, ProtectionScheme};
 
-    fn tmpdir(name: &str) -> std::path::PathBuf {
-        let d = std::env::temp_dir().join(format!(
-            "dali-tpcb-{name}-{}",
-            std::process::id()
-        ));
-        let _ = std::fs::remove_dir_all(&d);
-        std::fs::create_dir_all(&d).unwrap();
-        d
+    use dali_testutil::TempDir;
+
+    fn tmpdir(name: &str) -> TempDir {
+        TempDir::new(&format!("tpcb-{name}"))
     }
 
-    fn engine(scheme: ProtectionScheme, name: &str, cfg: &TpcbConfig) -> DaliEngine {
-        let mut c = DaliConfig::small(tmpdir(name)).with_scheme(scheme);
+    /// Engine plus the guard keeping its scratch directory alive.
+    fn engine(scheme: ProtectionScheme, name: &str, cfg: &TpcbConfig) -> (DaliEngine, TempDir) {
+        let dir = tmpdir(name);
+        let mut c = DaliConfig::small(dir.path()).with_scheme(scheme);
         c.db_pages = cfg.required_pages(c.page_size);
         let (db, _) = DaliEngine::create(c).unwrap();
-        db
+        (db, dir)
     }
 
     #[test]
     fn setup_populates_tables() {
         let cfg = TpcbConfig::small();
-        let db = engine(ProtectionScheme::Baseline, "setup", &cfg);
+        let (db, _dir) = engine(ProtectionScheme::Baseline, "setup", &cfg);
         let d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
         let (a, t, b, h) = d.tables();
         assert_eq!(db.record_count(a).unwrap(), cfg.accounts);
@@ -343,7 +655,7 @@ mod tests {
     #[test]
     fn ops_preserve_invariant() {
         let cfg = TpcbConfig::small();
-        let db = engine(ProtectionScheme::DataCodeword, "inv", &cfg);
+        let (db, _dir) = engine(ProtectionScheme::DataCodeword, "inv", &cfg);
         let mut d = TpcbDriver::setup(&db, cfg).unwrap();
         let stats = d.run_ops(200).unwrap();
         assert_eq!(stats.ops, 200);
@@ -358,7 +670,7 @@ mod tests {
     fn runs_under_every_scheme() {
         for scheme in ProtectionScheme::ALL {
             let cfg = TpcbConfig::small();
-            let db = engine(scheme, &format!("all-{scheme:?}"), &cfg);
+            let (db, _dir) = engine(scheme, &format!("all-{scheme:?}"), &cfg);
             let mut d = TpcbDriver::setup(&db, cfg).unwrap();
             d.run_ops(60).unwrap();
             d.verify_invariant()
@@ -369,12 +681,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let cfg = TpcbConfig::small();
-        let db1 = engine(ProtectionScheme::Baseline, "det1", &cfg);
+        let (db1, _dir1) = engine(ProtectionScheme::Baseline, "det1", &cfg);
         let mut d1 = TpcbDriver::setup(&db1, cfg.clone()).unwrap();
         d1.run_ops(100).unwrap();
         let v1 = d1.verify_invariant().unwrap();
 
-        let db2 = engine(ProtectionScheme::Baseline, "det2", &cfg);
+        let (db2, _dir2) = engine(ProtectionScheme::Baseline, "det2", &cfg);
         let mut d2 = TpcbDriver::setup(&db2, cfg).unwrap();
         d2.run_ops(100).unwrap();
         assert_eq!(v1, d2.verify_invariant().unwrap());
@@ -384,7 +696,7 @@ mod tests {
     fn invariant_survives_crash_recovery() {
         let cfg = TpcbConfig::small();
         let dir = tmpdir("crashinv");
-        let mut dbcfg = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+        let mut dbcfg = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
         dbcfg.db_pages = cfg.required_pages(dbcfg.page_size);
         let (db, _) = DaliEngine::create(dbcfg.clone()).unwrap();
         let mut d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
@@ -394,6 +706,74 @@ mod tests {
         let (db, _) = DaliEngine::open(dbcfg).unwrap();
         let d = TpcbDriver::attach(&db, cfg).unwrap();
         d.verify_invariant().unwrap();
+    }
+
+    #[test]
+    fn concurrent_preserves_invariant() {
+        let cfg = TpcbConfig::small();
+        let (db, _dir) = engine(ProtectionScheme::DataCodeword, "conc-inv", &cfg);
+        let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+        let stats = d.run_concurrent(4, 400).unwrap();
+        assert_eq!(stats.ops, 400);
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.per_thread.len(), 4);
+        assert_eq!(stats.per_thread.iter().map(|t| t.ops).sum::<usize>(), 400);
+        d.verify_invariant().unwrap();
+        let (_, _, _, h) = d.tables();
+        assert_eq!(db.record_count(h).unwrap(), 400);
+        assert!(db.audit().unwrap().clean());
+    }
+
+    #[test]
+    fn concurrent_deterministic_given_seed_and_threads() {
+        let cfg = TpcbConfig::small();
+        let (db1, _dir1) = engine(ProtectionScheme::Baseline, "conc-det1", &cfg);
+        let mut d1 = TpcbDriver::setup(&db1, cfg.clone()).unwrap();
+        d1.run_concurrent(3, 300).unwrap();
+        let v1 = d1.verify_invariant().unwrap();
+
+        let (db2, _dir2) = engine(ProtectionScheme::Baseline, "conc-det2", &cfg);
+        let mut d2 = TpcbDriver::setup(&db2, cfg).unwrap();
+        d2.run_concurrent(3, 300).unwrap();
+        assert_eq!(v1, d2.verify_invariant().unwrap());
+    }
+
+    #[test]
+    fn concurrent_runs_under_every_scheme() {
+        for scheme in ProtectionScheme::ALL {
+            let cfg = TpcbConfig::small();
+            let (db, _dir) = engine(scheme, &format!("conc-all-{scheme:?}"), &cfg);
+            let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+            d.run_concurrent(4, 200)
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+            d.verify_invariant()
+                .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn concurrent_then_serial_shares_history_ring() {
+        // A long mixed run must keep the history table within capacity:
+        // ring shares hand off between serial and concurrent phases.
+        let cfg = TpcbConfig::small();
+        let (db, _dir) = engine(ProtectionScheme::Baseline, "conc-ring", &cfg);
+        let mut d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
+        d.run_ops(500).unwrap();
+        d.run_concurrent(4, 4_000).unwrap();
+        d.run_ops(500).unwrap();
+        d.verify_invariant().unwrap();
+        let (_, _, _, h) = d.tables();
+        assert!(db.record_count(h).unwrap() <= cfg.history_capacity);
+    }
+
+    #[test]
+    fn concurrent_rejects_bad_thread_counts() {
+        let cfg = TpcbConfig::small();
+        let (db, _dir) = engine(ProtectionScheme::Baseline, "conc-bad", &cfg);
+        let mut d = TpcbDriver::setup(&db, cfg.clone()).unwrap();
+        assert!(d.run_concurrent(0, 10).is_err());
+        // More threads than branches → empty partition, refused.
+        assert!(d.run_concurrent(cfg.branches + 1, 10).is_err());
     }
 
     #[test]

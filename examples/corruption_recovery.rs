@@ -68,9 +68,13 @@ fn main() {
     let t3 = db.begin().unwrap();
     let t3_id = t3.id();
     let b = t3.read_vec(bob).unwrap();
-    t3.update(carol, &encode_account(3, balance_of(&b))).unwrap();
+    t3.update(carol, &encode_account(3, balance_of(&b)))
+        .unwrap();
     t3.commit().unwrap();
-    println!("T{} copies bob's balance onto carol (second carrier)", t3_id.0);
+    println!(
+        "T{} copies bob's balance onto carol (second carrier)",
+        t3_id.0
+    );
 
     // The periodic audit finally notices the codeword mismatch.
     let report = db.audit().expect("audit");

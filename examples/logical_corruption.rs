@@ -62,7 +62,8 @@ fn main() {
     let t3 = db.begin().unwrap();
     let t3_id = t3.id();
     let c = t3.read_vec(carol).unwrap();
-    t3.update(carol, &encode_account(3, balance_of(&c) - 50)).unwrap();
+    t3.update(carol, &encode_account(3, balance_of(&c) - 50))
+        .unwrap();
     t3.commit().unwrap();
     println!(
         "T{} credits interest from the bad balance to bob; T{} is unrelated",

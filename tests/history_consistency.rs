@@ -16,9 +16,7 @@
 //! read the corrupt bytes — the taint closure — and recovery must leave
 //! a clean audit.
 
-use dali::{
-    DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecId, RecoveryMode, TableId,
-};
+use dali::{DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecId, RecoveryMode, TableId};
 use proptest::prelude::*;
 
 /// 128-byte records = exactly two 64-byte protection regions, so a
@@ -33,10 +31,7 @@ struct TxnPlan {
 }
 
 fn txn_plan() -> impl Strategy<Value = TxnPlan> {
-    (
-        proptest::collection::vec(0..NRECS, 1..3),
-        0..NRECS,
-    )
+    (proptest::collection::vec(0..NRECS, 1..3), 0..NRECS)
         .prop_map(|(reads, write)| TxnPlan { reads, write })
 }
 
@@ -88,21 +83,13 @@ fn initial(i: usize) -> Vec<u8> {
 }
 
 fn run_scenario(s: &Scenario, case: u64) -> Result<(), TestCaseError> {
-    let dir = std::env::temp_dir().join(format!(
-        "dali-hist-{case}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dali_testutil::TempDir::new(&format!("hist-{case}"));
     let scheme = if s.scheme_cw {
         ProtectionScheme::CwReadLogging
     } else {
         ProtectionScheme::ReadLogging
     };
-    let config = DaliConfig::small(&dir).with_scheme(scheme);
+    let config = DaliConfig::small(dir.path()).with_scheme(scheme);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let table: TableId = db.create_table("t", REC, 64).unwrap();
 
@@ -209,15 +196,39 @@ fn run_scenario(s: &Scenario, case: u64) -> Result<(), TestCaseError> {
     }
     check.commit().unwrap();
     prop_assert!(db.audit().unwrap().clean());
-    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
+}
+
+/// Regression for the shrunk counterexample recorded in
+/// `history_consistency.proptest-regressions` (seed `fe395a98…`):
+/// both transactions read record 0 and write it back, and the wild
+/// write fires *before* the first transaction, under plain ReadLogging.
+/// Kept as an explicit deterministic test so the exact scenario runs on
+/// every `cargo test` regardless of the property-test case sample.
+#[test]
+fn regression_corrupt_record_read_twice_before_any_commit() {
+    let s = Scenario {
+        txns: vec![
+            TxnPlan {
+                reads: vec![0],
+                write: 0,
+            },
+            TxnPlan {
+                reads: vec![0],
+                write: 0,
+            },
+        ],
+        corrupt_after: 0,
+        victim: 0,
+        scheme_cw: false,
+    };
+    run_scenario(&s, 101_295_199_967).unwrap();
 }
 
 proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 40,
-        .. ProptestConfig::default()
     })]
 
     #[test]

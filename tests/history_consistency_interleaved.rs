@@ -6,9 +6,7 @@
 //! that read them must be quarantined too — the case §4.3's conflict
 //! check exists for.
 
-use dali::{
-    DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecId, RecoveryMode, TableId,
-};
+use dali::{DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecId, RecoveryMode, TableId};
 use proptest::prelude::*;
 
 const REC: usize = 128;
@@ -72,21 +70,13 @@ fn derived(tag: u64, step_no: usize, reads: &[Vec<u8>]) -> Vec<u8> {
 }
 
 fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
-    let dir = std::env::temp_dir().join(format!(
-        "dali-hist2-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dali_testutil::TempDir::new("histint");
     let scheme = if s.scheme_cw {
         ProtectionScheme::CwReadLogging
     } else {
         ProtectionScheme::ReadLogging
     };
-    let config = DaliConfig::small(&dir).with_scheme(scheme);
+    let config = DaliConfig::small(dir.path()).with_scheme(scheme);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let table: TableId = db.create_table("t", REC, 64).unwrap();
     let setup = db.begin().unwrap();
@@ -190,7 +180,6 @@ fn run_scenario(s: &Scenario) -> Result<(), TestCaseError> {
     }
     check.commit().unwrap();
     prop_assert!(db.audit().unwrap().clean());
-    let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }
 
@@ -198,7 +187,6 @@ proptest! {
     #![proptest_config(ProptestConfig {
         cases: 24,
         max_shrink_iters: 50,
-        .. ProptestConfig::default()
     })]
 
     #[test]

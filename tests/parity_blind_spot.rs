@@ -6,26 +6,21 @@
 
 use dali::{DaliConfig, DaliEngine, FaultInjector, ProtectionScheme};
 
-fn setup(name: &str) -> (DaliEngine, dali::RecId) {
-    let dir = std::env::temp_dir().join(format!(
-        "dali-parity-{name}-{}",
-        std::process::id()
-    ));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+fn setup(name: &str) -> (DaliEngine, dali::RecId, dali_testutil::TempDir) {
+    let dir = dali_testutil::TempDir::new(&format!("parity-{name}"));
+    let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
     let (db, _) = DaliEngine::create(config).unwrap();
     let t = db.create_table("t", 128, 64).unwrap();
     let txn = db.begin().unwrap();
-    let rec = txn.insert(t, &vec![0u8; 128]).unwrap(); // uniform contents
+    let rec = txn.insert(t, &[0u8; 128]).unwrap(); // uniform contents
     txn.commit().unwrap();
     db.checkpoint().unwrap();
-    (db, rec)
+    (db, rec, dir)
 }
 
 #[test]
 fn periodic_pattern_over_uniform_data_cancels_in_the_codeword() {
-    let (db, rec) = setup("cancel");
+    let (db, rec, _dir) = setup("cancel");
     let inj = FaultInjector::new(&db);
     // Two words flipped identically: XOR parity unchanged — undetected.
     let eff = inj
@@ -44,10 +39,8 @@ fn matching_arithmetic_ramps_also_cancel() {
     // another arithmetic sequence of the same stride produces a constant
     // per-byte delta, so all word deltas are equal and XOR-cancel in
     // pairs. Single-word (4-byte) writes can never cancel.
-    let dir = std::env::temp_dir().join(format!("dali-parity-ramp-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    std::fs::create_dir_all(&dir).unwrap();
-    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::ReadLogging);
+    let dir = dali_testutil::TempDir::new("parity-ramp");
+    let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
     let (db, _) = DaliEngine::create(config).unwrap();
     let t = db.create_table("t", 128, 64).unwrap();
     let txn = db.begin().unwrap();
@@ -71,7 +64,7 @@ fn matching_arithmetic_ramps_also_cancel() {
 
 #[test]
 fn non_periodic_pattern_is_always_detected() {
-    let (db, rec) = setup("detect");
+    let (db, rec, _dir) = setup("detect");
     let inj = FaultInjector::new(&db);
     let eff = inj
         .wild_write_bytes(
@@ -85,7 +78,7 @@ fn non_periodic_pattern_is_always_detected() {
 
 #[test]
 fn single_word_change_is_always_detected() {
-    let (db, rec) = setup("word");
+    let (db, rec, _dir) = setup("word");
     let inj = FaultInjector::new(&db);
     assert!(inj
         .wild_write(db.record_addr(rec).unwrap().add(32), 0xEE, 4)

@@ -8,17 +8,8 @@ use dali::{
 
 const REC: usize = 128;
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "dali-matrix-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&d).unwrap();
-    d
+fn tmpdir(name: &str) -> dali_testutil::TempDir {
+    dali_testutil::TempDir::new(&format!("matrix-{name}"))
 }
 
 fn val(tag: u8) -> Vec<u8> {
@@ -30,10 +21,13 @@ struct World {
     db: DaliEngine,
     x: RecId,
     y: RecId,
+    /// Keeps the scratch directory alive for the test's duration.
+    _dir: dali_testutil::TempDir,
 }
 
 fn world(name: &str, scheme: ProtectionScheme) -> World {
-    let config = DaliConfig::small(tmpdir(name)).with_scheme(scheme);
+    let dir = tmpdir(name);
+    let config = DaliConfig::small(dir.path()).with_scheme(scheme);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let t = db.create_table("t", REC, 32).unwrap();
     let txn = db.begin().unwrap();
@@ -41,7 +35,13 @@ fn world(name: &str, scheme: ProtectionScheme) -> World {
     let y = txn.insert(t, &val(2)).unwrap();
     txn.commit().unwrap();
     db.checkpoint().unwrap();
-    World { config, db, x, y }
+    World {
+        config,
+        db,
+        x,
+        y,
+        _dir: dir,
+    }
 }
 
 fn corrupt_x(w: &World) -> dali::InjectionEffect {
@@ -93,10 +93,16 @@ fn deferred_maintenance_detects_direct_at_audit() {
     txn.update(w.y, &val(7)).unwrap();
     txn.update(w.x, &val(8)).unwrap();
     txn.commit().unwrap();
-    assert!(w.db.audit().unwrap().clean(), "drain reconciles queued deltas");
+    assert!(
+        w.db.audit().unwrap().clean(),
+        "drain reconciles queued deltas"
+    );
 
     assert!(corrupt_x(&w).landed());
-    assert!(!w.db.audit().unwrap().clean(), "wild write has no queued delta");
+    assert!(
+        !w.db.audit().unwrap().clean(),
+        "wild write has no queued delta"
+    );
 }
 
 #[test]
@@ -193,14 +199,16 @@ fn memory_protection_window_is_vulnerable() {
 #[test]
 fn space_overhead_matches_geometry() {
     for (region, expect) in [(64usize, 0.0625), (512, 0.0078125), (8192, 0.00048828125)] {
-        let config = DaliConfig::small(tmpdir(&format!("space{region}")))
+        let dir = tmpdir(&format!("space{region}"));
+        let config = DaliConfig::small(dir.path())
             .with_scheme(ProtectionScheme::ReadPrecheck)
             .with_region_size(region);
         let (db, _) = DaliEngine::create(config).unwrap();
         assert!((db.codeword_space_overhead() - expect).abs() < 1e-12);
     }
     // Baseline has no codeword table at all.
-    let config = DaliConfig::small(tmpdir("space-base"));
+    let dir = tmpdir("space-base");
+    let config = DaliConfig::small(dir.path());
     let (db, _) = DaliEngine::create(config).unwrap();
     assert_eq!(db.codeword_space_overhead(), 0.0);
 }

@@ -11,31 +11,26 @@ use dali::{
     DaliConfig, DaliEngine, FaultInjector, ProtectionScheme, RecoveryMode, TpcbConfig, TpcbDriver,
 };
 
-fn tmpdir(name: &str) -> std::path::PathBuf {
-    let d = std::env::temp_dir().join(format!(
-        "dali-tpcbcorr-{name}-{}-{}",
-        std::process::id(),
-        std::time::SystemTime::now()
-            .duration_since(std::time::UNIX_EPOCH)
-            .unwrap()
-            .as_nanos()
-    ));
-    std::fs::create_dir_all(&d).unwrap();
-    d
+fn tmpdir(name: &str) -> dali_testutil::TempDir {
+    dali_testutil::TempDir::new(&format!("tpcbcorr-{name}"))
 }
 
-fn build(name: &str, scheme: ProtectionScheme) -> (DaliConfig, DaliEngine, TpcbDriver) {
+fn build(
+    name: &str,
+    scheme: ProtectionScheme,
+) -> (DaliConfig, DaliEngine, TpcbDriver, dali_testutil::TempDir) {
     let wl = TpcbConfig::small();
-    let mut config = DaliConfig::small(tmpdir(name)).with_scheme(scheme);
+    let dir = tmpdir(name);
+    let mut config = DaliConfig::small(dir.path()).with_scheme(scheme);
     config.db_pages = wl.required_pages(config.page_size);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let driver = TpcbDriver::setup(&db, wl).unwrap();
-    (config, db, driver)
+    (config, db, driver, dir)
 }
 
 #[test]
 fn invariant_holds_after_delete_txn_recovery() {
-    let (config, db, mut driver) = build("inv", ProtectionScheme::ReadLogging);
+    let (config, db, mut driver, _dir) = build("inv", ProtectionScheme::ReadLogging);
     driver.run_ops(300).unwrap();
     db.checkpoint().unwrap();
     driver.run_ops(100).unwrap();
@@ -59,7 +54,7 @@ fn invariant_holds_after_delete_txn_recovery() {
 
 #[test]
 fn invariant_holds_after_cw_recovery_from_plain_crash() {
-    let (config, db, mut driver) = build("cw", ProtectionScheme::CwReadLogging);
+    let (config, db, mut driver, _dir) = build("cw", ProtectionScheme::CwReadLogging);
     driver.run_ops(200).unwrap();
     db.checkpoint().unwrap();
 
@@ -80,7 +75,8 @@ fn invariant_holds_after_cw_recovery_from_plain_crash() {
 #[test]
 fn repeated_corruption_recovery_cycles() {
     let wl = TpcbConfig::small();
-    let mut config = DaliConfig::small(tmpdir("cycles")).with_scheme(ProtectionScheme::ReadLogging);
+    let dir = tmpdir("cycles");
+    let mut config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::ReadLogging);
     config.db_pages = wl.required_pages(config.page_size);
     let (mut db, _) = DaliEngine::create(config.clone()).unwrap();
     let mut driver = TpcbDriver::setup(&db, wl.clone()).unwrap();
@@ -107,13 +103,16 @@ fn repeated_corruption_recovery_cycles() {
 
 #[test]
 fn mprotect_scheme_blocks_campaign_and_workload_continues() {
-    let (_config, db, mut driver) = build("mp", ProtectionScheme::MemoryProtection);
+    let (_config, db, mut driver, _dir) = build("mp", ProtectionScheme::MemoryProtection);
     driver.run_ops(100).unwrap();
 
     let inj = FaultInjector::new(&db);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
     let report = dali::faultinject::random_campaign(&inj, &mut rng, 100, 16).unwrap();
-    assert_eq!(report.trapped, 100, "all writes trapped outside update windows");
+    assert_eq!(
+        report.trapped, 100,
+        "all writes trapped outside update windows"
+    );
 
     driver.run_ops(100).unwrap();
     driver.verify_invariant().unwrap();
@@ -123,7 +122,7 @@ fn mprotect_scheme_blocks_campaign_and_workload_continues() {
 fn baseline_campaign_corrupts_silently_then_readlog_would_have_caught_it() {
     // Contrast experiment: identical campaign against Baseline (lands,
     // goes unnoticed) and against ReadLogging (detected at checkpoint).
-    let (_c1, db1, mut d1) = build("contrast-base", ProtectionScheme::Baseline);
+    let (_c1, db1, mut d1, _dir1) = build("contrast-base", ProtectionScheme::Baseline);
     d1.run_ops(50).unwrap();
     let v = d1.random_account();
     FaultInjector::new(&db1)
@@ -134,9 +133,12 @@ fn baseline_campaign_corrupts_silently_then_readlog_would_have_caught_it() {
     assert!(db1.audit().unwrap().clean(), "baseline audit sees nothing");
     // The invariant is now silently broken (the corrupted balance).
     let err = d1.verify_invariant();
-    assert!(err.is_err(), "corruption went undetected and broke the books");
+    assert!(
+        err.is_err(),
+        "corruption went undetected and broke the books"
+    );
 
-    let (c2, db2, mut d2) = build("contrast-rl", ProtectionScheme::ReadLogging);
+    let (c2, db2, mut d2, _dir2) = build("contrast-rl", ProtectionScheme::ReadLogging);
     d2.run_ops(50).unwrap();
     // A periodic audit runs clean here; without it, recovery's Audit_SN
     // would predate population and conservatively delete the population

@@ -1,0 +1,257 @@
+//! Minimal in-tree stand-in for the `bytes` crate.
+//!
+//! Provides `BytesMut` (a growable byte buffer backed by `Vec<u8>`) and
+//! the `Buf`/`BufMut` cursor traits with the little-endian accessors the
+//! workspace's log-record codecs use. Wired in via `[patch.crates-io]`
+//! because the build environment has no crates.io access; the real
+//! crate is a drop-in replacement.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable, contiguous byte buffer.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut { vec: Vec::new() }
+    }
+
+    pub fn with_capacity(capacity: usize) -> BytesMut {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.vec.capacity()
+    }
+
+    pub fn clear(&mut self) {
+        self.vec.clear();
+    }
+
+    pub fn truncate(&mut self, len: usize) {
+        self.vec.truncate(len);
+    }
+
+    pub fn resize(&mut self, new_len: usize, value: u8) {
+        self.vec.resize(new_len, value);
+    }
+
+    pub fn reserve(&mut self, additional: usize) {
+        self.vec.reserve(additional);
+    }
+
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Split off and return the first `at` bytes, leaving the rest.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let rest = self.vec.split_off(at);
+        BytesMut {
+            vec: std::mem::replace(&mut self.vec, rest),
+        }
+    }
+
+    /// Split off and return everything, leaving the buffer empty.
+    pub fn split(&mut self) -> BytesMut {
+        BytesMut {
+            vec: std::mem::take(&mut self.vec),
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.vec
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { vec: src.to_vec() }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(vec: Vec<u8>) -> BytesMut {
+        BytesMut { vec }
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in &self.vec {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+/// Read cursor over a byte source. Implemented for `&[u8]`, where
+/// consuming advances the slice itself.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(0xAB);
+        buf.put_u16_le(0x1234);
+        buf.put_u32_le(0xDEADBEEF);
+        buf.put_u64_le(0x0123_4567_89AB_CDEF);
+        buf.extend_from_slice(b"xyz");
+        assert_eq!(buf.len(), 1 + 2 + 4 + 8 + 3);
+
+        let mut cur: &[u8] = &buf;
+        assert_eq!(cur.get_u8(), 0xAB);
+        assert_eq!(cur.get_u16_le(), 0x1234);
+        assert_eq!(cur.get_u32_le(), 0xDEADBEEF);
+        assert_eq!(cur.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(cur, b"xyz");
+        cur.advance(3);
+        assert!(!cur.has_remaining());
+    }
+
+    #[test]
+    fn take_leaves_empty() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.extend_from_slice(b"abc");
+        let taken = std::mem::take(&mut buf);
+        assert_eq!(&taken[..], b"abc");
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn split_to_partitions() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(b"hello world");
+        let head = buf.split_to(5);
+        assert_eq!(&head[..], b"hello");
+        assert_eq!(&buf[..], b" world");
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut cur: &[u8] = &[1, 2];
+        let _ = cur.get_u32_le();
+    }
+}

@@ -1,0 +1,237 @@
+//! Minimal in-tree stand-in for the `criterion` crate.
+//!
+//! Implements the subset the `dali-bench` benches use: benchmark
+//! groups, `BenchmarkId`, `Throughput`, `Bencher::iter`/`iter_batched`,
+//! and the `criterion_group!`/`criterion_main!` macros. Instead of
+//! criterion's statistical machinery it runs a short warm-up, then
+//! measures a fixed window and prints mean time per iteration (and
+//! derived throughput when one was declared). Good enough to exercise
+//! the bench binaries offline; swap the real crate back in by dropping
+//! the `[patch.crates-io]` entry.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnMut(&mut Bencher)) {
+        run_one(&id.into().label, None, f);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// How `iter_batched` amortizes setup cost (ignored by this runner —
+/// setup is always per-iteration and excluded from timing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm up (also sizes the measurement batches).
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = WARMUP.as_nanos() as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 10_000);
+
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.iters_done += batch;
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine(setup()));
+        }
+
+        let deadline = Instant::now() + MEASURE;
+        while Instant::now() < deadline {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters_done += 1;
+        }
+    }
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{label:<50} (no iterations run)");
+        return;
+    }
+    let ns = b.elapsed.as_nanos() as f64 / b.iters_done as f64;
+    let extra = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>10.1} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / ns * 1e9)
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} {:>12.1} ns/iter{extra}", ns);
+}
+
+/// `criterion_group!(name, target, ...)` — defines `fn name()` running
+/// each target against a fresh `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — defines `fn main()` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("f", 64).label, "f/64");
+        assert_eq!(BenchmarkId::from_parameter("x").label, "x");
+    }
+
+    #[test]
+    fn group_builder_chains() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10)
+            .measurement_time(Duration::from_millis(1))
+            .throughput(Throughput::Elements(5));
+        g.finish();
+    }
+}

@@ -1,0 +1,110 @@
+//! Minimal in-tree stand-in for the `libc` crate (Linux).
+//!
+//! Declares only the FFI surface this workspace uses: `mmap`/`munmap`/
+//! `mprotect` for the protected database image, `sysconf(_SC_PAGESIZE)`,
+//! and `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)` for CPU-time metering.
+//! The symbols come from the system C library the binary links anyway;
+//! constants are the Linux generic ABI values. Wired in via
+//! `[patch.crates-io]` because the build environment has no crates.io
+//! access.
+
+#![allow(non_camel_case_types)]
+
+pub type c_void = std::ffi::c_void;
+pub type c_char = i8;
+pub type c_int = i32;
+pub type c_uint = u32;
+pub type c_long = i64;
+pub type c_ulong = u64;
+pub type size_t = usize;
+pub type ssize_t = isize;
+pub type off_t = i64;
+pub type time_t = i64;
+pub type clockid_t = c_int;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct timespec {
+    pub tv_sec: time_t,
+    pub tv_nsec: c_long,
+}
+
+pub const PROT_NONE: c_int = 0;
+pub const PROT_READ: c_int = 1;
+pub const PROT_WRITE: c_int = 2;
+pub const PROT_EXEC: c_int = 4;
+
+pub const MAP_PRIVATE: c_int = 0x0002;
+pub const MAP_ANONYMOUS: c_int = 0x0020;
+pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+
+pub const _SC_PAGESIZE: c_int = 30;
+
+pub const CLOCK_PROCESS_CPUTIME_ID: clockid_t = 2;
+pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
+pub const CLOCK_MONOTONIC: clockid_t = 1;
+
+extern "C" {
+    pub fn mmap(
+        addr: *mut c_void,
+        len: size_t,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: off_t,
+    ) -> *mut c_void;
+    pub fn munmap(addr: *mut c_void, len: size_t) -> c_int;
+    pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
+    pub fn sysconf(name: c_int) -> c_long;
+    pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_size_is_sane() {
+        let ps = unsafe { sysconf(_SC_PAGESIZE) };
+        assert!(ps >= 4096, "page size {ps}");
+        assert!(ps.count_ones() == 1, "page size {ps} not a power of two");
+    }
+
+    #[test]
+    fn mmap_mprotect_munmap_round_trip() {
+        unsafe {
+            let len = sysconf(_SC_PAGESIZE) as size_t;
+            let p = mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_PRIVATE | MAP_ANONYMOUS,
+                -1,
+                0,
+            );
+            assert_ne!(p, MAP_FAILED);
+            std::ptr::write_bytes(p as *mut u8, 0xCD, len);
+            assert_eq!(mprotect(p, len, PROT_READ), 0);
+            assert_eq!(std::ptr::read(p as *const u8), 0xCD);
+            assert_eq!(mprotect(p, len, PROT_READ | PROT_WRITE), 0);
+            assert_eq!(munmap(p, len), 0);
+        }
+    }
+
+    #[test]
+    fn cpu_clock_advances() {
+        unsafe {
+            let mut a = timespec { tv_sec: 0, tv_nsec: 0 };
+            assert_eq!(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut a), 0);
+            // Burn a little CPU.
+            let mut x = 0u64;
+            for i in 0..1_000_000u64 {
+                x = x.wrapping_add(i * i);
+            }
+            std::hint::black_box(x);
+            let mut b = timespec { tv_sec: 0, tv_nsec: 0 };
+            assert_eq!(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut b), 0);
+            assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));
+        }
+    }
+}

@@ -1,0 +1,595 @@
+//! Minimal in-tree stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`/`boxed`, integer-range
+//! and `any::<T>()` strategies, `collection::vec`, tuple strategies,
+//! `prop_oneof!`, the `prop_assert*`/`prop_assume!` macros, and
+//! `ProptestConfig { cases, max_shrink_iters, .. }`.
+//!
+//! Differences from the real crate, by design:
+//! * no shrinking — a failing case reports its inputs (via the panic
+//!   message) but is not minimized;
+//! * no `.proptest-regressions` persistence — regression seeds recorded
+//!   by the real crate are not replayed (checked-in regression files are
+//!   kept as documentation, and important regressions get explicit
+//!   deterministic tests);
+//! * case generation is deterministic per test (seeded from the test's
+//!   source location), so failures reproduce run-to-run.
+//!
+//! Wired in via `[patch.crates-io]` because the build environment has
+//! no crates.io access.
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Deterministic xoshiro256++ source used to drive strategies.
+    pub struct TestRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl TestRng {
+        pub fn from_seed(mut seed: u64) -> TestRng {
+            TestRng {
+                s: [
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                    splitmix64(&mut seed),
+                ],
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        /// Unbiased sample from `[0, n)`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            assert!(n > 0, "cannot sample empty range");
+            let zone = u64::MAX - (u64::MAX - n + 1) % n;
+            loop {
+                let v = self.next_u64();
+                if v <= zone {
+                    return v % n;
+                }
+            }
+        }
+    }
+
+    /// Failure (or rejection) raised inside a property-test body.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// Assertion failure: the property does not hold.
+        Fail(String),
+        /// `prop_assume!` rejection: the inputs are uninteresting.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "test case failed: {r}"),
+                TestCaseError::Reject(r) => write!(f, "test case rejected: {r}"),
+            }
+        }
+    }
+
+    /// Runner configuration; construct with struct-update syntax over
+    /// `Config::default()`.
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of generated cases per test.
+        pub cases: u32,
+        /// Accepted for compatibility; this runner never shrinks.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config {
+                cases: 256,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// Execute `body` for `config.cases` deterministic cases. Panics on
+    /// the first `Fail`; `Reject`ed cases are skipped (with a cap on
+    /// consecutive rejections to catch vacuous tests).
+    pub fn run_cases(
+        config: &Config,
+        source: &str,
+        line: u32,
+        body: impl Fn(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut seed = 0xB0BA_F377u64;
+        for b in source.bytes() {
+            seed = seed.wrapping_mul(0x100_0000_01B3).wrapping_add(b as u64);
+        }
+        seed = seed.wrapping_add((line as u64) << 32);
+
+        let mut rejects = 0u32;
+        let mut case = 0u64;
+        let mut executed = 0u32;
+        while executed < config.cases {
+            let mut rng = TestRng::from_seed(seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            case += 1;
+            match body(&mut rng) {
+                Ok(()) => {
+                    executed += 1;
+                    rejects = 0;
+                }
+                Err(TestCaseError::Reject(_)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects < 1024,
+                        "{source}:{line}: too many consecutive prop_assume! rejections"
+                    );
+                }
+                Err(TestCaseError::Fail(reason)) => {
+                    panic!(
+                        "proptest case {} failed at {source}:{line}: {reason}",
+                        case - 1
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Type-erased strategy (what `prop_oneof!` arms become).
+    pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Uniform choice among equally-weighted alternatives.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty => $via:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as $via).wrapping_sub(self.start as $via) as u64;
+                    self.start.wrapping_add(rng.below(span) as $t)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as $via).wrapping_sub(lo as $via) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    lo.wrapping_add(rng.below(span + 1) as $t)
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+    );
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// `any::<T>()` — uniform over the whole domain of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size bound for generated collections; half-open internally.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                min: *r.start(),
+                max_excl: *r.end() + 1,
+            }
+        }
+    }
+
+    /// `proptest::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection::SizeRange;
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from
+/// strategies. Bodies may use `prop_assert*`/`prop_assume!` and `?` on
+/// `Result<_, TestCaseError>`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(&__config, file!(), line!(), |__rng| {
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                    let __body = || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    };
+                    __body()
+                });
+            }
+        )*
+    };
+    ($($tt:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $($tt)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), left, right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`: {}\n  both: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)*), left
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    enum Step {
+        Read(usize),
+        Write(usize),
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in 0usize..100,
+            v in crate::collection::vec(any::<u8>(), 0..16),
+            b in any::<bool>(),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(v.len() < 16);
+            prop_assert!(b || !b);
+        }
+
+        #[test]
+        fn tuple_and_map(
+            pair in (0u32..10, 5i64..=9).prop_map(|(a, b)| (a as i64, b)),
+        ) {
+            prop_assert!(pair.0 < 10);
+            prop_assert!((5..=9).contains(&pair.1));
+            prop_assert_ne!(pair.1, 100);
+        }
+
+        #[test]
+        fn oneof_mixes_arms(step in prop_oneof![
+            (0usize..4).prop_map(Step::Read),
+            (0usize..4).prop_map(Step::Write),
+        ]) {
+            match step {
+                Step::Read(n) | Step::Write(n) => prop_assert!(n < 4),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8, max_shrink_iters: 0, ..ProptestConfig::default() })]
+        #[test]
+        fn config_applies(x in 0u64..1000) {
+            prop_assert_eq!(x, x);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(any::<u32>(), 3..7);
+        let mut r1 = TestRng::from_seed(42);
+        let mut r2 = TestRng::from_seed(42);
+        assert_eq!(strat.generate(&mut r1), strat.generate(&mut r2));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failing_property_panics() {
+        crate::test_runner::run_cases(
+            &ProptestConfig {
+                cases: 4,
+                ..ProptestConfig::default()
+            },
+            "inline",
+            0,
+            |_rng| Err(TestCaseError::fail("always fails")),
+        );
+    }
+}
