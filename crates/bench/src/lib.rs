@@ -430,6 +430,206 @@ pub fn format_scale_markdown(
     out
 }
 
+// -------------------------------------------------------------------
+// Lock-manager scaling (`lock_scale` bin)
+// -------------------------------------------------------------------
+
+use dali_common::{RecId, SlotId, TableId, TxnId};
+use dali_engine::{LockManager, LockMode};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// One cell of the raw lock-manager microbenchmark.
+#[derive(Clone, Copy, Debug)]
+pub struct LockMicroCell {
+    /// Granted lock acquisitions per wall-clock second (all threads).
+    pub locks_per_sec: f64,
+    /// Requests denied (timeout or deadlock victim), re-run after
+    /// `unlock_all`.
+    pub denials: usize,
+}
+
+/// Raw lock-manager throughput: `threads` workers each run `txns`
+/// mini-transactions of `locks_per_txn` exclusive locks followed by
+/// `unlock_all`, with no engine underneath — the lock table itself is
+/// the entire workload.
+///
+/// `overlap = false`: each worker draws from its own `space`-record
+/// range, so no request ever blocks and the measurement isolates lock
+/// *table* contention (the single mutex vs. sharded handoffs).
+/// `overlap = true`: all workers draw from one shared `space`-record
+/// range, adding real conflicts, condvar waits, wake-ups and (with
+/// unordered acquisition) genuine deadlocks, resolved by `detect` /
+/// the 100 ms timeout.
+pub fn run_lock_micro(
+    shards: usize,
+    threads: usize,
+    txns: usize,
+    locks_per_txn: usize,
+    space: u32,
+    overlap: bool,
+    detect: Option<Duration>,
+) -> LockMicroCell {
+    let mgr = Arc::new(LockManager::with_config(
+        Duration::from_millis(100),
+        shards,
+        detect,
+    ));
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let table = TableId(1);
+    let (results, elapsed): (Vec<(usize, usize)>, Duration) = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|k| {
+                let mgr = Arc::clone(&mgr);
+                let barrier = Arc::clone(&barrier);
+                s.spawn(move || {
+                    barrier.wait();
+                    let mut granted = 0usize;
+                    let mut denials = 0usize;
+                    // Cheap deterministic per-thread stream (splitmix-ish).
+                    let mut x: u64 = 0x9E37_79B9 ^ (k as u64) << 32 | 1;
+                    let mut step = |m: u32| -> u32 {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        ((x >> 33) as u32) % m
+                    };
+                    for i in 0..txns {
+                        let txn = TxnId(((k as u64) << 40) | i as u64);
+                        let mut held = 0usize;
+                        while held < locks_per_txn {
+                            let slot = if overlap {
+                                step(space)
+                            } else {
+                                k as u32 * space + step(space)
+                            };
+                            let rec = RecId::new(table, SlotId(slot));
+                            match mgr.lock(txn, rec, LockMode::Exclusive) {
+                                Ok(()) => held += 1,
+                                Err(_) => {
+                                    // Deadlock victim or timeout:
+                                    // release and re-run the txn.
+                                    mgr.unlock_all(txn);
+                                    denials += 1;
+                                    held = 0;
+                                }
+                            }
+                        }
+                        granted += held;
+                        mgr.unlock_all(txn);
+                    }
+                    (granted, denials)
+                })
+            })
+            .collect();
+        // Start the clock before releasing the barrier: on a 1-CPU host
+        // the workers can otherwise finish before this thread is
+        // rescheduled to read the clock, inflating the rate absurdly.
+        // The error is bounded by barrier-arrival skew and only
+        // underestimates throughput.
+        let start = Instant::now();
+        barrier.wait();
+        let results = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        (results, start.elapsed())
+    });
+    let granted: usize = results.iter().map(|r| r.0).sum();
+    let denials: usize = results.iter().map(|r| r.1).sum();
+    LockMicroCell {
+        locks_per_sec: granted as f64 / elapsed.as_secs_f64(),
+        denials,
+    }
+}
+
+/// Median time for a deadlock victim to be denied, over `reps`
+/// two-transaction X/X cross-waits. With `detect` enabled this is the
+/// detector latency (interval + walk); with `None` it is the full
+/// `timeout`.
+pub fn measure_deadlock_latency(
+    detect: Option<Duration>,
+    timeout: Duration,
+    reps: usize,
+) -> Duration {
+    let mut times = Vec::with_capacity(reps);
+    for i in 0..reps as u64 {
+        let m = Arc::new(LockManager::with_config(timeout, 4, detect));
+        let (t1, t2) = (TxnId(2 * i + 1), TxnId(2 * i + 2));
+        let (r1, r2) = (
+            RecId::new(TableId(1), SlotId(1)),
+            RecId::new(TableId(1), SlotId(2)),
+        );
+        m.lock(t1, r1, LockMode::Exclusive).unwrap();
+        m.lock(t2, r2, LockMode::Exclusive).unwrap();
+        let m2 = Arc::clone(&m);
+        let start = Instant::now();
+        let h = std::thread::spawn(move || {
+            let r = m2.lock(t2, r1, LockMode::Exclusive);
+            let at = start.elapsed();
+            m2.unlock_all(t2);
+            (r.is_err(), at)
+        });
+        let r1res = m.lock(t1, r2, LockMode::Exclusive);
+        let t1_at = start.elapsed();
+        let (t2_denied, t2_at) = h.join().unwrap();
+        m.unlock_all(t1);
+        // Time until the first denial (the victim's abort).
+        let mut denied_at = Vec::new();
+        if r1res.is_err() {
+            denied_at.push(t1_at);
+        }
+        if t2_denied {
+            denied_at.push(t2_at);
+        }
+        times.push(denied_at.into_iter().min().expect("no side was denied"));
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Measure one contended TPC-B cell: like [`run_scale_cell`] but the
+/// workers draw from overlapping (full) row ranges, with `lock_shards`
+/// shards, the given detector setting and lock timeout. Buffered
+/// commits: the interesting regime is lock-table traffic, not fsync
+/// overlap.
+pub fn run_contended_cell(
+    scheme: ProtectionScheme,
+    wl: &TpcbConfig,
+    threads: usize,
+    ops: usize,
+    lock_shards: usize,
+    detect: Option<Duration>,
+    lock_timeout: Duration,
+) -> ScaleCell {
+    let mut config = DaliConfig::small(scratch_dir(&format!(
+        "lockscale-{lock_shards}sh-{threads}t"
+    )))
+    .with_scheme(scheme)
+    .with_lock_shards(lock_shards);
+    config.deadlock_detect_interval = detect;
+    config.lock_timeout = lock_timeout;
+    config.db_pages = wl.required_pages(config.page_size);
+    config.sync_commit = false;
+    let (db, _) = DaliEngine::create(config).expect("create db");
+    let mut driver = TpcbDriver::setup(&db, wl.clone()).expect("populate");
+    let stats = driver
+        .run_concurrent_contended(threads, ops)
+        .expect("contended run");
+    driver.verify_invariant().expect("invariant");
+    assert_eq!(
+        db.db().locks.locked_records(),
+        0,
+        "locks leaked after quiesce"
+    );
+    let dir = db.config().dir.clone();
+    drop(driver);
+    drop(db);
+    let _ = std::fs::remove_dir_all(dir);
+    ScaleCell {
+        wall_ops_per_sec: stats.ops_per_sec(),
+        cpu_us_per_op: stats.cpu_us_per_op(),
+        retries: stats.retries,
+    }
+}
+
 /// Paper Table 1 reference rows: platform, pairs/second (1998 hardware).
 pub fn table1_paper_rows() -> Vec<(&'static str, f64)> {
     vec![

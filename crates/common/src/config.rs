@@ -165,6 +165,17 @@ pub struct DaliConfig {
     /// How long a lock request waits before being denied (deadlock
     /// resolution by timeout).
     pub lock_timeout: Duration,
+    /// Number of record-lock table shards (rounded up to a power of
+    /// two). `0` = one shard per available CPU. Partitioned workloads
+    /// never contend on the lock table either way; sharding keeps
+    /// cross-partition workloads from serializing every lock/unlock
+    /// through one table mutex.
+    pub lock_shards: usize,
+    /// `Some(interval)`: blocked lock requests run a wait-for-graph
+    /// cycle check every `interval`, so genuine deadlocks abort (the
+    /// youngest transaction in the cycle) within milliseconds instead of
+    /// burning the full `lock_timeout`. `None`: timeout-only resolution.
+    pub deadlock_detect_interval: Option<Duration>,
     /// Capacity hint for the in-memory system-log tail, in bytes.
     pub log_tail_capacity: usize,
     /// Lay allocation bitmaps out adjacent to their table's data instead
@@ -191,6 +202,8 @@ impl DaliConfig {
             audit_on_checkpoint: true,
             mprotect_real: true,
             lock_timeout: Duration::from_secs(2),
+            lock_shards: 0,
+            deadlock_detect_interval: Some(Duration::from_millis(5)),
             log_tail_capacity: 4 << 20,
             colocate_control: false,
         }
@@ -212,6 +225,25 @@ impl DaliConfig {
     pub fn with_region_size(mut self, region_size: usize) -> Self {
         self.region_size = region_size;
         self
+    }
+
+    /// Builder-style lock-shard-count selection (`0` = auto).
+    pub fn with_lock_shards(mut self, lock_shards: usize) -> Self {
+        self.lock_shards = lock_shards;
+        self
+    }
+
+    /// The effective lock-shard count: `lock_shards`, or one per
+    /// available CPU when `0`, rounded up to a power of two.
+    pub fn resolved_lock_shards(&self) -> usize {
+        let n = if self.lock_shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.lock_shards
+        };
+        n.next_power_of_two()
     }
 
     /// Validate internal consistency; returns a description of the first
@@ -322,8 +354,20 @@ mod tests {
     fn builders_chain() {
         let c = DaliConfig::small("/tmp/x")
             .with_scheme(ProtectionScheme::ReadPrecheck)
-            .with_region_size(512);
+            .with_region_size(512)
+            .with_lock_shards(6);
         assert_eq!(c.scheme, ProtectionScheme::ReadPrecheck);
         assert_eq!(c.region_size, 512);
+        assert_eq!(c.lock_shards, 6);
+    }
+
+    #[test]
+    fn lock_shards_resolve_to_power_of_two() {
+        let c = DaliConfig::small("/tmp/x");
+        let auto = c.resolved_lock_shards();
+        assert!(auto >= 1 && auto.is_power_of_two());
+        assert_eq!(c.clone().with_lock_shards(1).resolved_lock_shards(), 1);
+        assert_eq!(c.clone().with_lock_shards(6).resolved_lock_shards(), 8);
+        assert_eq!(c.with_lock_shards(8).resolved_lock_shards(), 8);
     }
 }

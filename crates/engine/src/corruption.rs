@@ -227,7 +227,7 @@ pub fn cache_repair(db: &std::sync::Arc<Db>, ranges: &[(DbAddr, usize)]) -> Resu
                 }
             }
             drop(st);
-            db.locks.release_all(id);
+            db.locks.unlock_all(id);
             db.att.remove(id);
         }
     }

@@ -49,6 +49,9 @@ pub struct Db {
     pub protector: PageProtector,
     pub syslog: SystemLog,
     pub att: Att,
+    /// Record-lock table, sharded by record-id hash
+    /// ([`DaliConfig::lock_shards`]), with optional wait-for-graph
+    /// deadlock detection.
     pub locks: LockManager,
     pub catalog: RwLock<Catalog>,
     pub heaps: RwLock<Vec<Arc<HeapRuntime>>>,

@@ -41,6 +41,7 @@ pub mod txn;
 
 pub use ckpt::CheckpointOutcome;
 pub use corruption::{CorruptionMarker, RangeSet};
+pub use lock::{LockManager, LockMode};
 pub use recovery::{RecoveryMode, RecoveryOutcome};
 pub use txn::TxnHandle;
 

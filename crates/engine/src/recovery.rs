@@ -123,7 +123,11 @@ pub(crate) fn build_db(
         .iter()
         .map(|m| Arc::new(HeapRuntime::new(m.clone())))
         .collect();
-    let lock_timeout = config.lock_timeout;
+    let locks = LockManager::with_config(
+        config.lock_timeout,
+        config.resolved_lock_shards(),
+        config.deadlock_detect_interval,
+    );
     let db = Arc::new(Db {
         config,
         image,
@@ -131,7 +135,7 @@ pub(crate) fn build_db(
         protector,
         syslog,
         att: Att::new(),
-        locks: LockManager::new(lock_timeout),
+        locks,
         catalog: RwLock::new(catalog),
         heaps: RwLock::new(heaps),
         quiesce: RwLock::new(()),

@@ -194,6 +194,20 @@ impl TxnHandle {
         Ok(rec)
     }
 
+    /// Take the exclusive record lock without reading or writing —
+    /// update intent, the read-for-update idiom.
+    ///
+    /// A read-modify-write that starts with [`read`](Self::read) takes a
+    /// shared lock and must upgrade inside [`update`](Self::update);
+    /// two transactions interleaving that on the same record deadlock
+    /// every time (both hold shared, neither upgrade can be granted).
+    /// Locking exclusively up front makes the sequence deadlock-free
+    /// with respect to that record.
+    pub fn lock_exclusive(&self, rec: RecId) -> Result<()> {
+        self.db.check_alive()?;
+        self.db.locks.lock(self.id, rec, LockMode::Exclusive)
+    }
+
     /// Update a record in place.
     pub fn update(&self, rec: RecId, data: &[u8]) -> Result<()> {
         self.db.check_alive()?;
@@ -293,7 +307,7 @@ impl TxnHandle {
             }
         }
         self.db.syslog.flush(self.db.config.sync_commit)?;
-        self.db.locks.release_all(self.id);
+        self.db.locks.unlock_all(self.id);
         self.db.att.remove(self.id);
         EngineStats::bump(&self.db.stats.commits);
         Ok(())
@@ -322,7 +336,7 @@ impl TxnHandle {
             }
         }
         self.db.syslog.flush(false)?;
-        self.db.locks.release_all(self.id);
+        self.db.locks.unlock_all(self.id);
         self.db.att.remove(self.id);
         EngineStats::bump(&self.db.stats.aborts);
         Ok(())

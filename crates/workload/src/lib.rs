@@ -23,7 +23,7 @@ use records::{balance_of, encode_account, encode_branch, encode_history, encode_
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Workload sizing.
 #[derive(Clone, Debug)]
@@ -170,13 +170,15 @@ fn partition(n: usize, threads: usize, k: usize) -> std::ops::Range<usize> {
     (k * n / threads)..((k + 1) * n / threads)
 }
 
-/// One worker thread's state: a disjoint partition of the account,
-/// teller and branch rows plus its own RNG stream and history-ring
-/// share. Partitions keep TPC-B workers conflict-free in the lock
-/// manager (protection latches on shared region boundaries still
-/// contend), and make the run deterministic for a given
-/// `(seed, threads)` pair: each worker's operation sequence depends
-/// only on its own RNG.
+/// One worker thread's state: a slice of the account, teller and branch
+/// rows plus its own RNG stream and history-ring share. In partitioned
+/// mode the slices are disjoint, keeping TPC-B workers conflict-free in
+/// the lock manager (protection latches on shared region boundaries
+/// still contend); in contended mode every worker gets the full ranges
+/// and lock conflicts are resolved by abort-and-retry. Either way a run
+/// is deterministic for a given `(seed, threads)` pair: each worker's
+/// operation sequence depends only on its own RNG, and retries rewind
+/// it.
 struct Worker {
     engine: DaliEngine,
     history: TableId,
@@ -195,14 +197,20 @@ struct Worker {
     ring: VecDeque<RecId>,
     /// Shared monotonic op counter feeding history record ids.
     op_counter: Arc<AtomicU64>,
+    /// Contended workers exclusive-lock a record before the
+    /// read-modify-write (read-for-update), because two workers taking
+    /// shared locks on the same record and then upgrading deadlock every
+    /// time. Partitioned workers never share rows, so they keep the
+    /// plain shared-read path.
+    lock_for_update: bool,
 }
 
 impl Worker {
     /// Run one transaction of `ops` operations; returns the number of
     /// retries. A lock denial aborts the transaction and re-runs it from
-    /// the same RNG state (disjoint partitions make TPC-B workers
-    /// conflict-free among themselves, but callers may run concurrent
-    /// ad-hoc transactions — e.g. invariant checks — that do conflict).
+    /// the same RNG state. Partitioned workers only conflict with
+    /// concurrent ad-hoc transactions (e.g. invariant checks); contended
+    /// workers also conflict — and deadlock — with each other.
     fn run_txn(&mut self, ops: usize) -> Result<usize> {
         let margin = 2 * self.ops_per_txn + 64;
         let mut retries = 0usize;
@@ -233,6 +241,9 @@ impl Worker {
                             encode_branch as fn(u64, i64) -> Vec<u8>,
                         ),
                     ] {
+                        if self.lock_for_update {
+                            txn.lock_exclusive(rec)?;
+                        }
                         let cur = txn.read_vec(rec)?;
                         let bal = balance_of(&cur);
                         txn.update(rec, &encode(rec.slot.0 as u64, bal + delta))?;
@@ -273,6 +284,13 @@ impl Worker {
                             "concurrent TPC-B worker starved: 1000 lock denials".into(),
                         ));
                     }
+                    // Back off before re-running. A victim restarts with
+                    // a fresh (larger) TxnId, so the youngest-victim
+                    // deadlock policy dooms an immediate retry again in
+                    // any repeat collision; a short, growing pause breaks
+                    // these retry storms. Sleeping changes only timing,
+                    // never the replayed operation sequence.
+                    std::thread::sleep(Duration::from_micros(50u64 << retries.min(6)));
                 }
                 Err(e) => {
                     let _ = txn.abort();
@@ -484,10 +502,41 @@ impl TpcbDriver {
     /// delta to exactly one account, teller and branch — and is checked
     /// by callers via [`TpcbDriver::verify_invariant`].
     pub fn run_concurrent(&mut self, threads: usize, n_ops: usize) -> Result<ConcurrentStats> {
+        self.run_workers(threads, n_ops, false)
+    }
+
+    /// Run `n_ops` operations split across `threads` workers that all
+    /// draw from the *full* account, teller and branch ranges — the
+    /// contended counterpart of [`TpcbDriver::run_concurrent`].
+    ///
+    /// Overlapping ranges make record-lock conflicts (and genuine
+    /// deadlocks: each operation locks an account, a teller and a branch
+    /// in that order, but a transaction's operations interleave those
+    /// orders across rows) a routine event rather than an impossibility.
+    /// A denied worker aborts, rewinds its RNG, and re-runs the
+    /// transaction, so every planned operation still executes exactly
+    /// once; the balance sums — and therefore the TPC-B invariant — stay
+    /// deterministic for a given `(seed, threads, n_ops)` triple because
+    /// each delta is applied to its row exactly once regardless of
+    /// interleaving.
+    pub fn run_concurrent_contended(
+        &mut self,
+        threads: usize,
+        n_ops: usize,
+    ) -> Result<ConcurrentStats> {
+        self.run_workers(threads, n_ops, true)
+    }
+
+    fn run_workers(
+        &mut self,
+        threads: usize,
+        n_ops: usize,
+        contended: bool,
+    ) -> Result<ConcurrentStats> {
         if threads == 0 {
             return Err(DaliError::InvalidArg("run_concurrent: zero threads".into()));
         }
-        if threads > self.branch_recs.len() {
+        if !contended && threads > self.branch_recs.len() {
             return Err(DaliError::InvalidArg(format!(
                 "run_concurrent: {threads} threads but only {} branches; \
                  a worker's branch partition would be empty",
@@ -502,9 +551,21 @@ impl TpcbDriver {
         let mut existing: VecDeque<RecId> = std::mem::take(&mut self.history_ring);
         let mut workers = Vec::with_capacity(threads);
         for k in 0..threads {
-            let ar = partition(self.account_recs.len(), threads, k);
-            let tr = partition(self.teller_recs.len(), threads, k);
-            let br = partition(self.branch_recs.len(), threads, k);
+            // Contended workers share every row; partitioned workers own
+            // disjoint contiguous slices.
+            let (ar, tr, br) = if contended {
+                (
+                    0..self.account_recs.len(),
+                    0..self.teller_recs.len(),
+                    0..self.branch_recs.len(),
+                )
+            } else {
+                (
+                    partition(self.account_recs.len(), threads, k),
+                    partition(self.teller_recs.len(), threads, k),
+                    partition(self.branch_recs.len(), threads, k),
+                )
+            };
             let ring_take = existing.len() / (threads - k);
             workers.push(Worker {
                 engine: self.engine.clone(),
@@ -524,6 +585,7 @@ impl TpcbDriver {
                 ),
                 ring: existing.drain(..ring_take).collect(),
                 op_counter: Arc::clone(&op_counter),
+                lock_for_update: contended,
             });
         }
 
@@ -764,6 +826,58 @@ mod tests {
         d.verify_invariant().unwrap();
         let (_, _, _, h) = d.tables();
         assert!(db.record_count(h).unwrap() <= cfg.history_capacity);
+    }
+
+    #[test]
+    fn contended_preserves_invariant() {
+        let mut cfg = TpcbConfig::small();
+        cfg.ops_per_txn = 5; // short transactions: conflicts resolve fast
+        let dir = tmpdir("cont-inv");
+        // Multiple shards so the cross-shard unlock sweep is exercised
+        // even on a single-CPU host (where auto-sharding picks 1).
+        let mut c = DaliConfig::small(dir.path())
+            .with_scheme(ProtectionScheme::DataCodeword)
+            .with_lock_shards(8);
+        c.db_pages = cfg.required_pages(c.page_size);
+        let (db, _) = DaliEngine::create(c).unwrap();
+        let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+        let stats = d.run_concurrent_contended(4, 400).unwrap();
+        assert_eq!(stats.ops, 400);
+        d.verify_invariant().unwrap();
+        let (_, _, _, h) = d.tables();
+        assert_eq!(db.record_count(h).unwrap(), 400);
+        // Quiesced: every lock was released.
+        assert_eq!(db.db().locks.locked_records(), 0);
+    }
+
+    #[test]
+    fn contended_deterministic_total_given_seed_and_threads() {
+        // Interleavings differ run to run, but each worker's deltas are
+        // applied exactly once, so the common balance sum is a function
+        // of (seed, threads, n_ops) only.
+        let mut cfg = TpcbConfig::small();
+        cfg.ops_per_txn = 5;
+        let (db1, _dir1) = engine(ProtectionScheme::Baseline, "cont-det1", &cfg);
+        let mut d1 = TpcbDriver::setup(&db1, cfg.clone()).unwrap();
+        d1.run_concurrent_contended(3, 300).unwrap();
+        let v1 = d1.verify_invariant().unwrap();
+
+        let (db2, _dir2) = engine(ProtectionScheme::Baseline, "cont-det2", &cfg);
+        let mut d2 = TpcbDriver::setup(&db2, cfg).unwrap();
+        d2.run_concurrent_contended(3, 300).unwrap();
+        assert_eq!(v1, d2.verify_invariant().unwrap());
+    }
+
+    #[test]
+    fn contended_allows_more_threads_than_branches() {
+        // No partitioning, so the branch-count cap does not apply.
+        let mut cfg = TpcbConfig::small();
+        cfg.branches = 2;
+        cfg.ops_per_txn = 5;
+        let (db, _dir) = engine(ProtectionScheme::Baseline, "cont-wide", &cfg);
+        let mut d = TpcbDriver::setup(&db, cfg).unwrap();
+        d.run_concurrent_contended(4, 100).unwrap();
+        d.verify_invariant().unwrap();
     }
 
     #[test]

@@ -69,6 +69,8 @@ pub use dali_common::{
     DaliConfig, DaliError, DbAddr, Lsn, PageId, ProtectionScheme, RecId, Result, SlotId, TableId,
     TxnId,
 };
-pub use dali_engine::{CheckpointOutcome, DaliEngine, RecoveryMode, RecoveryOutcome, TxnHandle};
+pub use dali_engine::{
+    CheckpointOutcome, DaliEngine, LockManager, LockMode, RecoveryMode, RecoveryOutcome, TxnHandle,
+};
 pub use dali_faultinject::{FaultInjector, InjectionEffect};
 pub use dali_workload::{RunStats, TpcbConfig, TpcbDriver};

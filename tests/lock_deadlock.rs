@@ -1,0 +1,225 @@
+//! Deterministic deadlock tests: the two canonical shapes — an X/X
+//! cross wait over two records and a two-reader upgrade collision on
+//! one record — must resolve, never hang, under both resolution
+//! policies:
+//!
+//! * **wait-for-graph detector on**: the youngest transaction (largest
+//!   `TxnId`) is doomed within a few detection intervals, far below the
+//!   lock timeout; the survivor's request is granted once the victim
+//!   releases; the victim's locks are fully released afterwards;
+//! * **detector off**: the timeout fires instead — slower, but the
+//!   system still makes progress.
+//!
+//! The same cross wait is also driven end-to-end through engine
+//! transactions (`TxnHandle`), where a lock denial surfaces to the
+//! caller as abort-and-retry.
+
+use dali::{
+    DaliConfig, DaliEngine, DaliError, LockManager, LockMode, ProtectionScheme, RecId, SlotId,
+    TableId, TxnId,
+};
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
+
+fn rec(n: u32) -> RecId {
+    RecId::new(TableId(1), SlotId(n))
+}
+
+/// Long enough that a test reaching it has hung in practice; the
+/// detector variants must resolve about three orders of magnitude
+/// faster.
+const LONG_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Drive an X/X cross wait: t1 holds r1 and wants r2, t2 holds r2 and
+/// wants r1. Returns (t1's second-lock outcome, t2's second-lock
+/// outcome, elapsed).
+fn cross_wait(mgr: &LockManager) -> (Result<(), DaliError>, Result<(), DaliError>, Duration) {
+    let (t1, t2) = (TxnId(1), TxnId(2));
+    let (r1, r2) = (rec(1), rec(2));
+    mgr.lock(t1, r1, LockMode::Exclusive).unwrap();
+    mgr.lock(t2, r2, LockMode::Exclusive).unwrap();
+    let barrier = Barrier::new(2);
+    let start = Instant::now();
+    let (res1, res2) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            barrier.wait();
+            let r = mgr.lock(t2, r1, LockMode::Exclusive);
+            if r.is_err() {
+                // The caller contract on denial: abort, releasing
+                // everything the transaction holds.
+                mgr.unlock_all(t2);
+            }
+            r
+        });
+        barrier.wait();
+        // Give t2's request time to block so the cycle actually forms.
+        std::thread::sleep(Duration::from_millis(20));
+        let r = mgr.lock(t1, r2, LockMode::Exclusive);
+        if r.is_err() {
+            mgr.unlock_all(t1);
+        }
+        (r, h.join().unwrap())
+    });
+    (res1, res2, start.elapsed())
+}
+
+#[test]
+fn cross_wait_detector_dooms_youngest_and_survivor_completes() {
+    let mgr = LockManager::with_config(LONG_TIMEOUT, 8, Some(Duration::from_millis(2)));
+    let (res1, res2, elapsed) = cross_wait(&mgr);
+    // The youngest transaction (t2) is the victim; t1 survives and gets
+    // its lock as soon as t2's abort releases r2.
+    assert!(res1.is_ok(), "survivor was denied: {res1:?}");
+    match res2 {
+        Err(DaliError::LockDenied { txn, .. }) => assert_eq!(txn, TxnId(2)),
+        other => panic!("victim outcome should be LockDenied, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "detector took {elapsed:?}; deadlock was resolved by something other than detection"
+    );
+    // The survivor still holds r1 + r2; the victim holds nothing.
+    assert_eq!(mgr.held_mode(TxnId(1), rec(1)), Some(LockMode::Exclusive));
+    assert_eq!(mgr.held_mode(TxnId(1), rec(2)), Some(LockMode::Exclusive));
+    assert_eq!(mgr.held_mode(TxnId(2), rec(1)), None);
+    assert_eq!(mgr.held_mode(TxnId(2), rec(2)), None);
+    mgr.unlock_all(TxnId(1));
+    assert_eq!(mgr.locked_records(), 0, "locks leaked after quiesce");
+}
+
+#[test]
+fn cross_wait_timeout_resolves_without_detector() {
+    let mgr = LockManager::with_config(Duration::from_millis(150), 8, None);
+    let (res1, res2, elapsed) = cross_wait(&mgr);
+    // With timeout-only resolution at least one side must be denied;
+    // whichever side survives (if any) keeps its locks.
+    assert!(
+        res1.is_err() || res2.is_err(),
+        "a deadlocked pair cannot both be granted"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout resolution hung for {elapsed:?}"
+    );
+    mgr.unlock_all(TxnId(1));
+    mgr.unlock_all(TxnId(2));
+    assert_eq!(mgr.locked_records(), 0, "locks leaked after quiesce");
+}
+
+/// Two readers on one record that both request the upgrade: neither can
+/// be granted (each blocks on the other's shared hold) — deadlock.
+fn upgrade_collision(
+    mgr: &LockManager,
+) -> (Result<(), DaliError>, Result<(), DaliError>, Duration) {
+    let (t1, t2) = (TxnId(1), TxnId(2));
+    let r = rec(7);
+    mgr.lock(t1, r, LockMode::Shared).unwrap();
+    mgr.lock(t2, r, LockMode::Shared).unwrap();
+    let barrier = Barrier::new(2);
+    let start = Instant::now();
+    let (res1, res2) = std::thread::scope(|s| {
+        let h = s.spawn(|| {
+            barrier.wait();
+            let res = mgr.lock(t2, r, LockMode::Exclusive);
+            if res.is_err() {
+                mgr.unlock_all(t2);
+            }
+            res
+        });
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(20));
+        let res = mgr.lock(t1, r, LockMode::Exclusive);
+        if res.is_err() {
+            mgr.unlock_all(t1);
+        }
+        (res, h.join().unwrap())
+    });
+    (res1, res2, start.elapsed())
+}
+
+#[test]
+fn upgrade_deadlock_detector_dooms_youngest_reader() {
+    let mgr = LockManager::with_config(LONG_TIMEOUT, 8, Some(Duration::from_millis(2)));
+    let (res1, res2, elapsed) = upgrade_collision(&mgr);
+    assert!(res1.is_ok(), "older reader's upgrade was denied: {res1:?}");
+    match res2 {
+        Err(DaliError::LockDenied { txn, .. }) => assert_eq!(txn, TxnId(2)),
+        other => panic!("younger reader should be the victim, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "upgrade deadlock took {elapsed:?} to resolve"
+    );
+    // t1 ends up sole exclusive holder.
+    assert_eq!(mgr.held_mode(TxnId(1), rec(7)), Some(LockMode::Exclusive));
+    mgr.unlock_all(TxnId(1));
+    assert_eq!(mgr.locked_records(), 0, "locks leaked after quiesce");
+}
+
+#[test]
+fn upgrade_deadlock_timeout_resolves_without_detector() {
+    let mgr = LockManager::with_config(Duration::from_millis(150), 8, None);
+    let (res1, res2, elapsed) = upgrade_collision(&mgr);
+    assert!(
+        res1.is_err() || res2.is_err(),
+        "colliding upgrades cannot both be granted"
+    );
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "timeout resolution hung for {elapsed:?}"
+    );
+    mgr.unlock_all(TxnId(1));
+    mgr.unlock_all(TxnId(2));
+    assert_eq!(mgr.locked_records(), 0, "locks leaked after quiesce");
+}
+
+/// The same cross wait through real engine transactions: the victim's
+/// update fails with `LockDenied`, it aborts, and the survivor commits.
+/// Verifies the error surface and lock release end-to-end rather than
+/// against the bare lock manager.
+#[test]
+fn engine_transactions_resolve_cross_update_deadlock() {
+    let dir = dali_testutil::TempDir::new("engine-deadlock");
+    let mut config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::DataCodeword);
+    config.lock_timeout = LONG_TIMEOUT;
+    config.deadlock_detect_interval = Some(Duration::from_millis(2));
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let table = db.create_table("pair", 16, 64).unwrap();
+    let setup = db.begin().unwrap();
+    let r1 = setup.insert(table, &[1u8; 16]).unwrap();
+    let r2 = setup.insert(table, &[2u8; 16]).unwrap();
+    setup.commit().unwrap();
+
+    let start = Instant::now();
+    // txn_a is older than txn_b, so txn_b is the victim.
+    let txn_a = db.begin().unwrap();
+    let txn_b = db.begin().unwrap();
+    txn_a.update(r1, &[11u8; 16]).unwrap();
+    txn_b.update(r2, &[22u8; 16]).unwrap();
+    let barrier = Barrier::new(2);
+    std::thread::scope(|s| {
+        let victim = s.spawn(|| {
+            barrier.wait();
+            match txn_b.update(r1, &[33u8; 16]) {
+                Err(DaliError::LockDenied { .. }) => txn_b.abort().unwrap(),
+                other => panic!("victim update should be LockDenied, got {other:?}"),
+            }
+        });
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(20));
+        txn_a.update(r2, &[44u8; 16]).unwrap();
+        txn_a.commit().unwrap();
+        victim.join().unwrap();
+    });
+    assert!(
+        start.elapsed() < Duration::from_secs(10),
+        "engine deadlock resolution took {:?}",
+        start.elapsed()
+    );
+    // Survivor's writes stuck, victim's rolled back, no locks remain.
+    let check = db.begin().unwrap();
+    assert_eq!(check.read_vec(r1).unwrap(), vec![11u8; 16]);
+    assert_eq!(check.read_vec(r2).unwrap(), vec![44u8; 16]);
+    check.commit().unwrap();
+    assert_eq!(db.db().locks.locked_records(), 0, "locks leaked");
+}

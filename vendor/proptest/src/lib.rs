@@ -116,8 +116,18 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Config {
+            // Like the real crate, `PROPTEST_CASES` overrides the
+            // default case count — CI bumps it for deeper runs without
+            // touching per-test configs. A test that sets `cases`
+            // explicitly (rather than `.. Config::default()`) is pinned
+            // and unaffected.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or(256);
             Config {
-                cases: 256,
+                cases,
                 max_shrink_iters: 1024,
             }
         }
