@@ -1,0 +1,176 @@
+//! Network scaling: N client connections of contended TPC-B against one
+//! server, swept over the group-commit window.
+//!
+//! Every cell runs with durable commits (`sync_commit`), which is the
+//! regime group commit exists for: without a window every commit pays
+//! its own fsync; with one, concurrent committers from different
+//! connections share a single fsync, so fsyncs/txn drops as the client
+//! count grows. Throughput and fsyncs/txn per cell come from the
+//! server's `Stats` verb (the `SystemLog` flush/fsync counters).
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin net_scale [-- options]
+//!
+//! Options:
+//!   --ops N          TPC-B operations per cell (default 2000)
+//!   --reps N         repetitions per cell, median reported (default 3)
+//!   --clients LIST   comma-separated client counts (default 1,2,4,8)
+//!   --windows LIST   comma-separated commit windows in ms (default 0,0.5,2)
+//!   --ops-per-txn N  operations per transaction (default 4: commit-heavy)
+//!   --quick          one rep, smaller cells (CI smoke)
+
+use dali_bench::scratch_dir;
+use dali_common::{DaliConfig, ProtectionScheme};
+use dali_engine::DaliEngine;
+use dali_net::{DaliClient, DaliServer, NetTpcbDriver};
+use dali_workload::TpcbConfig;
+use std::time::Duration;
+
+const USAGE: &str = "usage: net_scale [--ops N] [--reps N] [--clients LIST] \
+                     [--windows LIST] [--ops-per-txn N] [--quick]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list<T: std::str::FromStr>(v: &str, flag: &str) -> Vec<T> {
+    v.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} must be comma-separated numbers")))
+        })
+        .collect()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+/// One cell's outcome.
+struct NetCell {
+    ops_per_sec: f64,
+    /// fsyncs issued per durable commit — 1.0 means no sharing at all.
+    fsyncs_per_txn: f64,
+    retries: usize,
+}
+
+/// Run `clients` connections of contended TPC-B against a fresh server
+/// with the given commit window; durable commits throughout.
+fn run_net_cell(wl: &TpcbConfig, clients: usize, ops: usize, window: Duration) -> NetCell {
+    let mut config = DaliConfig::small(scratch_dir(&format!(
+        "netscale-{clients}c-{}us",
+        window.as_micros()
+    )))
+    .with_scheme(ProtectionScheme::Baseline)
+    .with_lock_shards(8)
+    .with_commit_window(window);
+    // A zero window still measures durable commits — just unbatched.
+    config.sync_commit = true;
+    config.db_pages = wl.required_pages(config.page_size);
+    let (db, _) = DaliEngine::create(config).expect("create db");
+    let dir = db.config().dir.clone();
+
+    let server = DaliServer::start(db, "127.0.0.1:0").expect("bind server");
+    let mut driver = NetTpcbDriver::setup(server.addr(), wl.clone()).expect("populate");
+    let mut admin = DaliClient::connect(server.addr()).expect("admin connect");
+
+    let base = admin.stats().expect("stats");
+    let run = driver.run_clients(clients, ops).expect("net run");
+    let stats = admin.stats().expect("stats");
+    driver.verify_invariant().expect("invariant");
+
+    let durable = (stats.durable_commits - base.durable_commits).max(1);
+    let fsyncs = stats.fsyncs - base.fsyncs;
+    drop(admin);
+    drop(driver);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+    NetCell {
+        ops_per_sec: run.ops_per_sec(),
+        fsyncs_per_txn: fsyncs as f64 / durable as f64,
+        retries: run.retries,
+    }
+}
+
+fn main() {
+    let mut ops: usize = 2_000;
+    let mut reps: usize = 3;
+    let mut clients: Vec<usize> = vec![1, 2, 4, 8];
+    let mut windows_ms: Vec<f64> = vec![0.0, 0.5, 2.0];
+    let mut ops_per_txn: usize = 4;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => {
+                ops = value(&mut args, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--reps" => {
+                reps = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps must be a number"));
+            }
+            "--clients" => clients = parse_list(&value(&mut args, "--clients"), "--clients"),
+            "--windows" => windows_ms = parse_list(&value(&mut args, "--windows"), "--windows"),
+            "--ops-per-txn" => {
+                ops_per_txn = value(&mut args, "--ops-per-txn")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops-per-txn must be a number"));
+            }
+            "--quick" => {
+                ops = 400;
+                reps = 1;
+                clients = vec![1, 2, 4];
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if ops == 0 || reps == 0 || ops_per_txn == 0 || clients.is_empty() || windows_ms.is_empty() {
+        fail("--ops/--reps/--ops-per-txn must be positive, lists non-empty");
+    }
+    if windows_ms.iter().any(|&w| w < 0.0) {
+        fail("--windows entries must be >= 0");
+    }
+
+    let mut wl = TpcbConfig::scale();
+    wl.ops_per_txn = ops_per_txn;
+    println!(
+        "### Networked TPC-B over loopback TCP (durable commits)\n\n\
+         {} accounts / {} tellers / {} branches, {} ops/txn, {ops} ops per cell x {reps} reps, \
+         contended mode; cells report median ops/s (fsyncs per durable commit, retries)\n",
+        wl.accounts, wl.tellers, wl.branches, wl.ops_per_txn
+    );
+    let mut head = String::from("| Commit window |");
+    for c in &clients {
+        head.push_str(&format!(" {c} client{} |", if *c == 1 { "" } else { "s" }));
+    }
+    println!("{head}\n|:--|{}", "--:|".repeat(clients.len()));
+    for &w in &windows_ms {
+        let window = Duration::from_secs_f64(w / 1e3);
+        let mut row = format!("| {w} ms |");
+        for &c in &clients {
+            let cells: Vec<NetCell> = (0..reps)
+                .map(|_| run_net_cell(&wl, c, ops, window))
+                .collect();
+            let v = median(cells.iter().map(|x| x.ops_per_sec).collect());
+            let f = median(cells.iter().map(|x| x.fsyncs_per_txn).collect());
+            let r = median(cells.iter().map(|x| x.retries as f64).collect());
+            row.push_str(&format!(" {v:.0} ({f:.2} fs/txn, {r:.0} rtry) |"));
+        }
+        println!("{row}");
+    }
+    println!();
+}

@@ -154,6 +154,12 @@ pub struct DaliConfig {
     /// fsync the stable log on transaction commit. When false the log is
     /// still written (buffered) at commit, but durability is left to the OS.
     pub sync_commit: bool,
+    /// Group-commit window. When non-zero (and `sync_commit` is set), a
+    /// committer that finds no fsync already covering its commit record
+    /// waits up to this long for neighbours to enqueue theirs, then one
+    /// fsync covers the whole batch. Zero keeps the seed behaviour:
+    /// fsync immediately, amortized only by durable-LSN piggybacking.
+    pub commit_window: Duration,
     /// Audit the whole database after writing a checkpoint and certify it
     /// (paper §4.2). Required for corruption recovery; can be disabled for
     /// microbenchmarks.
@@ -199,6 +205,7 @@ impl DaliConfig {
             region_size: 64,
             regions_per_latch: 1,
             sync_commit: false,
+            commit_window: Duration::ZERO,
             audit_on_checkpoint: true,
             mprotect_real: true,
             lock_timeout: Duration::from_secs(2),
@@ -230,6 +237,17 @@ impl DaliConfig {
     /// Builder-style lock-shard-count selection (`0` = auto).
     pub fn with_lock_shards(mut self, lock_shards: usize) -> Self {
         self.lock_shards = lock_shards;
+        self
+    }
+
+    /// Builder-style group-commit window selection (implies durable
+    /// commits: sets `sync_commit` as well, since delaying a commit to
+    /// batch fsyncs is meaningless without an fsync to batch).
+    pub fn with_commit_window(mut self, window: Duration) -> Self {
+        self.commit_window = window;
+        if !window.is_zero() {
+            self.sync_commit = true;
+        }
         self
     }
 
@@ -359,6 +377,19 @@ mod tests {
         assert_eq!(c.scheme, ProtectionScheme::ReadPrecheck);
         assert_eq!(c.region_size, 512);
         assert_eq!(c.lock_shards, 6);
+    }
+
+    #[test]
+    fn commit_window_builder_implies_sync_commit() {
+        let c = DaliConfig::small("/tmp/x");
+        assert!(!c.sync_commit);
+        assert_eq!(c.commit_window, Duration::ZERO);
+        let c = c.with_commit_window(Duration::from_micros(500));
+        assert!(c.sync_commit);
+        assert_eq!(c.commit_window, Duration::from_micros(500));
+        // A zero window never flips durability on.
+        let c = DaliConfig::small("/tmp/x").with_commit_window(Duration::ZERO);
+        assert!(!c.sync_commit);
     }
 
     #[test]

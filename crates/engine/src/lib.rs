@@ -211,6 +211,12 @@ impl DaliEngine {
         &self.db.stats
     }
 
+    /// System-log flush/fsync counters (group-commit amortization:
+    /// `fsyncs / durable_commits` is the fsyncs-per-commit metric).
+    pub fn log_stats(&self) -> dali_wal::SyncStats {
+        self.db.syslog.sync_stats()
+    }
+
     /// mprotect statistics (Hardware Protection scheme, §5.3).
     pub fn protect_stats(&self) -> &dali_mem::ProtectStats {
         self.db.protector.stats()

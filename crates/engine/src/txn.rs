@@ -285,9 +285,12 @@ impl TxnHandle {
     // ---------------------------------------------------------------
 
     /// Commit: migrate leftover local records plus the commit record to
-    /// the system log, flush it, release locks.
+    /// the system log, flush it (durably, group-committed under
+    /// [`DaliConfig::commit_window`](dali_common::DaliConfig) when
+    /// `sync_commit` is set), release locks.
     pub fn commit(self) -> Result<()> {
         self.db.check_alive()?;
+        let commit_end;
         {
             let _q = self.db.quiesce.read();
             let mut st = self.state.lock();
@@ -298,7 +301,8 @@ impl TxnHandle {
             }
             let mut batch = st.redo.drain();
             batch.push(LogRecord::TxnCommit { txn: self.id });
-            self.db.syslog.append_batch(&batch);
+            let (_, end) = self.db.syslog.append_batch(&batch);
+            commit_end = end;
             st.status = TxnStatus::Committed;
             for rec in std::mem::take(&mut st.deferred_frees) {
                 if let Ok(h) = self.db.heap(rec.table) {
@@ -306,7 +310,13 @@ impl TxnHandle {
                 }
             }
         }
-        self.db.syslog.flush(self.db.config.sync_commit)?;
+        if self.db.config.sync_commit {
+            self.db
+                .syslog
+                .commit_durable(commit_end, self.db.config.commit_window)?;
+        } else {
+            self.db.syslog.flush(false)?;
+        }
         self.db.locks.unlock_all(self.id);
         self.db.att.remove(self.id);
         EngineStats::bump(&self.db.stats.commits);

@@ -1,0 +1,205 @@
+//! Blocking client for the dali-net wire protocol.
+//!
+//! One connection, one request in flight, at most one open transaction —
+//! the same discipline as an in-process [`TxnHandle`]'s owner. Server
+//! errors come back as the structured [`DaliError`] they started as, so
+//! retry loops written against the embedded engine (`matches!(e,
+//! DaliError::LockDenied { .. })`) work unchanged against the network.
+//!
+//! [`TxnHandle`]: dali_engine::TxnHandle
+
+use crate::protocol::{encode_request, read_frame, write_frame, Request, Response, ServerStats};
+use dali_common::{DaliError, RecId, Result, TableId, TxnId};
+use std::io::BufWriter;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A connection to a [`DaliServer`](crate::DaliServer).
+pub struct DaliClient {
+    reader: TcpStream,
+    writer: BufWriter<TcpStream>,
+}
+
+impl DaliClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<DaliClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok(DaliClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    fn call(&mut self, req: &Request) -> Result<Response> {
+        write_frame(&mut self.writer, &encode_request(req))?;
+        match read_frame(&mut self.reader)? {
+            Some(payload) => Response::decode(&payload),
+            None => Err(DaliError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ))),
+        }
+    }
+
+    /// Send a request and translate a structured error response back
+    /// into the [`DaliError`] it started as.
+    fn call_ok(&mut self, req: &Request) -> Result<Response> {
+        match self.call(req)? {
+            Response::Err(e) => Err(e.into()),
+            resp => Ok(resp),
+        }
+    }
+
+    fn unexpected(resp: Response) -> DaliError {
+        DaliError::InvalidArg(format!("protocol: unexpected response {resp:?}"))
+    }
+
+    // ---- transaction verbs ----
+
+    /// Begin a transaction on this connection; returns its server-side id.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        match self.call_ok(&Request::Begin)? {
+            Response::Began { txn } => Ok(txn),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Read a record.
+    pub fn read(&mut self, rec: RecId) -> Result<Vec<u8>> {
+        match self.call_ok(&Request::Read { rec })? {
+            Response::Data(data) => Ok(data),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Insert a record; returns its id.
+    pub fn insert(&mut self, table: TableId, data: &[u8]) -> Result<RecId> {
+        match self.call_ok(&Request::Insert {
+            table,
+            data: data.to_vec(),
+        })? {
+            Response::Inserted { rec } => Ok(rec),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Update a record in place.
+    pub fn update(&mut self, rec: RecId, data: &[u8]) -> Result<()> {
+        match self.call_ok(&Request::Update {
+            rec,
+            data: data.to_vec(),
+        })? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Delete a record.
+    pub fn delete(&mut self, rec: RecId) -> Result<()> {
+        match self.call_ok(&Request::Delete { rec })? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Take the exclusive record lock up front (read-for-update).
+    pub fn lock_exclusive(&mut self, rec: RecId) -> Result<()> {
+        match self.call_ok(&Request::LockExclusive { rec })? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Commit the connection's transaction (group-committed server-side
+    /// under the engine's commit window).
+    pub fn commit(&mut self) -> Result<()> {
+        match self.call_ok(&Request::Commit)? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Abort the connection's transaction.
+    pub fn abort(&mut self) -> Result<()> {
+        match self.call_ok(&Request::Abort)? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    // ---- DDL / catalog ----
+
+    /// Create a table (auto-committed DDL).
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        rec_size: usize,
+        capacity: usize,
+    ) -> Result<TableId> {
+        match self.call_ok(&Request::CreateTable {
+            name: name.to_string(),
+            rec_size: rec_size as u32,
+            capacity: capacity as u64,
+        })? {
+            Response::Table { table } => Ok(table),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Look up a table id by name.
+    pub fn table(&mut self, name: &str) -> Result<TableId> {
+        match self.call_ok(&Request::OpenTable {
+            name: name.to_string(),
+        })? {
+            Response::Table { table } => Ok(table),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Number of allocated records in a table.
+    pub fn record_count(&mut self, table: TableId) -> Result<usize> {
+        match self.call_ok(&Request::RecordCount { table })? {
+            Response::Count(n) => Ok(n as usize),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    // ---- admin verbs ----
+
+    /// Run a full-database audit; returns `(clean, regions_checked)`.
+    pub fn audit(&mut self) -> Result<(bool, u64)> {
+        match self.call_ok(&Request::Audit)? {
+            Response::Audited {
+                clean,
+                regions_checked,
+            } => Ok((clean, regions_checked)),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Server statistics snapshot.
+    pub fn stats(&mut self) -> Result<ServerStats> {
+        match self.call_ok(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call_ok(&Request::Ping)? {
+            Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Drop the connection *without* closing the open transaction —
+    /// simulates a client crash mid-transaction. The server must roll
+    /// the orphan back and release its locks.
+    pub fn drop_connection(self) {
+        // Dropping the streams closes the socket; consuming self makes
+        // the intent explicit at call sites.
+    }
+}

@@ -1,0 +1,36 @@
+//! dali-net: the engine over TCP.
+//!
+//! Turns the embedded engine into a networked database: a
+//! thread-per-connection [`DaliServer`] maps each connection to a session
+//! owning its transactions, a blocking [`DaliClient`] speaks the
+//! length-prefixed, checksummed binary protocol in [`protocol`], and
+//! [`NetTpcbDriver`] re-runs the contended TPC-B workload over N client
+//! connections.
+//!
+//! Design points (DESIGN.md §6):
+//!
+//! * **Framing**: `[len][checksum][payload]`, the same defensive idiom as
+//!   the WAL's on-disk records — a torn or corrupt frame is a structured
+//!   protocol error, never a panic or a mis-parse.
+//! * **Structured errors**: engine failures cross the wire as
+//!   [`WireError`] and come back out as the [`DaliError`] they started
+//!   as, so client retry loops are written exactly like in-process ones.
+//! * **Orphan cleanup**: a dropped connection's open transaction is
+//!   rolled back level by level through the engine's ATT rollback,
+//!   releasing all its locks.
+//! * **Group commit**: with `DaliConfig::with_commit_window`, concurrent
+//!   committers from different connections share one fsync (see
+//!   `SystemLog::commit_durable`); the [`ServerStats`] verb exposes the
+//!   fsync/flush counters the `net_scale` bench reports.
+//!
+//! [`DaliError`]: dali_common::DaliError
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod tpcb;
+
+pub use client::DaliClient;
+pub use protocol::{Request, Response, ServerStats, WireError, MAX_FRAME};
+pub use server::DaliServer;
+pub use tpcb::{NetRunStats, NetTpcbDriver};

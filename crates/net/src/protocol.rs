@@ -1,0 +1,770 @@
+//! The wire protocol: request/response enums with a checksummed,
+//! length-prefixed binary encoding.
+//!
+//! Framing mirrors the system log (`crates/wal/src/record.rs`):
+//! `[len: u32][checksum: u32][payload]`, little-endian, where `checksum`
+//! is an XOR fold of the payload. The checksum catches torn writes on a
+//! half-closed socket the same way it catches torn log flushes; a frame
+//! that fails length, checksum, or payload validation surfaces as
+//! [`DaliError::InvalidArg`] — never a panic — so a malicious or
+//! truncated peer cannot take the server down.
+//!
+//! Every decode helper is bounds-checked and every length field is
+//! validated against [`MAX_FRAME`] before any allocation, so garbage
+//! lengths cannot trigger huge allocations either.
+
+use bytes::{Buf, BufMut, BytesMut};
+use dali_common::{DaliError, DbAddr, RecId, Result, SlotId, TableId, TxnId};
+use std::io::{Read, Write};
+
+/// Hard cap on a frame's payload size (largest legitimate payload is a
+/// record image plus fixed overhead; 16 MiB leaves room for any record
+/// size this engine supports).
+pub const MAX_FRAME: usize = 16 << 20;
+
+/// A client request. One transaction per connection at a time: `Begin`
+/// opens it, `Commit`/`Abort` close it, and the data verbs operate on
+/// the connection's current transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Begin a transaction on this connection.
+    Begin,
+    /// Read a record (shared lock).
+    Read { rec: RecId },
+    /// Insert a record into a table.
+    Insert { table: TableId, data: Vec<u8> },
+    /// Update a record in place (exclusive lock).
+    Update { rec: RecId, data: Vec<u8> },
+    /// Delete a record.
+    Delete { rec: RecId },
+    /// Take an exclusive lock without reading (read-for-update intent).
+    LockExclusive { rec: RecId },
+    /// Commit the connection's transaction.
+    Commit,
+    /// Abort the connection's transaction.
+    Abort,
+    /// DDL: create a table (auto-committed).
+    CreateTable {
+        name: String,
+        rec_size: u32,
+        capacity: u64,
+    },
+    /// Look up a table id by name.
+    OpenTable { name: String },
+    /// Number of allocated records in a table.
+    RecordCount { table: TableId },
+    /// Admin: run a full-database audit.
+    Audit,
+    /// Admin: engine + log + server counters.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Server statistics returned by [`Request::Stats`]: the engine's
+/// operation counters, the system log's flush/fsync counters (group
+/// commit amortization is `fsyncs / durable_commits`), and the server's
+/// session bookkeeping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub commits: u64,
+    pub aborts: u64,
+    /// `sync_data` calls issued by the log.
+    pub fsyncs: u64,
+    /// Tail-to-file log writes.
+    pub log_flushes: u64,
+    /// Durable-commit requests served by the log.
+    pub durable_commits: u64,
+    /// Durable commits that rode a neighbour's fsync.
+    pub piggybacked: u64,
+    /// Durable commits that waited out a group-commit window as followers.
+    pub group_followers: u64,
+    /// Currently connected sessions.
+    pub sessions: u64,
+    /// Transactions rolled back because their connection dropped.
+    pub orphans_rolled_back: u64,
+}
+
+/// A server response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// The request succeeded with nothing to return.
+    Ok,
+    /// `Begin` succeeded; the server-side transaction id (diagnostics —
+    /// clients retry by reconnecting the verb sequence, not by id).
+    Began { txn: TxnId },
+    /// A record's contents.
+    Data(Vec<u8>),
+    /// An insert's record id.
+    Inserted { rec: RecId },
+    /// A table id (create/open).
+    Table { table: TableId },
+    /// A record count.
+    Count(u64),
+    /// Audit outcome: clean flag and number of regions checked.
+    Audited { clean: bool, regions_checked: u64 },
+    /// Statistics snapshot.
+    Stats(ServerStats),
+    /// The request failed; the error is structured so client retry loops
+    /// can match on it exactly like in-process code.
+    Err(WireError),
+}
+
+/// Structured errors carried over the wire — a mirror of [`DaliError`]
+/// plus the protocol-level failure modes. Conversions both ways keep
+/// client retry loops (`matches!(e, DaliError::LockDenied { .. })`)
+/// identical to the in-process ones in `crates/workload`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    LockDenied {
+        txn: TxnId,
+        rec: RecId,
+    },
+    CorruptionDetected {
+        addr: DbAddr,
+        len: u64,
+        expected: u32,
+        actual: u32,
+    },
+    WriteFault {
+        addr: DbAddr,
+    },
+    TxnAborted(TxnId),
+    NotFound(String),
+    OutOfSpace(String),
+    InvalidArg(String),
+    RecoveryFailed(String),
+    Crashed,
+    Io(String),
+    /// The connection has no open transaction for a data verb, or an
+    /// open one where `Begin` requires none.
+    NoTxn,
+    TxnAlreadyOpen,
+}
+
+impl From<&DaliError> for WireError {
+    fn from(e: &DaliError) -> WireError {
+        match e {
+            DaliError::Io(err) => WireError::Io(err.to_string()),
+            DaliError::CorruptionDetected {
+                addr,
+                len,
+                expected,
+                actual,
+            } => WireError::CorruptionDetected {
+                addr: *addr,
+                len: *len as u64,
+                expected: *expected,
+                actual: *actual,
+            },
+            DaliError::WriteFault { addr } => WireError::WriteFault { addr: *addr },
+            DaliError::TxnAborted(t) => WireError::TxnAborted(*t),
+            DaliError::LockDenied { txn, rec } => WireError::LockDenied {
+                txn: *txn,
+                rec: *rec,
+            },
+            DaliError::NotFound(s) => WireError::NotFound(s.clone()),
+            DaliError::OutOfSpace(s) => WireError::OutOfSpace(s.clone()),
+            DaliError::InvalidArg(s) => WireError::InvalidArg(s.clone()),
+            DaliError::RecoveryFailed(s) => WireError::RecoveryFailed(s.clone()),
+            DaliError::Crashed => WireError::Crashed,
+        }
+    }
+}
+
+impl From<DaliError> for WireError {
+    fn from(e: DaliError) -> WireError {
+        WireError::from(&e)
+    }
+}
+
+impl From<WireError> for DaliError {
+    fn from(e: WireError) -> DaliError {
+        match e {
+            WireError::Io(s) => DaliError::Io(std::io::Error::other(s)),
+            WireError::CorruptionDetected {
+                addr,
+                len,
+                expected,
+                actual,
+            } => DaliError::CorruptionDetected {
+                addr,
+                len: len as usize,
+                expected,
+                actual,
+            },
+            WireError::WriteFault { addr } => DaliError::WriteFault { addr },
+            WireError::TxnAborted(t) => DaliError::TxnAborted(t),
+            WireError::LockDenied { txn, rec } => DaliError::LockDenied { txn, rec },
+            WireError::NotFound(s) => DaliError::NotFound(s),
+            WireError::OutOfSpace(s) => DaliError::OutOfSpace(s),
+            WireError::InvalidArg(s) => DaliError::InvalidArg(s),
+            WireError::RecoveryFailed(s) => DaliError::RecoveryFailed(s),
+            WireError::Crashed => DaliError::Crashed,
+            WireError::NoTxn => DaliError::InvalidArg("no transaction open on connection".into()),
+            WireError::TxnAlreadyOpen => {
+                DaliError::InvalidArg("transaction already open on connection".into())
+            }
+        }
+    }
+}
+
+// -------------------------------------------------------------------
+// Encoding
+// -------------------------------------------------------------------
+
+fn bad(msg: impl Into<String>) -> DaliError {
+    DaliError::InvalidArg(format!("protocol: {}", msg.into()))
+}
+
+impl Request {
+    /// Encode the payload (without framing) into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Request::Begin => buf.put_u8(0),
+            Request::Read { rec } => {
+                buf.put_u8(1);
+                put_rec(buf, *rec);
+            }
+            Request::Insert { table, data } => {
+                buf.put_u8(2);
+                buf.put_u32_le(table.0);
+                put_blob(buf, data);
+            }
+            Request::Update { rec, data } => {
+                buf.put_u8(3);
+                put_rec(buf, *rec);
+                put_blob(buf, data);
+            }
+            Request::Delete { rec } => {
+                buf.put_u8(4);
+                put_rec(buf, *rec);
+            }
+            Request::LockExclusive { rec } => {
+                buf.put_u8(5);
+                put_rec(buf, *rec);
+            }
+            Request::Commit => buf.put_u8(6),
+            Request::Abort => buf.put_u8(7),
+            Request::CreateTable {
+                name,
+                rec_size,
+                capacity,
+            } => {
+                buf.put_u8(8);
+                put_blob(buf, name.as_bytes());
+                buf.put_u32_le(*rec_size);
+                buf.put_u64_le(*capacity);
+            }
+            Request::OpenTable { name } => {
+                buf.put_u8(9);
+                put_blob(buf, name.as_bytes());
+            }
+            Request::RecordCount { table } => {
+                buf.put_u8(10);
+                buf.put_u32_le(table.0);
+            }
+            Request::Audit => buf.put_u8(11),
+            Request::Stats => buf.put_u8(12),
+            Request::Ping => buf.put_u8(13),
+        }
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode). Total: any
+    /// malformed input returns an error.
+    pub fn decode(mut buf: &[u8]) -> Result<Request> {
+        let req = Self::decode_inner(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(bad(format!("{} trailing bytes after request", buf.len())));
+        }
+        Ok(req)
+    }
+
+    fn decode_inner(buf: &mut &[u8]) -> Result<Request> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            0 => Request::Begin,
+            1 => Request::Read { rec: get_rec(buf)? },
+            2 => Request::Insert {
+                table: TableId(get_u32(buf)?),
+                data: get_blob(buf)?,
+            },
+            3 => Request::Update {
+                rec: get_rec(buf)?,
+                data: get_blob(buf)?,
+            },
+            4 => Request::Delete { rec: get_rec(buf)? },
+            5 => Request::LockExclusive { rec: get_rec(buf)? },
+            6 => Request::Commit,
+            7 => Request::Abort,
+            8 => Request::CreateTable {
+                name: get_string(buf)?,
+                rec_size: get_u32(buf)?,
+                capacity: get_u64(buf)?,
+            },
+            9 => Request::OpenTable {
+                name: get_string(buf)?,
+            },
+            10 => Request::RecordCount {
+                table: TableId(get_u32(buf)?),
+            },
+            11 => Request::Audit,
+            12 => Request::Stats,
+            13 => Request::Ping,
+            _ => return Err(bad(format!("unknown request tag {tag}"))),
+        })
+    }
+}
+
+impl Response {
+    /// Encode the payload (without framing) into `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Response::Ok => buf.put_u8(0),
+            Response::Began { txn } => {
+                buf.put_u8(1);
+                buf.put_u64_le(txn.0);
+            }
+            Response::Data(data) => {
+                buf.put_u8(2);
+                put_blob(buf, data);
+            }
+            Response::Inserted { rec } => {
+                buf.put_u8(3);
+                put_rec(buf, *rec);
+            }
+            Response::Table { table } => {
+                buf.put_u8(4);
+                buf.put_u32_le(table.0);
+            }
+            Response::Count(n) => {
+                buf.put_u8(5);
+                buf.put_u64_le(*n);
+            }
+            Response::Audited {
+                clean,
+                regions_checked,
+            } => {
+                buf.put_u8(6);
+                buf.put_u8(*clean as u8);
+                buf.put_u64_le(*regions_checked);
+            }
+            Response::Stats(s) => {
+                buf.put_u8(7);
+                for v in [
+                    s.commits,
+                    s.aborts,
+                    s.fsyncs,
+                    s.log_flushes,
+                    s.durable_commits,
+                    s.piggybacked,
+                    s.group_followers,
+                    s.sessions,
+                    s.orphans_rolled_back,
+                ] {
+                    buf.put_u64_le(v);
+                }
+            }
+            Response::Err(e) => {
+                buf.put_u8(8);
+                e.encode(buf);
+            }
+        }
+    }
+
+    /// Decode a payload produced by [`encode`](Self::encode).
+    pub fn decode(mut buf: &[u8]) -> Result<Response> {
+        let resp = Self::decode_inner(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(bad(format!("{} trailing bytes after response", buf.len())));
+        }
+        Ok(resp)
+    }
+
+    fn decode_inner(buf: &mut &[u8]) -> Result<Response> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            0 => Response::Ok,
+            1 => Response::Began {
+                txn: TxnId(get_u64(buf)?),
+            },
+            2 => Response::Data(get_blob(buf)?),
+            3 => Response::Inserted { rec: get_rec(buf)? },
+            4 => Response::Table {
+                table: TableId(get_u32(buf)?),
+            },
+            5 => Response::Count(get_u64(buf)?),
+            6 => Response::Audited {
+                clean: get_u8(buf)? != 0,
+                regions_checked: get_u64(buf)?,
+            },
+            7 => Response::Stats(ServerStats {
+                commits: get_u64(buf)?,
+                aborts: get_u64(buf)?,
+                fsyncs: get_u64(buf)?,
+                log_flushes: get_u64(buf)?,
+                durable_commits: get_u64(buf)?,
+                piggybacked: get_u64(buf)?,
+                group_followers: get_u64(buf)?,
+                sessions: get_u64(buf)?,
+                orphans_rolled_back: get_u64(buf)?,
+            }),
+            8 => Response::Err(WireError::decode_inner(buf)?),
+            _ => return Err(bad(format!("unknown response tag {tag}"))),
+        })
+    }
+}
+
+impl WireError {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WireError::LockDenied { txn, rec } => {
+                buf.put_u8(0);
+                buf.put_u64_le(txn.0);
+                put_rec(buf, *rec);
+            }
+            WireError::CorruptionDetected {
+                addr,
+                len,
+                expected,
+                actual,
+            } => {
+                buf.put_u8(1);
+                buf.put_u64_le(addr.0 as u64);
+                buf.put_u64_le(*len);
+                buf.put_u32_le(*expected);
+                buf.put_u32_le(*actual);
+            }
+            WireError::WriteFault { addr } => {
+                buf.put_u8(2);
+                buf.put_u64_le(addr.0 as u64);
+            }
+            WireError::TxnAborted(t) => {
+                buf.put_u8(3);
+                buf.put_u64_le(t.0);
+            }
+            WireError::NotFound(s) => {
+                buf.put_u8(4);
+                put_blob(buf, s.as_bytes());
+            }
+            WireError::OutOfSpace(s) => {
+                buf.put_u8(5);
+                put_blob(buf, s.as_bytes());
+            }
+            WireError::InvalidArg(s) => {
+                buf.put_u8(6);
+                put_blob(buf, s.as_bytes());
+            }
+            WireError::RecoveryFailed(s) => {
+                buf.put_u8(7);
+                put_blob(buf, s.as_bytes());
+            }
+            WireError::Crashed => buf.put_u8(8),
+            WireError::Io(s) => {
+                buf.put_u8(9);
+                put_blob(buf, s.as_bytes());
+            }
+            WireError::NoTxn => buf.put_u8(10),
+            WireError::TxnAlreadyOpen => buf.put_u8(11),
+        }
+    }
+
+    fn decode_inner(buf: &mut &[u8]) -> Result<WireError> {
+        let tag = get_u8(buf)?;
+        Ok(match tag {
+            0 => WireError::LockDenied {
+                txn: TxnId(get_u64(buf)?),
+                rec: get_rec(buf)?,
+            },
+            1 => WireError::CorruptionDetected {
+                addr: DbAddr(get_u64(buf)? as usize),
+                len: get_u64(buf)?,
+                expected: get_u32(buf)?,
+                actual: get_u32(buf)?,
+            },
+            2 => WireError::WriteFault {
+                addr: DbAddr(get_u64(buf)? as usize),
+            },
+            3 => WireError::TxnAborted(TxnId(get_u64(buf)?)),
+            4 => WireError::NotFound(get_string(buf)?),
+            5 => WireError::OutOfSpace(get_string(buf)?),
+            6 => WireError::InvalidArg(get_string(buf)?),
+            7 => WireError::RecoveryFailed(get_string(buf)?),
+            8 => WireError::Crashed,
+            9 => WireError::Io(get_string(buf)?),
+            10 => WireError::NoTxn,
+            11 => WireError::TxnAlreadyOpen,
+            _ => return Err(bad(format!("unknown error tag {tag}"))),
+        })
+    }
+}
+
+// -------------------------------------------------------------------
+// Framing
+// -------------------------------------------------------------------
+
+/// XOR-fold checksum over a payload (zero-padded trailing word) — the
+/// same cheap parity the system log uses for its frames.
+pub fn checksum(payload: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = payload.chunks_exact(4);
+    for c in &mut chunks {
+        acc ^= u32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 4];
+        w[..rem.len()].copy_from_slice(rem);
+        acc ^= u32::from_le_bytes(w);
+    }
+    acc
+}
+
+/// Write one frame (`[len][checksum][payload]`) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<()> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut header = [0u8; 8];
+    header[0..4].copy_from_slice(&(payload.len() as u32).to_le_bytes());
+    header[4..8].copy_from_slice(&checksum(payload).to_le_bytes());
+    w.write_all(&header)?;
+    w.write_all(payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Read one frame from `r`. Returns `Ok(None)` on a clean EOF at a frame
+/// boundary (the peer closed the connection); errors on truncation
+/// mid-frame, an oversized length, or a checksum mismatch.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
+    let mut header = [0u8; 8];
+    let mut got = 0usize;
+    while got < header.len() {
+        match r.read(&mut header[got..]) {
+            Ok(0) if got == 0 => return Ok(None),
+            Ok(0) => return Err(bad("connection closed mid-frame header")),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(DaliError::Io(e)),
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    let sum = u32::from_le_bytes(header[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)
+        .map_err(|e| bad(format!("connection closed mid-frame payload: {e}")))?;
+    if checksum(&payload) != sum {
+        return Err(bad("frame checksum mismatch"));
+    }
+    Ok(Some(payload))
+}
+
+/// Encode a request payload into a fresh buffer (framing is write_frame's job).
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(64);
+    req.encode(&mut payload);
+    payload.to_vec()
+}
+
+/// Encode a response payload into a fresh buffer.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut payload = BytesMut::with_capacity(64);
+    resp.encode(&mut payload);
+    payload.to_vec()
+}
+
+// ---- primitive helpers (all bounds-checked) ----
+
+fn put_rec(buf: &mut BytesMut, rec: RecId) {
+    buf.put_u32_le(rec.table.0);
+    buf.put_u32_le(rec.slot.0);
+}
+
+fn get_rec(buf: &mut &[u8]) -> Result<RecId> {
+    Ok(RecId::new(TableId(get_u32(buf)?), SlotId(get_u32(buf)?)))
+}
+
+fn put_blob(buf: &mut BytesMut, data: &[u8]) {
+    buf.put_u32_le(data.len() as u32);
+    buf.extend_from_slice(data);
+}
+
+fn get_blob(buf: &mut &[u8]) -> Result<Vec<u8>> {
+    let n = get_u32(buf)? as usize;
+    if n > MAX_FRAME {
+        return Err(bad(format!("blob of {n} bytes exceeds frame cap")));
+    }
+    if buf.len() < n {
+        return Err(bad(format!("blob truncated: need {n}, have {}", buf.len())));
+    }
+    let v = buf[..n].to_vec();
+    buf.advance(n);
+    Ok(v)
+}
+
+fn get_string(buf: &mut &[u8]) -> Result<String> {
+    String::from_utf8(get_blob(buf)?).map_err(|_| bad("string not utf-8"))
+}
+
+fn get_u8(buf: &mut &[u8]) -> Result<u8> {
+    if buf.is_empty() {
+        return Err(bad("unexpected end of payload"));
+    }
+    Ok(buf.get_u8())
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32> {
+    if buf.len() < 4 {
+        return Err(bad("unexpected end of payload"));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut &[u8]) -> Result<u64> {
+    if buf.len() < 8 {
+        return Err(bad("unexpected end of payload"));
+    }
+    Ok(buf.get_u64_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let samples = vec![
+            Request::Begin,
+            Request::Read {
+                rec: RecId::new(TableId(1), SlotId(2)),
+            },
+            Request::Insert {
+                table: TableId(3),
+                data: vec![1, 2, 3],
+            },
+            Request::Update {
+                rec: RecId::new(TableId(1), SlotId(2)),
+                data: vec![0; 100],
+            },
+            Request::Delete {
+                rec: RecId::new(TableId(9), SlotId(0)),
+            },
+            Request::LockExclusive {
+                rec: RecId::new(TableId(0), SlotId(7)),
+            },
+            Request::Commit,
+            Request::Abort,
+            Request::CreateTable {
+                name: "accounts".into(),
+                rec_size: 100,
+                capacity: 1000,
+            },
+            Request::OpenTable {
+                name: "history".into(),
+            },
+            Request::RecordCount { table: TableId(2) },
+            Request::Audit,
+            Request::Stats,
+            Request::Ping,
+        ];
+        for req in samples {
+            let mut buf = BytesMut::new();
+            req.encode(&mut buf);
+            assert_eq!(Request::decode(&buf).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let samples = vec![
+            Response::Ok,
+            Response::Began { txn: TxnId(42) },
+            Response::Data(vec![9; 100]),
+            Response::Inserted {
+                rec: RecId::new(TableId(1), SlotId(77)),
+            },
+            Response::Table { table: TableId(3) },
+            Response::Count(12345),
+            Response::Audited {
+                clean: true,
+                regions_checked: 65536,
+            },
+            Response::Stats(ServerStats {
+                commits: 1,
+                aborts: 2,
+                fsyncs: 3,
+                log_flushes: 4,
+                durable_commits: 5,
+                piggybacked: 6,
+                group_followers: 7,
+                sessions: 8,
+                orphans_rolled_back: 9,
+            }),
+            Response::Err(WireError::LockDenied {
+                txn: TxnId(5),
+                rec: RecId::new(TableId(1), SlotId(2)),
+            }),
+            Response::Err(WireError::CorruptionDetected {
+                addr: DbAddr(0x40),
+                len: 64,
+                expected: 0xdead_beef,
+                actual: 0x1234_5678,
+            }),
+            Response::Err(WireError::NoTxn),
+            Response::Err(WireError::Crashed),
+        ];
+        for resp in samples {
+            let mut buf = BytesMut::new();
+            resp.encode(&mut buf);
+            assert_eq!(Response::decode(&buf).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn wire_error_mirrors_dali_error() {
+        let e = DaliError::LockDenied {
+            txn: TxnId(3),
+            rec: RecId::new(TableId(1), SlotId(2)),
+        };
+        let w = WireError::from(&e);
+        let back: DaliError = w.into();
+        assert!(matches!(back, DaliError::LockDenied { txn: TxnId(3), .. }));
+    }
+
+    #[test]
+    fn frame_round_trip_over_cursor() {
+        let payload = encode_request(&Request::Ping);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        let mut cursor = &buf[..];
+        let got = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(Request::decode(&got).unwrap(), Request::Ping);
+        // Clean EOF after the frame.
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_and_corrupt_frames_error_without_panic() {
+        let payload = encode_request(&Request::Begin);
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &payload).unwrap();
+        // Truncated payload.
+        let mut cursor = &buf[..buf.len() - 1];
+        assert!(read_frame(&mut cursor).is_err());
+        // Truncated header.
+        let mut cursor = &buf[..4];
+        assert!(read_frame(&mut cursor).is_err());
+        // Flipped payload bit → checksum mismatch.
+        let mut bad = buf.clone();
+        *bad.last_mut().unwrap() ^= 0x40;
+        let mut cursor = &bad[..];
+        assert!(read_frame(&mut cursor).is_err());
+        // Absurd length field → rejected before allocation.
+        let mut huge = [0u8; 8];
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut cursor = &huge[..];
+        assert!(read_frame(&mut cursor).is_err());
+    }
+}

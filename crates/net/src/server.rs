@@ -1,0 +1,288 @@
+//! The network front-end: a thread-per-connection TCP server mapping
+//! each connection to a *session* that owns its transactions.
+//!
+//! Session lifecycle:
+//!
+//! * A connection may have at most one open transaction (`Begin` …
+//!   `Commit`/`Abort`). Data verbs without an open transaction are
+//!   rejected with [`WireError::NoTxn`]; a second `Begin` with
+//!   [`WireError::TxnAlreadyOpen`].
+//! * Engine errors are returned as structured [`WireError`]s and the
+//!   session keeps serving — a `LockDenied` is a normal event a client
+//!   retry loop handles, exactly like the in-process drivers. A lock
+//!   denial (or any error inside a data verb) leaves the transaction
+//!   open; the *client* decides whether to abort and retry, mirroring
+//!   the in-process `run_txn` loop.
+//! * When the connection drops — cleanly or mid-transaction — the
+//!   session's open transaction is rolled back through the engine's
+//!   level-by-level ATT rollback (`TxnHandle::abort`), which releases
+//!   every record lock the orphan held. The rollback count is surfaced
+//!   in [`ServerStats::orphans_rolled_back`].
+//!
+//! Protocol errors (garbage frame, bad checksum, unknown tag) terminate
+//! the connection after a best-effort error response: once framing is
+//! suspect there is no trustworthy boundary to resume parsing at.
+
+use crate::protocol::{
+    encode_response, read_frame, write_frame, Request, Response, ServerStats, WireError,
+};
+use dali_common::Result;
+use dali_engine::{DaliEngine, TxnHandle};
+use std::io::BufWriter;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Server-side counters (sessions and orphan rollbacks).
+#[derive(Default)]
+struct ServerCounters {
+    sessions: AtomicU64,
+    orphans_rolled_back: AtomicU64,
+}
+
+struct Shared {
+    engine: DaliEngine,
+    counters: ServerCounters,
+    stop: AtomicBool,
+}
+
+/// A running server. Dropping (or calling [`shutdown`](Self::shutdown))
+/// stops the accept loop; in-flight sessions are asked to wind down and
+/// joined.
+pub struct DaliServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl DaliServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start accepting connections, one service thread each.
+    pub fn start(engine: DaliEngine, addr: impl ToSocketAddrs) -> Result<DaliServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            counters: ServerCounters::default(),
+            stop: AtomicBool::new(false),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        let shared = Arc::clone(&accept_shared);
+                        sessions.push(std::thread::spawn(move || {
+                            shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
+                            Session::new(&shared).serve(stream);
+                            shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                        }));
+                    }
+                    Err(_) => break,
+                }
+                // Reap finished session threads so a long-lived server
+                // does not accumulate handles.
+                sessions.retain(|h| !h.is_finished());
+            }
+            for h in sessions {
+                let _ = h.join();
+            }
+        });
+        Ok(DaliServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (use after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &DaliEngine {
+        &self.shared.engine
+    }
+
+    /// Stop accepting and join the accept loop. Open sessions finish
+    /// serving their current connection (clients see resets only if they
+    /// keep the socket open past shutdown).
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for DaliServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// One connection's state: the engine handle and the connection's open
+/// transaction, if any.
+struct Session<'a> {
+    shared: &'a Shared,
+    txn: Option<TxnHandle>,
+}
+
+impl<'a> Session<'a> {
+    fn new(shared: &'a Shared) -> Session<'a> {
+        Session { shared, txn: None }
+    }
+
+    /// Serve the connection until EOF, a protocol error, or shutdown.
+    fn serve(mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let mut reader = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(p)) => p,
+                // Clean EOF: the client hung up at a frame boundary.
+                Ok(None) => break,
+                // Torn frame / bad checksum / connection reset: there is
+                // no trustworthy frame boundary to resume at.
+                Err(e) => {
+                    let resp = Response::Err(WireError::from(&e));
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                    break;
+                }
+            };
+            let resp = match Request::decode(&payload) {
+                Ok(req) => self.execute(req),
+                Err(e) => {
+                    let resp = Response::Err(WireError::from(&e));
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                    break;
+                }
+            };
+            if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                break;
+            }
+        }
+        // Orphan cleanup: a transaction left open by a dropped (or
+        // misbehaving) connection is rolled back level by level through
+        // the engine's ATT rollback, releasing all its locks.
+        if let Some(txn) = self.txn.take() {
+            let _ = txn.abort();
+            self.shared
+                .counters
+                .orphans_rolled_back
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Execute one request against the session.
+    fn execute(&mut self, req: Request) -> Response {
+        match self.execute_inner(req) {
+            Ok(resp) => resp,
+            Err(e) => Response::Err(e),
+        }
+    }
+
+    fn execute_inner(&mut self, req: Request) -> std::result::Result<Response, WireError> {
+        let engine = &self.shared.engine;
+        Ok(match req {
+            Request::Begin => {
+                if self.txn.is_some() {
+                    return Err(WireError::TxnAlreadyOpen);
+                }
+                let txn = engine.begin()?;
+                let id = txn.id();
+                self.txn = Some(txn);
+                Response::Began { txn: id }
+            }
+            Request::Read { rec } => Response::Data(self.txn()?.read_vec(rec)?),
+            Request::Insert { table, data } => Response::Inserted {
+                rec: self.txn()?.insert(table, &data)?,
+            },
+            Request::Update { rec, data } => {
+                self.txn()?.update(rec, &data)?;
+                Response::Ok
+            }
+            Request::Delete { rec } => {
+                self.txn()?.delete(rec)?;
+                Response::Ok
+            }
+            Request::LockExclusive { rec } => {
+                self.txn()?.lock_exclusive(rec)?;
+                Response::Ok
+            }
+            Request::Commit => {
+                let txn = self.txn.take().ok_or(WireError::NoTxn)?;
+                txn.commit()?;
+                Response::Ok
+            }
+            Request::Abort => {
+                let txn = self.txn.take().ok_or(WireError::NoTxn)?;
+                txn.abort()?;
+                Response::Ok
+            }
+            Request::CreateTable {
+                name,
+                rec_size,
+                capacity,
+            } => Response::Table {
+                table: engine.create_table(&name, rec_size as usize, capacity as usize)?,
+            },
+            Request::OpenTable { name } => Response::Table {
+                table: engine.table(&name)?,
+            },
+            Request::RecordCount { table } => Response::Count(engine.record_count(table)? as u64),
+            Request::Audit => {
+                let report = engine.audit()?;
+                Response::Audited {
+                    clean: report.clean(),
+                    regions_checked: report.regions_checked as u64,
+                }
+            }
+            Request::Stats => Response::Stats(self.stats()),
+            Request::Ping => Response::Ok,
+        })
+    }
+
+    /// The session's open transaction, or `NoTxn`.
+    fn txn(&self) -> std::result::Result<&TxnHandle, WireError> {
+        self.txn.as_ref().ok_or(WireError::NoTxn)
+    }
+
+    fn stats(&self) -> ServerStats {
+        let engine = &self.shared.engine;
+        let log = engine.log_stats();
+        ServerStats {
+            commits: engine.stats().commits.load(Ordering::Relaxed),
+            aborts: engine.stats().aborts.load(Ordering::Relaxed),
+            fsyncs: log.fsyncs,
+            log_flushes: log.flushes,
+            durable_commits: log.durable_commits,
+            piggybacked: log.piggybacked,
+            group_followers: log.group_followers,
+            sessions: self.shared.counters.sessions.load(Ordering::Relaxed),
+            orphans_rolled_back: self
+                .shared
+                .counters
+                .orphans_rolled_back
+                .load(Ordering::Relaxed),
+        }
+    }
+}

@@ -1,0 +1,315 @@
+//! Networked TPC-B: the contended driver from `dali-workload` rebuilt on
+//! top of [`DaliClient`], so N *connections* (not threads sharing an
+//! engine handle) hammer one server.
+//!
+//! The operation mix, per-worker RNG streams ([`worker_seed`]), retry
+//! back-off ([`retry_backoff`]) and history-ring bookkeeping are shared
+//! with the in-process contended driver, so for a given `(seed, clients,
+//! n_ops)` triple the final balance sums match the in-process run and the
+//! TPC-B invariant (sum of account = teller = branch balances) holds —
+//! which is exactly what the integration tests assert.
+
+use crate::client::DaliClient;
+use dali_common::{DaliError, RecId, Result, TableId};
+use dali_workload::records::{
+    balance_of, encode_account, encode_branch, encode_history, encode_teller, REC_SIZE,
+};
+use dali_workload::{retry_backoff, worker_seed, TpcbConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Aggregate result of [`NetTpcbDriver::run_clients`].
+#[derive(Clone, Debug)]
+pub struct NetRunStats {
+    pub clients: usize,
+    pub ops: usize,
+    pub txns: usize,
+    /// Transactions re-run after a lock denial.
+    pub retries: usize,
+    pub elapsed_secs: f64,
+}
+
+impl NetRunStats {
+    /// Aggregate operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.ops as f64 / self.elapsed_secs
+    }
+}
+
+/// The TPC-B driver bound to a server address rather than an engine.
+pub struct NetTpcbDriver {
+    addr: SocketAddr,
+    cfg: TpcbConfig,
+    history: TableId,
+    account_recs: Vec<RecId>,
+    teller_recs: Vec<RecId>,
+    branch_recs: Vec<RecId>,
+    /// Monotonic op counter feeding history record ids across runs.
+    op_counter: u64,
+    /// FIFO of live history records (circular history, as in-process).
+    history_ring: VecDeque<RecId>,
+}
+
+impl NetTpcbDriver {
+    /// Create and populate the four TPC-B tables over the wire.
+    pub fn setup(addr: SocketAddr, cfg: TpcbConfig) -> Result<NetTpcbDriver> {
+        let mut c = DaliClient::connect(addr)?;
+        let accounts = c.create_table("account", REC_SIZE, cfg.accounts)?;
+        let tellers = c.create_table("teller", REC_SIZE, cfg.tellers)?;
+        let branches = c.create_table("branch", REC_SIZE, cfg.branches)?;
+        let history = c.create_table("history", REC_SIZE, cfg.history_capacity)?;
+
+        let account_recs = populate(&mut c, accounts, cfg.accounts, encode_account)?;
+        let teller_recs = populate(&mut c, tellers, cfg.tellers, encode_teller)?;
+        let branch_recs = populate(&mut c, branches, cfg.branches, encode_branch)?;
+        Ok(NetTpcbDriver {
+            addr,
+            cfg,
+            history,
+            account_recs,
+            teller_recs,
+            branch_recs,
+            op_counter: 0,
+            history_ring: VecDeque::new(),
+        })
+    }
+
+    /// The server address this driver targets.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Run `n_ops` operations split across `clients` connections, every
+    /// client drawing from the full row ranges (the contended mode):
+    /// conflicts and deadlocks are routine and resolved by the same
+    /// abort-and-retry loop as the in-process driver, via the structured
+    /// [`DaliError::LockDenied`] the server sends back.
+    pub fn run_clients(&mut self, clients: usize, n_ops: usize) -> Result<NetRunStats> {
+        if clients == 0 {
+            return Err(DaliError::InvalidArg("run_clients: zero clients".into()));
+        }
+        let op_counter = Arc::new(AtomicU64::new(self.op_counter));
+        let mut existing: VecDeque<RecId> = std::mem::take(&mut self.history_ring);
+        let mut workers = Vec::with_capacity(clients);
+        for k in 0..clients {
+            let ring_take = existing.len() / (clients - k);
+            workers.push(NetWorker {
+                client: DaliClient::connect(self.addr)?,
+                history: self.history,
+                account_recs: self.account_recs.clone(),
+                teller_recs: self.teller_recs.clone(),
+                branch_recs: self.branch_recs.clone(),
+                ops_per_txn: self.cfg.ops_per_txn,
+                ring_share: self.cfg.history_capacity / clients,
+                rng: StdRng::seed_from_u64(worker_seed(self.cfg.seed, k)),
+                ring: existing.drain(..ring_take).collect(),
+                op_counter: Arc::clone(&op_counter),
+            });
+        }
+
+        let start = Instant::now();
+        let results: Vec<Result<(NetWorker, usize, usize, usize)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = workers
+                .into_iter()
+                .enumerate()
+                .map(|(k, w)| {
+                    let ops = n_ops / clients + usize::from(k < n_ops % clients);
+                    s.spawn(move || w.run(ops))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
+                .collect()
+        });
+        let elapsed_secs = start.elapsed().as_secs_f64();
+
+        self.op_counter = op_counter.load(Ordering::Relaxed);
+        let (mut ops, mut txns, mut retries) = (0usize, 0usize, 0usize);
+        let mut err = None;
+        for res in results {
+            match res {
+                Ok((w, o, t, r)) => {
+                    self.history_ring.extend(w.ring);
+                    ops += o;
+                    txns += t;
+                    retries += r;
+                }
+                Err(e) => err = Some(e),
+            }
+        }
+        if let Some(e) = err {
+            return Err(e);
+        }
+        Ok(NetRunStats {
+            clients,
+            ops,
+            txns,
+            retries,
+            elapsed_secs,
+        })
+    }
+
+    /// Check the TPC-B invariant over the wire; returns the common sum.
+    pub fn verify_invariant(&self) -> Result<i64> {
+        let mut c = DaliClient::connect(self.addr)?;
+        c.begin()?;
+        fn sum(c: &mut DaliClient, recs: &[RecId]) -> Result<i64> {
+            let mut s = 0i64;
+            for &r in recs {
+                s += balance_of(&c.read(r)?);
+            }
+            Ok(s)
+        }
+        let sa = sum(&mut c, &self.account_recs)?;
+        let st = sum(&mut c, &self.teller_recs)?;
+        let sb = sum(&mut c, &self.branch_recs)?;
+        c.commit()?;
+        if sa != st || st != sb {
+            return Err(DaliError::InvalidArg(format!(
+                "TPC-B invariant violated: accounts {sa}, tellers {st}, branches {sb}"
+            )));
+        }
+        Ok(sa)
+    }
+}
+
+/// One connection's worker: the network twin of the in-process contended
+/// `Worker` in `dali-workload`.
+struct NetWorker {
+    client: DaliClient,
+    history: TableId,
+    account_recs: Vec<RecId>,
+    teller_recs: Vec<RecId>,
+    branch_recs: Vec<RecId>,
+    ops_per_txn: usize,
+    ring_share: usize,
+    rng: StdRng,
+    ring: VecDeque<RecId>,
+    op_counter: Arc<AtomicU64>,
+}
+
+impl NetWorker {
+    /// Run one transaction of `ops` operations; returns the retry count.
+    /// A lock denial aborts the server-side transaction and re-runs it
+    /// from the same RNG state — the same loop shape as in-process, with
+    /// the error arriving over the wire instead of a return value.
+    fn run_txn(&mut self, ops: usize) -> Result<usize> {
+        let margin = 2 * self.ops_per_txn + 64;
+        let mut retries = 0usize;
+        loop {
+            let rng_snapshot = self.rng.clone();
+            self.client.begin()?;
+            let mut inserted: Vec<RecId> = Vec::with_capacity(ops);
+            let mut drop_front = 0usize;
+            let res = (|| -> Result<()> {
+                for _ in 0..ops {
+                    let a = self.rng.gen_range(0..self.account_recs.len());
+                    let t = self.rng.gen_range(0..self.teller_recs.len());
+                    let b = self.rng.gen_range(0..self.branch_recs.len());
+                    let delta = self.rng.gen_range(-999_999i64..=999_999);
+                    for (rec, encode) in [
+                        (
+                            self.account_recs[a],
+                            encode_account as fn(u64, i64) -> Vec<u8>,
+                        ),
+                        (
+                            self.teller_recs[t],
+                            encode_teller as fn(u64, i64) -> Vec<u8>,
+                        ),
+                        (
+                            self.branch_recs[b],
+                            encode_branch as fn(u64, i64) -> Vec<u8>,
+                        ),
+                    ] {
+                        // Read-for-update: contended workers take the
+                        // exclusive lock up front (shared-then-upgrade
+                        // deadlocks every time two workers collide).
+                        self.client.lock_exclusive(rec)?;
+                        let cur = self.client.read(rec)?;
+                        let bal = balance_of(&cur);
+                        self.client
+                            .update(rec, &encode(rec.slot.0 as u64, bal + delta))?;
+                    }
+                    let op = self.op_counter.fetch_add(1, Ordering::Relaxed);
+                    let h = self.client.insert(
+                        self.history,
+                        &encode_history(op, a as u64, t as u64, b as u64, delta),
+                    )?;
+                    inserted.push(h);
+                    let live = self.ring.len() - drop_front + inserted.len();
+                    if live + margin >= self.ring_share && drop_front < self.ring.len() {
+                        self.client.delete(self.ring[drop_front])?;
+                        drop_front += 1;
+                    }
+                }
+                Ok(())
+            })();
+            match res {
+                Ok(()) => {
+                    self.client.commit()?;
+                    self.ring.drain(..drop_front);
+                    self.ring.extend(inserted);
+                    return Ok(retries);
+                }
+                Err(DaliError::LockDenied { .. }) => {
+                    self.client.abort()?;
+                    self.rng = rng_snapshot;
+                    retries += 1;
+                    if retries > 1_000 {
+                        return Err(DaliError::InvalidArg(
+                            "networked TPC-B client starved: 1000 lock denials".into(),
+                        ));
+                    }
+                    retry_backoff(retries);
+                }
+                Err(e) => {
+                    let _ = self.client.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    /// Run `n` operations in transactions of `ops_per_txn`; returns
+    /// `(self, ops, txns, retries)`.
+    fn run(mut self, n: usize) -> Result<(NetWorker, usize, usize, usize)> {
+        let mut done = 0usize;
+        let mut txns = 0usize;
+        let mut retries = 0usize;
+        while done < n {
+            let in_this = self.ops_per_txn.min(n - done);
+            retries += self.run_txn(in_this)?;
+            txns += 1;
+            done += in_this;
+        }
+        Ok((self, done, txns, retries))
+    }
+}
+
+/// Populate a table over the wire with `n` zero-balance rows, committing
+/// in batches so the server-side local logs stay small.
+fn populate(
+    client: &mut DaliClient,
+    table: TableId,
+    n: usize,
+    encode: fn(u64, i64) -> Vec<u8>,
+) -> Result<Vec<RecId>> {
+    let mut recs = Vec::with_capacity(n);
+    let mut i = 0usize;
+    while i < n {
+        client.begin()?;
+        let batch_end = (i + 2_000).min(n);
+        for k in i..batch_end {
+            recs.push(client.insert(table, &encode(k as u64, 0))?);
+        }
+        client.commit()?;
+        i = batch_end;
+    }
+    Ok(recs)
+}

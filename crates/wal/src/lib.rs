@@ -28,4 +28,4 @@ pub mod syslog;
 pub use dpt::DualDirtySet;
 pub use locallog::{LocalRedoLog, LocalUndoLog, UndoEntry, UndoKind};
 pub use record::{LogRecord, LogicalUndo, OpKind};
-pub use syslog::SystemLog;
+pub use syslog::{SyncStats, SystemLog};

@@ -17,10 +17,12 @@ use crate::dpt::DualDirtySet;
 use crate::record::{frame, unframe, LogRecord};
 use bytes::BytesMut;
 use dali_common::{DaliError, Lsn, PageId, Result};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 struct Inner {
     /// Unflushed frames.
@@ -38,6 +40,40 @@ struct SyncState {
     file: File,
     /// Everything below this LSN is known to be on disk.
     durable: Lsn,
+    /// A group-commit leader is currently collecting a batch (waiting
+    /// out its commit window) or fsyncing on the batch's behalf.
+    leader: bool,
+    /// Committers blocked waiting for the current leader's fsync. The
+    /// leader compares this against `pending` to close its batch early.
+    waiters: u64,
+}
+
+/// Snapshot of the log's flush/fsync counters, the measurable side of
+/// group-commit amortization: `fsyncs / durable_commits` is the metric
+/// `net_scale` sweeps, and piggybacks count commits that rode a
+/// neighbour's fsync without waiting for one of their own.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SyncStats {
+    /// `sync_data` calls actually issued.
+    pub fsyncs: u64,
+    /// Tail→file writes (buffered flushes, durable or not).
+    pub flushes: u64,
+    /// Durable-commit requests served (`flush(true)` / `commit_durable`).
+    pub durable_commits: u64,
+    /// Durable commits satisfied by an fsync some other committer issued.
+    pub piggybacked: u64,
+    /// Durable commits that waited out a group-commit window as batch
+    /// followers (their records covered by the leader's single fsync).
+    pub group_followers: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    fsyncs: AtomicU64,
+    flushes: AtomicU64,
+    durable_commits: AtomicU64,
+    piggybacked: AtomicU64,
+    group_followers: AtomicU64,
 }
 
 /// The system log.
@@ -46,6 +82,14 @@ pub struct SystemLog {
     page_size: usize,
     inner: Mutex<Inner>,
     sync: Mutex<SyncState>,
+    /// Signalled whenever `durable` advances, a leader steps down, or a
+    /// follower joins a collecting leader's batch.
+    sync_cv: Condvar,
+    /// Threads currently inside a windowed `commit_durable` call. Every
+    /// one of them has already appended the records it needs durable, so
+    /// once a batch contains them all there is nothing to wait for.
+    pending: AtomicU64,
+    counters: Counters,
     dirty: DualDirtySet,
 }
 
@@ -70,7 +114,12 @@ impl SystemLog {
             sync: Mutex::new(SyncState {
                 file: sync_file,
                 durable: Lsn::ZERO,
+                leader: false,
+                waiters: 0,
             }),
+            sync_cv: Condvar::new(),
+            pending: AtomicU64::new(0),
+            counters: Counters::default(),
             dirty: DualDirtySet::new(),
         })
     }
@@ -99,7 +148,12 @@ impl SystemLog {
             sync: Mutex::new(SyncState {
                 file: sync_file,
                 durable: Lsn(valid_end as u64),
+                leader: false,
+                waiters: 0,
             }),
+            sync_cv: Condvar::new(),
+            pending: AtomicU64::new(0),
+            counters: Counters::default(),
             dirty: DualDirtySet::new(),
         })
     }
@@ -163,27 +217,166 @@ impl SystemLog {
     /// covered skips its own (commit piggybacking). Returns the new end
     /// of stable log.
     pub fn flush(&self, sync: bool) -> Result<Lsn> {
-        let end = {
-            let mut inner = self.inner.lock();
-            if !inner.tail.is_empty() {
-                let tail = std::mem::take(&mut inner.tail);
-                inner.file.write_all(&tail)?;
-                inner.tail_base = Lsn(inner.tail_base.0 + tail.len() as u64);
-                // Reuse the buffer's capacity.
-                let mut tail = tail;
-                tail.clear();
-                inner.tail = tail;
-            }
-            inner.tail_base
-        };
+        let end = self.write_tail()?;
         if sync {
-            let mut s = self.sync.lock();
-            if s.durable < end {
-                s.file.sync_data()?;
-                s.durable = end;
-            }
+            self.counters
+                .durable_commits
+                .fetch_add(1, Ordering::Relaxed);
+            self.sync_upto(end)?;
         }
         Ok(end)
+    }
+
+    /// Write the in-memory tail to the stable file (no fsync); returns
+    /// the new end of the written log.
+    fn write_tail(&self) -> Result<Lsn> {
+        let mut inner = self.inner.lock();
+        if !inner.tail.is_empty() {
+            let tail = std::mem::take(&mut inner.tail);
+            inner.file.write_all(&tail)?;
+            inner.tail_base = Lsn(inner.tail_base.0 + tail.len() as u64);
+            // Reuse the buffer's capacity.
+            let mut tail = tail;
+            tail.clear();
+            inner.tail = tail;
+            self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(inner.tail_base)
+    }
+
+    /// fsync so that everything below `upto` is durable, unless a
+    /// neighbour's fsync already covered it (commit piggybacking).
+    fn sync_upto(&self, upto: Lsn) -> Result<Lsn> {
+        let mut s = self.sync.lock();
+        if s.durable < upto {
+            s.file.sync_data()?;
+            s.durable = upto;
+            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+            self.sync_cv.notify_all();
+        } else {
+            self.counters.piggybacked.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(s.durable)
+    }
+
+    /// Make the log durable up to `upto`, batching with concurrent
+    /// committers under a group-commit `window` (the ROADMAP group-commit
+    /// item).
+    ///
+    /// * `window == 0` behaves exactly like `flush(true)`: write the
+    ///   tail, fsync unless a neighbour's fsync already covered `upto`.
+    /// * `window > 0`: the first committer to arrive becomes the batch
+    ///   *leader*; committers arriving while it collects become
+    ///   *followers* and block until the leader's single fsync covers
+    ///   their LSN (or, if they appended after the leader's tail
+    ///   snapshot, take over as the next leader). The window is a
+    ///   *maximum* delay, not a fixed one: every thread inside a
+    ///   windowed `commit_durable` has already appended what it needs
+    ///   durable, so once the batch holds every in-flight committer the
+    ///   leader fires immediately — waiting longer could only help
+    ///   commits that have not started yet. An uncontended commit
+    ///   therefore pays no window delay at all, and the full window is
+    ///   waited only when stragglers are still on their way.
+    ///
+    /// Callers must have already appended the records they need durable
+    /// (`upto` is typically the end LSN returned by
+    /// [`append_batch`](Self::append_batch)).
+    pub fn commit_durable(&self, upto: Lsn, window: Duration) -> Result<Lsn> {
+        self.counters
+            .durable_commits
+            .fetch_add(1, Ordering::Relaxed);
+        if window.is_zero() {
+            let end = self.write_tail()?;
+            return self.sync_upto(end.max(upto));
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let res = self.commit_durable_windowed(upto, window);
+        self.pending.fetch_sub(1, Ordering::SeqCst);
+        res
+    }
+
+    fn commit_durable_windowed(&self, upto: Lsn, window: Duration) -> Result<Lsn> {
+        let mut followed = false;
+        {
+            let mut s = self.sync.lock();
+            loop {
+                if s.durable >= upto {
+                    self.counters.piggybacked.fetch_add(1, Ordering::Relaxed);
+                    if followed {
+                        self.counters
+                            .group_followers
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    return Ok(s.durable);
+                }
+                if !s.leader {
+                    s.leader = true;
+                    break;
+                }
+                // A leader is collecting a batch: join it (the notify
+                // lets the leader close the batch early once everyone
+                // in flight is aboard) and wait for its fsync. The
+                // deadline is defensive only (a leader always steps
+                // down, even on error): it bounds the wait if this
+                // follower raced a leader whose fsync failed.
+                followed = true;
+                s.waiters += 1;
+                self.sync_cv.notify_all();
+                self.sync_cv
+                    .wait_until(&mut s, Instant::now() + window + Duration::from_millis(100));
+                s.waiters -= 1;
+            }
+        }
+        // Leader: collect until the window closes or every in-flight
+        // committer has joined, then flush the batch with one fsync.
+        let deadline = Instant::now() + window;
+        {
+            let mut s = self.sync.lock();
+            while s.waiters + 1 < self.pending.load(Ordering::SeqCst) {
+                if self.sync_cv.wait_until(&mut s, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+        let res = self.write_tail().and_then(|end| {
+            let mut s = self.sync.lock();
+            let r = if s.durable < end {
+                match s.file.sync_data() {
+                    Ok(()) => {
+                        s.durable = end;
+                        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        Ok(s.durable)
+                    }
+                    Err(e) => Err(DaliError::Io(e)),
+                }
+            } else {
+                self.counters.piggybacked.fetch_add(1, Ordering::Relaxed);
+                Ok(s.durable)
+            };
+            s.leader = false;
+            self.sync_cv.notify_all();
+            r
+        });
+        // On the error path the leader flag must still be cleared.
+        if res.is_err() {
+            let mut s = self.sync.lock();
+            if s.leader {
+                s.leader = false;
+                self.sync_cv.notify_all();
+            }
+        }
+        res
+    }
+
+    /// Snapshot of the flush/fsync counters.
+    pub fn sync_stats(&self) -> SyncStats {
+        SyncStats {
+            fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            flushes: self.counters.flushes.load(Ordering::Relaxed),
+            durable_commits: self.counters.durable_commits.load(Ordering::Relaxed),
+            piggybacked: self.counters.piggybacked.load(Ordering::Relaxed),
+            group_followers: self.counters.group_followers.load(Ordering::Relaxed),
+        }
     }
 
     /// Scan every intact record in the stable file from `from` onward.
@@ -363,6 +556,71 @@ mod tests {
         }
         let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
         assert_eq!(recs.len(), 400);
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        // 4 committers, 2 ms window: every record must be durable when
+        // its commit_durable returns, and the fsync count must come in
+        // under one-per-commit (the whole point of the window).
+        let path = tmp("group");
+        let log = std::sync::Arc::new(SystemLog::create(&path, 4096).unwrap());
+        let window = Duration::from_millis(2);
+        let mut handles = vec![];
+        for t in 0..4u64 {
+            let log = std::sync::Arc::clone(&log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..25u64 {
+                    let (_, end) = log.append_batch(&[LogRecord::TxnCommit {
+                        txn: TxnId(t * 1000 + i),
+                    }]);
+                    let durable = log.commit_durable(end, window).unwrap();
+                    assert!(durable >= end, "commit returned before durability");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 100);
+        let stats = log.sync_stats();
+        assert_eq!(stats.durable_commits, 100);
+        assert!(
+            stats.fsyncs < stats.durable_commits,
+            "no amortization: {} fsyncs for {} commits",
+            stats.fsyncs,
+            stats.durable_commits
+        );
+        assert_eq!(stats.fsyncs + stats.piggybacked, stats.durable_commits);
+    }
+
+    #[test]
+    fn zero_window_commit_matches_flush_true() {
+        let path = tmp("zerowin");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        let (_, end) = log.append_batch(&[LogRecord::TxnCommit { txn: TxnId(1) }]);
+        let durable = log.commit_durable(end, Duration::ZERO).unwrap();
+        assert_eq!(durable, end);
+        assert_eq!(SystemLog::scan_stable(&path, Lsn::ZERO).unwrap().len(), 1);
+        let stats = log.sync_stats();
+        assert_eq!(stats.fsyncs, 1);
+        assert_eq!(stats.durable_commits, 1);
+    }
+
+    #[test]
+    fn sync_stats_count_flushes_and_piggybacks() {
+        let path = tmp("stats");
+        let log = SystemLog::create(&path, 4096).unwrap();
+        log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        log.flush(true).unwrap();
+        // Nothing new appended: a second durable flush piggybacks.
+        log.flush(true).unwrap();
+        let stats = log.sync_stats();
+        assert_eq!(stats.flushes, 1);
+        assert_eq!(stats.fsyncs, 1);
+        assert_eq!(stats.durable_commits, 2);
+        assert_eq!(stats.piggybacked, 1);
     }
 
     #[test]

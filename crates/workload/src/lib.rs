@@ -166,8 +166,28 @@ fn thread_cpu_seconds() -> f64 {
 }
 
 /// Thread `k`'s contiguous share of `n` row indices.
-fn partition(n: usize, threads: usize, k: usize) -> std::ops::Range<usize> {
+///
+/// Public so other drivers (the networked TPC-B driver in `dali-net`)
+/// partition identically to the in-process one.
+pub fn partition(n: usize, threads: usize, k: usize) -> std::ops::Range<usize> {
     (k * n / threads)..((k + 1) * n / threads)
+}
+
+/// RNG seed of worker `k` for a run seeded with `seed` — the per-worker
+/// stream derivation shared by [`TpcbDriver::run_concurrent`] and the
+/// networked driver, so both produce the same deterministic balance sums
+/// for a given `(seed, workers, n_ops)` triple.
+pub fn worker_seed(seed: u64, k: usize) -> u64 {
+    seed.wrapping_add((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Back-off before re-running a lock-denied transaction: a victim
+/// restarts with a fresh (larger) TxnId, so the youngest-victim deadlock
+/// policy dooms an immediate retry again in any repeat collision; a
+/// short, growing pause breaks these retry storms. Sleeping changes only
+/// timing, never the replayed operation sequence.
+pub fn retry_backoff(retries: usize) {
+    std::thread::sleep(Duration::from_micros(50u64 << retries.min(6)));
 }
 
 /// One worker thread's state: a slice of the account, teller and branch
@@ -284,13 +304,7 @@ impl Worker {
                             "concurrent TPC-B worker starved: 1000 lock denials".into(),
                         ));
                     }
-                    // Back off before re-running. A victim restarts with
-                    // a fresh (larger) TxnId, so the youngest-victim
-                    // deadlock policy dooms an immediate retry again in
-                    // any repeat collision; a short, growing pause breaks
-                    // these retry storms. Sleeping changes only timing,
-                    // never the replayed operation sequence.
-                    std::thread::sleep(Duration::from_micros(50u64 << retries.min(6)));
+                    retry_backoff(retries);
                 }
                 Err(e) => {
                     let _ = txn.abort();
@@ -578,11 +592,7 @@ impl TpcbDriver {
                 branch_recs: self.branch_recs[br].to_vec(),
                 ops_per_txn: self.cfg.ops_per_txn,
                 ring_share: self.cfg.history_capacity / threads,
-                rng: StdRng::seed_from_u64(
-                    self.cfg
-                        .seed
-                        .wrapping_add((k as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
-                ),
+                rng: StdRng::seed_from_u64(worker_seed(self.cfg.seed, k)),
                 ring: existing.drain(..ring_take).collect(),
                 op_counter: Arc::clone(&op_counter),
                 lock_for_update: contended,

@@ -36,6 +36,7 @@
 //! | [`engine`](dali_engine) | transactions, MLR, checkpoints, restart + corruption recovery |
 //! | [`faultinject`](dali_faultinject) | wild writes / overruns / bit flips |
 //! | [`workload`](dali_workload) | the paper's TPC-B style workload |
+//! | [`net`](dali_net) | TCP server + client library, wire protocol, networked TPC-B |
 //!
 //! ## Quick start
 //!
@@ -61,6 +62,7 @@ pub use dali_common as common;
 pub use dali_engine as engine;
 pub use dali_faultinject as faultinject;
 pub use dali_mem as mem;
+pub use dali_net as net;
 pub use dali_wal as wal;
 pub use dali_workload as workload;
 
@@ -73,4 +75,6 @@ pub use dali_engine::{
     CheckpointOutcome, DaliEngine, LockManager, LockMode, RecoveryMode, RecoveryOutcome, TxnHandle,
 };
 pub use dali_faultinject::{FaultInjector, InjectionEffect};
+pub use dali_net::{DaliClient, DaliServer, NetTpcbDriver, ServerStats, WireError};
+pub use dali_wal::SyncStats;
 pub use dali_workload::{RunStats, TpcbConfig, TpcbDriver};
