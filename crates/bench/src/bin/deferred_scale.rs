@@ -1,0 +1,180 @@
+//! Deferred-maintenance scaling sweep: dirty-set shards × worker
+//! threads × background drain interval, on the concurrent TPC-B driver.
+//!
+//! The deferred scheme's update path is a push into the sharded,
+//! coalescing dirty set; its catch-up path is shard-by-shard drains
+//! (inline at the watermark, periodic from the background drainer,
+//! per-region inside audits). This sweep shows how throughput moves
+//! with the shard count (contention on the shard mutexes), the thread
+//! count, and the drain cadence, and prints the dirty-set counters
+//! (drains / coalesced deltas / max shard depth) that explain the
+//! shape.
+//!
+//! Commits are durable by default, matching `table_scale`'s scaling
+//! regime (threads overlap their commit fsyncs).
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin deferred_scale [-- options]
+//!
+//! Options:
+//!   --ops N           operations per cell (default 6000)
+//!   --reps N          interleaved repetitions per cell, median reported (default 3)
+//!   --threads LIST    comma-separated thread counts (default 1,2,4)
+//!   --shards LIST     comma-separated dirty-set shard counts (default 1,4,16)
+//!   --intervals LIST  comma-separated drain intervals in ms, "off" = no
+//!                     background drainer (default off,25,1)
+//!   --watermark N     per-shard dirty-region watermark, 0 = unbounded (default 4096)
+//!   --no-sync         buffered commits (no fsync)
+//!   --quick           CI smoke mode: tiny cells, 1 rep, one interval
+//!
+//! Set DALI_BENCH_VERBOSE=1 to print every repetition.
+
+use dali_bench::{format_deferred_markdown, run_deferred_cell, run_deferred_sweep};
+use dali_workload::TpcbConfig;
+use std::time::Duration;
+
+const USAGE: &str = "usage: deferred_scale [--ops N] [--reps N] [--threads LIST] \
+                     [--shards LIST] [--intervals LIST] [--watermark N] [--no-sync] [--quick]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} must be comma-separated numbers")))
+        })
+        .collect()
+}
+
+fn main() {
+    let mut ops: usize = 6_000;
+    let mut reps: usize = 3;
+    let mut threads: Vec<usize> = vec![1, 2, 4];
+    let mut shards: Vec<usize> = vec![1, 4, 16];
+    let mut intervals: Vec<Option<Duration>> = vec![
+        None,
+        Some(Duration::from_millis(25)),
+        Some(Duration::from_millis(1)),
+    ];
+    let mut watermark: usize = 4096;
+    let mut sync_commit = true;
+    let mut quick = false;
+    let wl = TpcbConfig::scale();
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => {
+                ops = value(&mut args, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--reps" => {
+                reps = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps must be a number"));
+            }
+            "--threads" => threads = parse_list(&value(&mut args, "--threads"), "--threads"),
+            "--shards" => shards = parse_list(&value(&mut args, "--shards"), "--shards"),
+            "--intervals" => {
+                intervals = value(&mut args, "--intervals")
+                    .split(',')
+                    .map(|t| match t.trim() {
+                        "off" | "none" => None,
+                        ms => Some(Duration::from_millis(ms.parse().unwrap_or_else(|_| {
+                            fail("--intervals entries must be numbers (ms) or 'off'")
+                        }))),
+                    })
+                    .collect();
+            }
+            "--watermark" => {
+                watermark = value(&mut args, "--watermark")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--watermark must be a number"));
+            }
+            "--no-sync" => sync_commit = false,
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if quick {
+        // CI smoke: exercise every code path once, in seconds.
+        ops = 400;
+        reps = 1;
+        threads = vec![1, 2];
+        shards = vec![1, 8];
+        intervals = vec![Some(Duration::from_millis(1))];
+        sync_commit = false;
+    }
+    if ops == 0 || reps == 0 {
+        fail("--ops and --reps must be positive");
+    }
+    if threads.is_empty() || shards.is_empty() || intervals.is_empty() {
+        fail("--threads, --shards and --intervals each need at least one entry");
+    }
+    if shards.contains(&0) {
+        fail("--shards entries must be positive (0 = auto is resolved by config, pass it explicitly)");
+    }
+    if let Some(&bad) = threads.iter().find(|&&t| t == 0 || t > wl.branches) {
+        fail(&format!(
+            "thread count {bad} out of range (1..={} branches)",
+            wl.branches
+        ));
+    }
+
+    println!("Deferred-maintenance scaling: TPC-B ops/s vs dirty-set shards and threads");
+    println!(
+        "({} accounts / {} tellers / {} branches, {} ops per cell x {} reps \
+         (interleaved, median), watermark {}, durable commits: {})\n",
+        wl.accounts, wl.tellers, wl.branches, ops, reps, watermark, sync_commit
+    );
+    eprintln!(
+        "running {} shard counts x {:?} threads x {} intervals x {reps} reps; \
+         use --quick for a smoke pass",
+        shards.len(),
+        threads,
+        intervals.len()
+    );
+
+    // Warmup pass, discarded (page cache, frequency ramp).
+    let _ = run_deferred_cell(
+        &wl,
+        shards[0],
+        threads[0],
+        ops,
+        None,
+        watermark,
+        sync_commit,
+    );
+    for interval in &intervals {
+        let label = match interval {
+            None => "background drainer off".to_string(),
+            Some(i) => format!("drain interval {} ms", i.as_millis()),
+        };
+        println!("### {label}\n");
+        let cells = run_deferred_sweep(
+            &shards,
+            &threads,
+            &wl,
+            ops,
+            *interval,
+            watermark,
+            sync_commit,
+            reps,
+        );
+        println!("{}", format_deferred_markdown(&shards, &threads, &cells));
+    }
+}

@@ -630,6 +630,157 @@ pub fn run_contended_cell(
     }
 }
 
+// -------------------------------------------------------------------
+// Deferred-maintenance scaling (`deferred_scale` bin)
+// -------------------------------------------------------------------
+
+/// One measured cell of the deferred-maintenance sweep: throughput plus
+/// the dirty-set counters that explain it.
+#[derive(Clone, Copy, Debug)]
+pub struct DeferredCell {
+    pub cell: ScaleCell,
+    /// Non-empty shard drains over the run.
+    pub drains: u64,
+    /// Deltas absorbed into an already-dirty region (coalescing savings).
+    pub coalesced_deltas: u64,
+    /// Deepest any shard's dirty-region count got.
+    pub max_shard_depth: u64,
+}
+
+/// Measure one deferred-maintenance cell: like [`run_scale_cell`] with
+/// `ProtectionScheme::DeferredMaintenance`, but with explicit dirty-set
+/// shard count, background drain interval (`None` = no drainer thread),
+/// and per-shard watermark. Reports the dirty-set counters next to the
+/// throughput so the sweep shows *why* a configuration scales.
+pub fn run_deferred_cell(
+    wl: &TpcbConfig,
+    shards: usize,
+    threads: usize,
+    ops: usize,
+    drain_interval: Option<Duration>,
+    watermark: usize,
+    sync_commit: bool,
+) -> DeferredCell {
+    let mut config = DaliConfig::small(scratch_dir(&format!("defscale-{shards}sh-{threads}t")))
+        .with_scheme(ProtectionScheme::DeferredMaintenance)
+        .with_deferred_shards(shards)
+        .with_deferred_drain_interval(drain_interval)
+        .with_deferred_watermark(watermark);
+    config.db_pages = wl.required_pages(config.page_size);
+    config.sync_commit = sync_commit;
+    let (db, _) = DaliEngine::create(config).expect("create db");
+    let mut driver = TpcbDriver::setup(&db, wl.clone()).expect("populate");
+    let stats = driver.run_concurrent(threads, ops).expect("concurrent run");
+    driver.verify_invariant().expect("invariant");
+    let deferred = db.deferred_stats();
+    let dir = db.config().dir.clone();
+    drop(driver);
+    drop(db);
+    let _ = std::fs::remove_dir_all(dir);
+    DeferredCell {
+        cell: ScaleCell {
+            wall_ops_per_sec: stats.ops_per_sec(),
+            cpu_us_per_op: stats.cpu_us_per_op(),
+            retries: stats.retries,
+        },
+        drains: deferred.drains,
+        coalesced_deltas: deferred.coalesced_deltas,
+        max_shard_depth: deferred.max_shard_depth,
+    }
+}
+
+/// Sweep shard counts × thread counts at a fixed drain interval,
+/// repetitions interleaved round-robin; per-cell median by wall
+/// throughput, indexed `[shard][thread]`.
+#[allow(clippy::too_many_arguments)]
+pub fn run_deferred_sweep(
+    shard_counts: &[usize],
+    threads: &[usize],
+    wl: &TpcbConfig,
+    ops: usize,
+    drain_interval: Option<Duration>,
+    watermark: usize,
+    sync_commit: bool,
+    reps: usize,
+) -> Vec<Vec<DeferredCell>> {
+    let verbose = std::env::var_os("DALI_BENCH_VERBOSE").is_some();
+    let mut samples: Vec<Vec<Vec<DeferredCell>>> =
+        vec![vec![Vec::new(); threads.len()]; shard_counts.len()];
+    for rep in 0..reps.max(1) {
+        for (i, &shards) in shard_counts.iter().enumerate() {
+            for (j, &t) in threads.iter().enumerate() {
+                let cell =
+                    run_deferred_cell(wl, shards, t, ops, drain_interval, watermark, sync_commit);
+                if verbose {
+                    eprintln!(
+                        "  rep {rep} {shards} shards, {t} thr: {:>9.0} ops/s  ({} drains, {} coalesced)",
+                        cell.cell.wall_ops_per_sec, cell.drains, cell.coalesced_deltas
+                    );
+                }
+                samples[i][j].push(cell);
+            }
+        }
+    }
+    samples
+        .into_iter()
+        .map(|row| {
+            row.into_iter()
+                .map(|mut reps| {
+                    reps.sort_by(|a, b| {
+                        a.cell
+                            .wall_ops_per_sec
+                            .partial_cmp(&b.cell.wall_ops_per_sec)
+                            .unwrap()
+                    });
+                    reps[reps.len() / 2]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Render a deferred sweep as a markdown table: rows = shard counts,
+/// columns = threads (speedup over that row's 1-thread cell), with the
+/// 4-thread dirty-set counters appended.
+pub fn format_deferred_markdown(
+    shard_counts: &[usize],
+    threads: &[usize],
+    cells: &[Vec<DeferredCell>],
+) -> String {
+    let mut out = String::new();
+    out.push_str("| Shards |");
+    for t in threads {
+        out.push_str(&format!(" {t} thr |"));
+    }
+    out.push_str(" drains | coalesced | max depth |\n|:--|");
+    for _ in threads {
+        out.push_str("--:|");
+    }
+    out.push_str("--:|--:|--:|\n");
+    for (i, &shards) in shard_counts.iter().enumerate() {
+        out.push_str(&format!("| {shards} |"));
+        let base = cells[i][0].cell.wall_ops_per_sec;
+        for (j, _) in threads.iter().enumerate() {
+            let c = &cells[i][j];
+            if j == 0 {
+                out.push_str(&format!(" {:.0} |", c.cell.wall_ops_per_sec));
+            } else {
+                out.push_str(&format!(
+                    " {:.0} ({:.2}x) |",
+                    c.cell.wall_ops_per_sec,
+                    c.cell.wall_ops_per_sec / base
+                ));
+            }
+        }
+        let last = &cells[i][threads.len() - 1];
+        out.push_str(&format!(
+            " {} | {} | {} |\n",
+            last.drains, last.coalesced_deltas, last.max_shard_depth
+        ));
+    }
+    out
+}
+
 /// Paper Table 1 reference rows: platform, pairs/second (1998 hardware).
 pub fn table1_paper_rows() -> Vec<(&'static str, f64)> {
     vec![

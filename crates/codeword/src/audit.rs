@@ -8,7 +8,14 @@
 //! checkpoint image so that checkpoints can be *certified free of
 //! corruption* (§4.2); the engine can also run audits on demand or from a
 //! background thread.
+//!
+//! Deferred maintenance: the caller passes the scheme's
+//! [`DeferredSet`]; each region's dirty-set shard is drained *after* the
+//! exclusive latch is taken and *before* the fold, so queued-but-
+//! unapplied deltas never read as spurious mismatches — and the audit
+//! never quiesces writers outside the one stripe it is checking.
 
+use crate::deferred::DeferredSet;
 use crate::latch::{LatchMode, LatchTable};
 use crate::region::{RegionGeometry, RegionId};
 use crate::table::CodewordTable;
@@ -51,15 +58,24 @@ impl AuditReport {
     }
 }
 
-/// Audit a single region under its protection latch.
+/// Audit a single region under its protection latch. For deferred
+/// maintenance, pass the dirty set: the region's shard is drained under
+/// the latch, after which the ordering argument is exactly the eager
+/// scheme's (updaters hold the latch shared across write+enqueue, so no
+/// delta for this region can be missing once the exclusive latch is
+/// held).
 pub fn audit_region(
     image: &DbImage,
     geom: &RegionGeometry,
     table: &CodewordTable,
     latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
     region: RegionId,
 ) -> Result<Option<CorruptRegion>> {
     latches.with_span(region, region, LatchMode::Exclusive, || {
+        if let Some(set) = deferred {
+            set.drain_region(region, table);
+        }
         check_region(image, geom, table, region)
     })
 }
@@ -96,10 +112,11 @@ pub fn audit_all(
     geom: &RegionGeometry,
     table: &CodewordTable,
     latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
 ) -> Result<AuditReport> {
     let mut report = AuditReport::default();
     for r in 0..geom.num_regions() {
-        if let Some(c) = audit_region(image, geom, table, latches, r)? {
+        if let Some(c) = audit_region(image, geom, table, latches, deferred, r)? {
             report.corrupt.push(c);
         }
         report.regions_checked += 1;
@@ -114,6 +131,7 @@ pub fn audit_pages(
     geom: &RegionGeometry,
     table: &CodewordTable,
     latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
     pages: &[PageId],
 ) -> Result<AuditReport> {
     let mut report = AuditReport::default();
@@ -122,7 +140,7 @@ pub fn audit_pages(
         let base = page.base(page_size);
         let (first, last) = geom.region_span(base, page_size);
         for r in first..=last {
-            if let Some(c) = audit_region(image, geom, table, latches, r)? {
+            if let Some(c) = audit_region(image, geom, table, latches, deferred, r)? {
                 report.corrupt.push(c);
             }
             report.regions_checked += 1;
@@ -146,7 +164,7 @@ mod tests {
     #[test]
     fn clean_image_audits_clean() {
         let (image, geom, table, latches) = setup();
-        let report = audit_all(&image, &geom, &table, &latches).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         assert!(report.clean());
         assert_eq!(report.regions_checked, geom.num_regions());
     }
@@ -156,7 +174,7 @@ mod tests {
         let (image, geom, table, latches) = setup();
         // Corrupt without maintaining the codeword.
         image.write(DbAddr(200), &[0xde, 0xad]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         assert_eq!(report.corrupt.len(), 1);
         let c = &report.corrupt[0];
         assert_eq!(c.region, geom.region_of(DbAddr(200)));
@@ -171,7 +189,9 @@ mod tests {
         let new = [9u8, 8, 7, 6];
         image.write(addr, &new).unwrap();
         table.apply_delta(geom.region_of(addr), crate::codeword::delta(&old, &new));
-        assert!(audit_all(&image, &geom, &table, &latches).unwrap().clean());
+        assert!(audit_all(&image, &geom, &table, &latches, None)
+            .unwrap()
+            .clean());
     }
 
     #[test]
@@ -180,12 +200,20 @@ mod tests {
         // Corrupt page 0 and page 2.
         image.write(DbAddr(10), &[1]).unwrap();
         image.write(DbAddr(2 * 4096 + 10), &[1]).unwrap();
-        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(0)]).unwrap();
+        let report = audit_pages(&image, &geom, &table, &latches, None, &[PageId(0)]).unwrap();
         assert_eq!(report.corrupt.len(), 1);
         assert_eq!(report.regions_checked, 4096 / 64);
-        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(1)]).unwrap();
+        let report = audit_pages(&image, &geom, &table, &latches, None, &[PageId(1)]).unwrap();
         assert!(report.clean());
-        let report = audit_pages(&image, &geom, &table, &latches, &[PageId(0), PageId(2)]).unwrap();
+        let report = audit_pages(
+            &image,
+            &geom,
+            &table,
+            &latches,
+            None,
+            &[PageId(0), PageId(2)],
+        )
+        .unwrap();
         assert_eq!(report.corrupt.len(), 2);
     }
 
@@ -197,12 +225,12 @@ mod tests {
         let (image, geom, table, latches) = setup();
         image.write(DbAddr(0), &[0x01]).unwrap();
         image.write(DbAddr(4), &[0x01]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         assert!(report.clean(), "parity cancellation goes undetected");
         // But the corruption is caught if the flips land in different bit
         // positions.
         image.write(DbAddr(8), &[0x02]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         assert!(!report.clean());
     }
 
@@ -210,7 +238,7 @@ mod tests {
     fn corrupt_ranges_reports_addresses() {
         let (image, geom, table, latches) = setup();
         image.write(DbAddr(65), &[7]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         let ranges = report.corrupt_ranges();
         assert_eq!(ranges, vec![(DbAddr(64), 64)]);
         let _ = geom;

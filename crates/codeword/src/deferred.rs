@@ -1,0 +1,405 @@
+//! Sharded, coalescing deferred-maintenance dirty set.
+//!
+//! The deferred-maintenance scheme (§4.3 extension) queues codeword
+//! deltas instead of applying them at `endUpdate`. The original
+//! implementation kept one global `Mutex<Vec<(region, delta)>>`: every
+//! updater pushed through a single mutex, drains replayed every raw
+//! delta, and audits had to quiesce *all* updaters so no delta could be
+//! in flight. This module replaces it with the scheme-level analogue of
+//! the sharded lock manager:
+//!
+//! * The dirty set is split into `shards` (power of two, region-hash
+//!   partitioned) so concurrent updaters almost never contend on the
+//!   same mutex.
+//! * Deltas *coalesce*: XOR deltas commute and compose by XOR, so N
+//!   updates to a hot region cost one map entry and one `fetch_xor` on
+//!   the codeword table at drain time, instead of N queue entries and N
+//!   table writes.
+//! * Drains are *incremental*: [`DeferredSet::drain_shard`] empties one
+//!   shard, swapping its map out under the shard mutex and applying the
+//!   deltas outside it. An audit of region `r` only needs shard(r)
+//!   drained first (after taking `r`'s protection latch exclusively);
+//!   it never quiesces writers globally.
+//!
+//! Lock ordering: latches → per-shard drain mutex → per-shard map
+//! mutex. Both shard mutexes are only ever taken *after* any protection
+//! latches (updaters push while holding their shared span; auditors
+//! drain while holding the exclusive stripe latch) and neither is held
+//! while acquiring a latch, so the order is acyclic. Pushes take only
+//! the map mutex; drains take the drain mutex for the whole swap+apply
+//! so that a completed [`DeferredSet::drain_shard`] call means *applied*,
+//! not merely *swapped out* (the audit catch-up guarantee).
+
+use crate::region::RegionId;
+use crate::table::CodewordTable;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fibonacci multiplicative-hash constant (same idiom as the lock-table
+/// shards): odd, so multiplication permutes `u64`, and high bits mix
+/// well for sequential region ids.
+const HASH_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Minimal multiplicative hasher for `RegionId` keys. Region ids are
+/// small sequential integers; SipHash (the `HashMap` default) is
+/// pointless overhead on the update hot path.
+#[derive(Default)]
+pub struct RegionHasher(u64);
+
+impl Hasher for RegionHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Fold high bits down: the multiply mixes upward, HashMap
+        // buckets index with the low bits.
+        self.0 ^ (self.0 >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(HASH_MUL);
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.0 = (self.0 ^ i as u64).wrapping_mul(HASH_MUL);
+    }
+}
+
+type RegionMap = HashMap<RegionId, Pending, BuildHasherDefault<RegionHasher>>;
+
+/// Accumulated state for one dirty region.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    /// XOR of every queued delta for the region.
+    delta: u32,
+    /// How many raw deltas were coalesced into `delta`.
+    pushes: u64,
+}
+
+/// Sizing knobs for the dirty set (mirrored by `DaliConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct DeferredConfig {
+    /// Shard count; rounded up to a power of two. `0` = auto: one per
+    /// available CPU, with a floor of 4 (contention is driven by writer
+    /// *threads*, which may oversubscribe a small host).
+    pub shards: usize,
+    /// Per-shard dirty-region high-watermark: a push that leaves its
+    /// shard deeper than this drains the shard inline (backpressure so
+    /// an idle drainer cannot let the dirty set grow without bound).
+    /// `0` = unbounded.
+    pub watermark: usize,
+}
+
+impl Default for DeferredConfig {
+    fn default() -> DeferredConfig {
+        DeferredConfig {
+            shards: 0,
+            watermark: 4096,
+        }
+    }
+}
+
+/// Point-in-time view of the dirty set and its lifetime counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeferredStatsSnapshot {
+    /// Number of shards.
+    pub shards: u64,
+    /// Distinct regions currently dirty (map entries across shards).
+    pub dirty_regions: u64,
+    /// Raw deltas currently queued (before coalescing).
+    pub pending_deltas: u64,
+    /// Lifetime: non-empty shard drains performed.
+    pub drains: u64,
+    /// Lifetime: pushes absorbed into an existing entry (the savings
+    /// coalescing bought over the flat queue).
+    pub coalesced_deltas: u64,
+    /// High-watermark of any shard's dirty-region depth.
+    pub max_shard_depth: u64,
+}
+
+struct Shard {
+    dirty: Mutex<RegionMap>,
+    /// Serializes whole drains (swap **and** apply). Without it a
+    /// drainer could swap the map out and still be applying its deltas
+    /// when an auditor — already holding a region's exclusive latch —
+    /// drains the now-empty shard and folds the image against a table
+    /// that does not yet include the in-flight deltas: a false
+    /// corruption report. Pushes never touch this mutex, so writers are
+    /// not blocked by the apply phase.
+    draining: Mutex<()>,
+}
+
+/// The sharded, coalescing dirty set.
+pub struct DeferredSet {
+    shards: Box<[Shard]>,
+    /// `shards.len() - 1`; shard index = mixed hash masked.
+    mask: usize,
+    watermark: usize,
+    /// Raw deltas currently queued (pushes minus drained pushes).
+    pending: AtomicU64,
+    drains: AtomicU64,
+    coalesced: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl DeferredSet {
+    /// Build a dirty set per `cfg` (see [`DeferredConfig`] for the
+    /// `shards = 0` auto rule).
+    pub fn new(cfg: DeferredConfig) -> DeferredSet {
+        let n = if cfg.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .max(4)
+        } else {
+            cfg.shards
+        }
+        .next_power_of_two();
+        let shards = (0..n)
+            .map(|_| Shard {
+                dirty: Mutex::new(RegionMap::default()),
+                draining: Mutex::new(()),
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        DeferredSet {
+            shards,
+            mask: n - 1,
+            watermark: cfg.watermark,
+            pending: AtomicU64::new(0),
+            drains: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards (power of two).
+    #[inline]
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a region's deltas land in.
+    #[inline]
+    pub fn shard_of(&self, region: RegionId) -> usize {
+        (((region as u64).wrapping_mul(HASH_MUL)) >> 33) as usize & self.mask
+    }
+
+    /// Queue `delta` against `region`, coalescing with any delta already
+    /// pending. Returns `true` if the shard is over its high-watermark
+    /// and the caller should drain it ([`drain_shard`](Self::drain_shard)
+    /// / [`drain_region`](Self::drain_region)).
+    pub fn push(&self, region: RegionId, delta: u32) -> bool {
+        if delta == 0 {
+            return false;
+        }
+        let s = self.shard_of(region);
+        let (depth, coalesced) = {
+            let mut map = self.shards[s].dirty.lock();
+            let coalesced = match map.entry(region) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    let p = e.get_mut();
+                    p.delta ^= delta;
+                    p.pushes += 1;
+                    true
+                }
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(Pending { delta, pushes: 1 });
+                    false
+                }
+            };
+            (map.len() as u64, coalesced)
+        };
+        // Counters outside the shard lock: they are monotonic
+        // diagnostics, not part of the dirty-set invariant.
+        self.pending.fetch_add(1, Ordering::Relaxed);
+        if coalesced {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_depth.fetch_max(depth, Ordering::Relaxed);
+        self.watermark != 0 && depth as usize > self.watermark
+    }
+
+    /// Drain one shard: swap its map out under the map mutex, apply the
+    /// coalesced deltas to `table` outside it (pushes are never blocked
+    /// by the apply phase — a pusher that races the swap lands its delta
+    /// in the fresh map, still strictly after its image bytes, so the
+    /// codeword only ever *lags* the image by what remains queued).
+    /// Concurrent drains of the same shard serialize on the drain mutex:
+    /// when this returns, every delta pushed before the call — including
+    /// any swapped out by a racing drainer — has been applied, which is
+    /// the guarantee audits build their latch-then-drain catch-up on.
+    pub fn drain_shard(&self, shard: usize, table: &CodewordTable) {
+        let _drain = self.shards[shard].draining.lock();
+        let drained: RegionMap = {
+            let mut map = self.shards[shard].dirty.lock();
+            if map.is_empty() {
+                return;
+            }
+            std::mem::take(&mut *map)
+        };
+        let mut pushes = 0u64;
+        for (region, p) in drained {
+            table.apply_delta(region, p.delta);
+            pushes += p.pushes;
+        }
+        self.pending.fetch_sub(pushes, Ordering::Relaxed);
+        self.drains.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Drain the shard holding `region`'s deltas. An auditor calls this
+    /// under `region`'s exclusive protection latch: with no update
+    /// bracket in flight for the region (updaters hold the latch shared
+    /// across write+push), the drained table codeword exactly matches
+    /// the image contents.
+    #[inline]
+    pub fn drain_region(&self, region: RegionId, table: &CodewordTable) {
+        self.drain_shard(self.shard_of(region), table);
+    }
+
+    /// Drain every shard, one at a time (no global quiesce; each shard
+    /// mutex is held only for the swap).
+    pub fn drain_all(&self, table: &CodewordTable) {
+        for s in 0..self.shards.len() {
+            self.drain_shard(s, table);
+        }
+    }
+
+    /// Discard every queued delta without applying (resync path: the
+    /// table is about to be recomputed from the image, superseding them).
+    /// Takes each shard's drain mutex so an in-flight drain's apply phase
+    /// finishes before this returns — its deltas land *before* the
+    /// recompute that supersedes them, never after.
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            let _drain = shard.draining.lock();
+            let dropped: RegionMap = std::mem::take(&mut *shard.dirty.lock());
+            let pushes: u64 = dropped.values().map(|p| p.pushes).sum();
+            self.pending.fetch_sub(pushes, Ordering::Relaxed);
+        }
+    }
+
+    /// Distinct regions currently dirty.
+    pub fn dirty_regions(&self) -> usize {
+        self.shards.iter().map(|s| s.dirty.lock().len()).sum()
+    }
+
+    /// Raw deltas currently queued (before coalescing).
+    #[inline]
+    pub fn pending_deltas(&self) -> u64 {
+        self.pending.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the gauges and lifetime counters.
+    pub fn snapshot(&self) -> DeferredStatsSnapshot {
+        DeferredStatsSnapshot {
+            shards: self.shards.len() as u64,
+            dirty_regions: self.dirty_regions() as u64,
+            pending_deltas: self.pending_deltas(),
+            drains: self.drains.load(Ordering::Relaxed),
+            coalesced_deltas: self.coalesced.load(Ordering::Relaxed),
+            max_shard_depth: self.max_depth.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(shards: usize, watermark: usize) -> DeferredSet {
+        DeferredSet::new(DeferredConfig { shards, watermark })
+    }
+
+    #[test]
+    fn shard_count_rounds_to_power_of_two() {
+        assert_eq!(set(1, 0).num_shards(), 1);
+        assert_eq!(set(3, 0).num_shards(), 4);
+        assert_eq!(set(8, 0).num_shards(), 8);
+        let auto = set(0, 0).num_shards();
+        assert!(auto >= 4 && auto.is_power_of_two());
+    }
+
+    #[test]
+    fn push_coalesces_per_region() {
+        let d = set(4, 0);
+        d.push(7, 0xaaaa);
+        d.push(7, 0x5555);
+        d.push(9, 0x1111);
+        assert_eq!(d.dirty_regions(), 2);
+        assert_eq!(d.pending_deltas(), 3);
+        let snap = d.snapshot();
+        assert_eq!(snap.coalesced_deltas, 1);
+        assert!(snap.max_shard_depth >= 1);
+    }
+
+    #[test]
+    fn zero_delta_is_dropped() {
+        let d = set(4, 0);
+        assert!(!d.push(3, 0));
+        assert_eq!(d.dirty_regions(), 0);
+        assert_eq!(d.pending_deltas(), 0);
+    }
+
+    #[test]
+    fn drain_applies_coalesced_delta_once() {
+        let d = set(2, 0);
+        let table = CodewordTable::new_zeroed(16);
+        d.push(5, 0xff00);
+        d.push(5, 0x00ff);
+        d.drain_region(5, &table);
+        assert_eq!(table.get(5), 0xffff);
+        assert_eq!(d.dirty_regions(), 0);
+        assert_eq!(d.pending_deltas(), 0);
+        assert_eq!(d.snapshot().drains, 1);
+        // Second drain of an empty shard is a no-op and not counted.
+        d.drain_region(5, &table);
+        assert_eq!(d.snapshot().drains, 1);
+    }
+
+    #[test]
+    fn drain_shard_leaves_other_shards_queued() {
+        let d = set(8, 0);
+        // Find two regions hashing to different shards.
+        let a = 0;
+        let b = (1..64)
+            .find(|&r| d.shard_of(r) != d.shard_of(a))
+            .expect("some region maps to another shard");
+        let table = CodewordTable::new_zeroed(64);
+        d.push(a, 1);
+        d.push(b, 2);
+        d.drain_region(a, &table);
+        assert_eq!(table.get(a), 1);
+        assert_eq!(table.get(b), 0, "other shard untouched");
+        assert_eq!(d.dirty_regions(), 1);
+        d.drain_all(&table);
+        assert_eq!(table.get(b), 2);
+        assert_eq!(d.dirty_regions(), 0);
+    }
+
+    #[test]
+    fn watermark_signals_overflow() {
+        let d = set(1, 2);
+        assert!(!d.push(1, 1));
+        assert!(!d.push(2, 1));
+        assert!(d.push(3, 1), "third distinct region exceeds watermark 2");
+        // Coalescing pushes do not deepen the shard.
+        assert!(d.push(3, 5));
+    }
+
+    #[test]
+    fn clear_discards_without_applying() {
+        let d = set(2, 0);
+        let table = CodewordTable::new_zeroed(8);
+        d.push(1, 0xdead);
+        d.clear();
+        assert_eq!(d.pending_deltas(), 0);
+        assert_eq!(d.dirty_regions(), 0);
+        d.drain_all(&table);
+        assert_eq!(table.get(1), 0, "cleared delta must not apply");
+    }
+}

@@ -28,12 +28,14 @@
 
 pub mod audit;
 pub mod codeword;
+pub mod deferred;
 pub mod latch;
 pub mod protection;
 pub mod region;
 pub mod table;
 
 pub use audit::{AuditReport, CorruptRegion};
+pub use deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 pub use latch::{LatchMode, LatchTable};
 pub use protection::CodewordProtection;
 pub use region::RegionGeometry;

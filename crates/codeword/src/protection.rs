@@ -8,20 +8,22 @@
 //! | Baseline / MemoryProtection | none | plain copy |
 //! | DataCodeword / ReadLogging | shared | plain copy (+ read log in the engine) |
 //! | CwReadLogging | exclusive (write-as-read folds the whole region) | plain copy + read log with codewords |
-//! | DeferredMaintenance | none (audits quiesce updates globally) | plain copy |
+//! | DeferredMaintenance | shared (audits drain shard-by-shard under the stripe latch) | plain copy |
 //! | ReadPrecheck | exclusive | [`checked_read`](CodewordProtection::checked_read) |
 //!
 //! Codeword *maintenance* (the XOR delta published at `endUpdate`) is
-//! identical for every codeword scheme.
+//! identical for every codeword scheme. The deferred scheme queues its
+//! deltas in a sharded, coalescing dirty set ([`crate::deferred`])
+//! instead of touching the codeword table at `endUpdate`.
 
 use crate::audit::{self, AuditReport};
 use crate::codeword;
+use crate::deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 use crate::latch::{LatchMode, LatchTable};
-use crate::region::RegionGeometry;
+use crate::region::{RegionGeometry, RegionId};
 use crate::table::CodewordTable;
 use dali_common::{DaliError, DbAddr, ProtectionScheme, Result};
 use dali_mem::DbImage;
-use parking_lot::Mutex;
 
 /// Codeword state and latches for one database image.
 pub struct CodewordProtection {
@@ -29,20 +31,39 @@ pub struct CodewordProtection {
     geom: RegionGeometry,
     table: CodewordTable,
     latches: LatchTable,
-    /// Deferred-maintenance queue: `(region, delta)` pairs awaiting
-    /// application at the next audit (only for
+    /// Deferred-maintenance dirty set: per-shard maps of
+    /// `region → accumulated XOR delta` awaiting application (only for
     /// [`ProtectionScheme::DeferredMaintenance`]).
-    deferred: Option<Mutex<Vec<(usize, u32)>>>,
+    deferred: Option<DeferredSet>,
 }
 
 impl CodewordProtection {
-    /// Build protection state for `image`. The codeword table is folded
-    /// from the current image contents.
+    /// Build protection state for `image` with default deferred-set
+    /// sizing. The codeword table is folded from the current image
+    /// contents.
     pub fn new(
         image: &DbImage,
         scheme: ProtectionScheme,
         region_size: usize,
         regions_per_latch: usize,
+    ) -> Result<CodewordProtection> {
+        Self::with_deferred(
+            image,
+            scheme,
+            region_size,
+            regions_per_latch,
+            DeferredConfig::default(),
+        )
+    }
+
+    /// [`new`](Self::new) with explicit deferred dirty-set sizing
+    /// (ignored unless the scheme defers maintenance).
+    pub fn with_deferred(
+        image: &DbImage,
+        scheme: ProtectionScheme,
+        region_size: usize,
+        regions_per_latch: usize,
+        deferred_cfg: DeferredConfig,
     ) -> Result<CodewordProtection> {
         let geom = RegionGeometry::new(image.len(), region_size)?;
         let table = if scheme.maintains_codewords() {
@@ -54,7 +75,7 @@ impl CodewordProtection {
         let latches = LatchTable::new(geom.num_regions(), regions_per_latch);
         let deferred = scheme
             .defers_maintenance()
-            .then(|| Mutex::new(Vec::with_capacity(1024)));
+            .then(|| DeferredSet::new(deferred_cfg));
         Ok(CodewordProtection {
             scheme,
             geom,
@@ -99,10 +120,13 @@ impl CodewordProtection {
             // pre-update region, which only describes a consistent state
             // if no other updater is mutating the region mid-fold.
             ProtectionScheme::CwReadLogging => LatchMode::Exclusive,
-            // Deferred maintenance audits quiesce updates globally, so
-            // updaters need no per-region latch at all — that is the
-            // scheme's point.
-            ProtectionScheme::DeferredMaintenance => LatchMode::None,
+            // Deferred maintenance holds the latch shared across the
+            // write+enqueue bracket so an auditor holding it exclusively
+            // knows every landed byte has its delta queued — the delta
+            // may lag in the dirty set, never be missing. That one
+            // shared CAS replaces the old global update quiesce that
+            // audits used to impose.
+            ProtectionScheme::DeferredMaintenance => LatchMode::Shared,
             s if s.maintains_codewords() => LatchMode::Shared,
             _ => LatchMode::None,
         }
@@ -124,9 +148,14 @@ impl CodewordProtection {
             let new_fold = image.xor_fold(s, l)?;
             let delta = old_fold ^ new_fold;
             match &self.deferred {
-                Some(q) => {
-                    if delta != 0 {
-                        q.lock().push((region, delta));
+                Some(set) => {
+                    if set.push(region, delta) {
+                        // Shard over its high-watermark: the pusher pays
+                        // for the drain (backpressure). Applying queued
+                        // deltas needs no latch — each was enqueued after
+                        // its bytes landed, and the table write is an
+                        // atomic fetch_xor.
+                        set.drain_region(region, &self.table);
                     }
                 }
                 None => self.table.apply_delta(region, delta),
@@ -136,22 +165,47 @@ impl CodewordProtection {
     }
 
     /// Apply every queued deferred-maintenance delta to the codeword
-    /// table. Must run while physical updates are quiesced, otherwise a
-    /// concurrent update could land its bytes before its queued delta and
-    /// the subsequent audit would see a spurious mismatch. No-op for
-    /// non-deferred schemes.
+    /// table, shard by shard. Safe concurrently with updaters: a delta
+    /// enters the dirty set only after its image bytes landed, so the
+    /// maintained codeword only ever *lags* the image by what remains
+    /// queued — it is never wrong once drained. No-op for non-deferred
+    /// schemes.
     pub fn drain_deferred(&self) {
-        if let Some(q) = &self.deferred {
-            let drained: Vec<(usize, u32)> = std::mem::take(&mut *q.lock());
-            for (region, delta) in drained {
-                self.table.apply_delta(region, delta);
-            }
+        if let Some(set) = &self.deferred {
+            set.drain_all(&self.table);
         }
     }
 
-    /// Number of queued deferred deltas (diagnostics).
+    /// Drain the dirty-set shard holding `region`'s deltas (the
+    /// incremental catch-up path used by audits: latch the region
+    /// exclusively, drain its shard, then fold and compare).
+    pub fn drain_region(&self, region: RegionId) {
+        if let Some(set) = &self.deferred {
+            set.drain_region(region, &self.table);
+        }
+    }
+
+    /// Number of *distinct dirty regions* in the deferred dirty set
+    /// (diagnostics). Deltas coalesce per region, so this counts map
+    /// entries, not raw queued deltas — see
+    /// [`deferred_pending_deltas`](Self::deferred_pending_deltas) for the
+    /// raw count.
     pub fn deferred_len(&self) -> usize {
-        self.deferred.as_ref().map_or(0, |q| q.lock().len())
+        self.deferred.as_ref().map_or(0, |set| set.dirty_regions())
+    }
+
+    /// Total accumulated (not yet drained) raw deltas across the dirty
+    /// set, before coalescing.
+    pub fn deferred_pending_deltas(&self) -> u64 {
+        self.deferred.as_ref().map_or(0, |set| set.pending_deltas())
+    }
+
+    /// Deferred dirty-set gauges and lifetime counters (zeroed default
+    /// for non-deferred schemes).
+    pub fn deferred_stats(&self) -> DeferredStatsSnapshot {
+        self.deferred
+            .as_ref()
+            .map_or_else(DeferredStatsSnapshot::default, |set| set.snapshot())
     }
 
     /// Reverse the codeword effect of an update that had already been
@@ -236,21 +290,30 @@ impl CodewordProtection {
             })
     }
 
-    /// Audit the whole database (region-by-region, latched).
+    /// Audit the whole database (region-by-region, latched; for the
+    /// deferred scheme each region's dirty-set shard is drained under
+    /// that region's exclusive latch before the fold — no global
+    /// quiesce).
     pub fn audit(&self, image: &DbImage) -> Result<AuditReport> {
         if !self.scheme.maintains_codewords() {
             // Nothing to audit against; report an empty, clean pass.
             return Ok(AuditReport::default());
         }
-        audit::audit_all(image, &self.geom, &self.table, &self.latches)
+        audit::audit_all(
+            image,
+            &self.geom,
+            &self.table,
+            &self.latches,
+            self.deferred.as_ref(),
+        )
     }
 
     /// Recompute every codeword from the image (after recovery rebuilds or
     /// repairs the image). Any queued deferred deltas are superseded and
     /// dropped.
     pub fn resync(&self, image: &DbImage) -> Result<()> {
-        if let Some(q) = &self.deferred {
-            q.lock().clear();
+        if let Some(set) = &self.deferred {
+            set.clear();
         }
         if self.scheme.maintains_codewords() {
             self.table.recompute_all(image, &self.geom)?;
@@ -395,16 +458,21 @@ mod tests {
     #[test]
     fn deferred_maintenance_queues_until_drain() {
         let (image, prot) = setup(ProtectionScheme::DeferredMaintenance);
-        assert_eq!(prot.update_latch_mode(), LatchMode::None);
+        // Updaters hold the latch shared across write+enqueue so audits
+        // can drain per region under the exclusive latch (no quiesce).
+        assert_eq!(prot.update_latch_mode(), LatchMode::Shared);
         prescribed_update(&image, &prot, DbAddr(100), &[1, 2, 3, 4]);
         assert_eq!(prot.deferred_len(), 1);
-        // Without draining, the table is stale: a raw sweep would flag the
-        // region. (audit_all used directly to bypass the engine's drain.)
+        assert_eq!(prot.deferred_pending_deltas(), 1);
+        // Without draining, the table is stale: a raw sweep (audit_all
+        // with no dirty set wired in) would flag the region.
         let raw =
-            crate::audit::audit_all(&image, prot.geometry(), prot.table(), prot.latches()).unwrap();
+            crate::audit::audit_all(&image, prot.geometry(), prot.table(), prot.latches(), None)
+                .unwrap();
         assert!(!raw.clean(), "queued delta not yet applied");
         prot.drain_deferred();
         assert_eq!(prot.deferred_len(), 0);
+        assert_eq!(prot.deferred_pending_deltas(), 0);
         assert!(prot.audit(&image).unwrap().clean());
     }
 
@@ -414,9 +482,14 @@ mod tests {
         prescribed_update(&image, &prot, DbAddr(0), &[1, 1, 1, 1]);
         prescribed_update(&image, &prot, DbAddr(4), &[2, 2, 2, 2]);
         prescribed_update(&image, &prot, DbAddr(0), &[3, 3, 3, 3]);
+        // Three raw deltas, but regions 0 and 4 share region 0 of the
+        // 64-byte geometry: the dirty set coalesces them into one entry.
+        assert_eq!(prot.deferred_len(), 1, "coalesced to one dirty region");
+        assert_eq!(prot.deferred_pending_deltas(), 3);
         prot.drain_deferred();
         prot.drain_deferred(); // second drain: nothing left
         assert!(prot.audit(&image).unwrap().clean());
+        assert!(prot.deferred_stats().coalesced_deltas >= 2);
     }
 
     #[test]
@@ -426,6 +499,50 @@ mod tests {
         assert_eq!(prot.deferred_len(), 1);
         prot.resync(&image).unwrap();
         assert_eq!(prot.deferred_len(), 0);
+        assert_eq!(prot.deferred_pending_deltas(), 0);
+        assert!(prot.audit(&image).unwrap().clean());
+    }
+
+    #[test]
+    fn deferred_audit_drains_incrementally() {
+        let (image, prot) = setup(ProtectionScheme::DeferredMaintenance);
+        prescribed_update(&image, &prot, DbAddr(100), &[4, 5, 6]);
+        prescribed_update(&image, &prot, DbAddr(900), &[7, 8]);
+        assert_eq!(prot.deferred_len(), 2);
+        // The audit itself performs the catch-up, region by region.
+        assert!(prot.audit(&image).unwrap().clean());
+        assert_eq!(prot.deferred_len(), 0);
+        assert_eq!(prot.deferred_pending_deltas(), 0);
+    }
+
+    #[test]
+    fn deferred_drain_region_is_partial() {
+        let image = DbImage::new(4, 4096).unwrap();
+        let prot = CodewordProtection::with_deferred(
+            &image,
+            ProtectionScheme::DeferredMaintenance,
+            64,
+            1,
+            crate::deferred::DeferredConfig {
+                shards: 4,
+                watermark: 0,
+            },
+        )
+        .unwrap();
+        // A probe set with the same shard count gives the region→shard
+        // map; pick a region that hashes away from region 0.
+        let probe = crate::deferred::DeferredSet::new(crate::deferred::DeferredConfig {
+            shards: 4,
+            watermark: 0,
+        });
+        let other = (1..prot.geometry().num_regions())
+            .find(|&r| probe.shard_of(r) != probe.shard_of(0))
+            .expect("some region in another shard");
+        prescribed_update(&image, &prot, DbAddr(4), &[1, 2, 3]);
+        prescribed_update(&image, &prot, DbAddr(64 * other + 4), &[4, 5]);
+        assert_eq!(prot.deferred_len(), 2);
+        prot.drain_region(0);
+        assert_eq!(prot.deferred_len(), 1, "only shard(0) drained");
         assert!(prot.audit(&image).unwrap().clean());
     }
 

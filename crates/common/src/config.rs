@@ -19,7 +19,7 @@ use std::time::Duration;
 /// | `ReadLogging` | Data CW w/ReadLog | detect | correct (delete-txn recovery) |
 /// | `CwReadLogging` | Data CW w/CW ReadLog | detect | correct (view-consistent) |
 /// | `MemoryProtection` | Memory Protection | prevent (mprotect) | unneeded |
-/// | `DeferredMaintenance` | *(extension, named in §4.3)* | detect (quiesced audit) | none |
+/// | `DeferredMaintenance` | *(extension, named in §4.3)* | detect (audit drains shard-by-shard) | none |
 ///
 /// The precheck region size is configured separately
 /// ([`DaliConfig::region_size`]) to allow the 64 B / 512 B / 8 K rows and
@@ -35,9 +35,11 @@ pub enum ProtectionScheme {
     /// (paper §3.1); prevents transaction-carried corruption.
     ReadPrecheck,
     /// Data Codeword with *deferred maintenance* (named in §4.3): updaters
-    /// queue `(region, delta)` pairs instead of touching the codeword
-    /// table; audits drain the queue (under update quiescence) before
-    /// checking. Trades update-path work for audit-time quiescence.
+    /// queue `(region, delta)` pairs in a sharded, coalescing dirty set
+    /// instead of touching the codeword table; audits drain each region's
+    /// shard under that region's protection latch before checking (no
+    /// global quiesce). Trades update-path table writes for drain-time
+    /// catch-up.
     DeferredMaintenance,
     /// Codeword maintenance plus logging of the identity of every item read
     /// (paper §4.2); enables delete-transaction corruption recovery.
@@ -184,6 +186,21 @@ pub struct DaliConfig {
     pub deadlock_detect_interval: Option<Duration>,
     /// Capacity hint for the in-memory system-log tail, in bytes.
     pub log_tail_capacity: usize,
+    /// Number of deferred-maintenance dirty-set shards (rounded up to a
+    /// power of two). `0` = auto: one per available CPU with a floor of
+    /// four — dirty-set contention is driven by writer threads, which
+    /// may oversubscribe a small host. Ignored unless the scheme defers
+    /// maintenance.
+    pub deferred_shards: usize,
+    /// `Some(interval)`: a background maintenance thread drains the
+    /// deferred dirty set every `interval`, bounding how far the
+    /// codeword table lags the image. `None`: catch-up happens only at
+    /// audits and at the per-shard watermark.
+    pub deferred_drain_interval: Option<Duration>,
+    /// Per-shard dirty-region high-watermark: an update that leaves its
+    /// shard deeper than this drains the shard inline (backpressure when
+    /// the background drainer falls behind). `0` = unbounded.
+    pub deferred_shard_watermark: usize,
     /// Lay allocation bitmaps out adjacent to their table's data instead
     /// of on separate pages. Dali keeps control information *off* the
     /// data pages (the default, `false`); colocating models a page-based
@@ -212,6 +229,9 @@ impl DaliConfig {
             lock_shards: 0,
             deadlock_detect_interval: Some(Duration::from_millis(5)),
             log_tail_capacity: 4 << 20,
+            deferred_shards: 0,
+            deferred_drain_interval: Some(Duration::from_millis(25)),
+            deferred_shard_watermark: 4096,
             colocate_control: false,
         }
     }
@@ -260,6 +280,40 @@ impl DaliConfig {
                 .unwrap_or(1)
         } else {
             self.lock_shards
+        };
+        n.next_power_of_two()
+    }
+
+    /// Builder-style deferred-maintenance shard count (`0` = auto).
+    pub fn with_deferred_shards(mut self, deferred_shards: usize) -> Self {
+        self.deferred_shards = deferred_shards;
+        self
+    }
+
+    /// Builder-style background drain interval (`None` disables the
+    /// maintenance thread).
+    pub fn with_deferred_drain_interval(mut self, interval: Option<Duration>) -> Self {
+        self.deferred_drain_interval = interval;
+        self
+    }
+
+    /// Builder-style per-shard dirty-region watermark (`0` = unbounded).
+    pub fn with_deferred_watermark(mut self, watermark: usize) -> Self {
+        self.deferred_shard_watermark = watermark;
+        self
+    }
+
+    /// The effective deferred-maintenance shard count: `deferred_shards`,
+    /// or (when `0`) one per available CPU with a floor of four, rounded
+    /// up to a power of two.
+    pub fn resolved_deferred_shards(&self) -> usize {
+        let n = if self.deferred_shards == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .max(4)
+        } else {
+            self.deferred_shards
         };
         n.next_power_of_two()
     }
@@ -400,5 +454,34 @@ mod tests {
         assert_eq!(c.clone().with_lock_shards(1).resolved_lock_shards(), 1);
         assert_eq!(c.clone().with_lock_shards(6).resolved_lock_shards(), 8);
         assert_eq!(c.with_lock_shards(8).resolved_lock_shards(), 8);
+    }
+
+    #[test]
+    fn deferred_shards_resolve_with_floor() {
+        let c = DaliConfig::small("/tmp/x");
+        let auto = c.resolved_deferred_shards();
+        assert!(auto >= 4 && auto.is_power_of_two());
+        assert_eq!(
+            c.clone().with_deferred_shards(1).resolved_deferred_shards(),
+            1
+        );
+        assert_eq!(
+            c.clone().with_deferred_shards(6).resolved_deferred_shards(),
+            8
+        );
+        assert_eq!(c.with_deferred_shards(8).resolved_deferred_shards(), 8);
+    }
+
+    #[test]
+    fn deferred_builders_chain() {
+        let c = DaliConfig::small("/tmp/x")
+            .with_deferred_shards(16)
+            .with_deferred_drain_interval(Some(Duration::from_millis(1)))
+            .with_deferred_watermark(128);
+        assert_eq!(c.deferred_shards, 16);
+        assert_eq!(c.deferred_drain_interval, Some(Duration::from_millis(1)));
+        assert_eq!(c.deferred_shard_watermark, 128);
+        let c = c.with_deferred_drain_interval(None);
+        assert_eq!(c.deferred_drain_interval, None);
     }
 }

@@ -213,20 +213,15 @@ fn write_pages(
     Ok(())
 }
 
-/// Run a full-database audit respecting the scheme's maintenance model:
-/// deferred-maintenance schemes quiesce physical updates, drain the
-/// queued codeword deltas, and sweep while quiesced (a queued-but-
-/// unapplied delta would otherwise read as a spurious mismatch);
-/// immediate-maintenance schemes sweep region by region under the
-/// protection latches, concurrently with updaters.
+/// Run a full-database audit. Every scheme — deferred maintenance
+/// included — sweeps region by region under the protection latches,
+/// concurrently with updaters: deferred updaters hold their region
+/// latch shared across the write+enqueue bracket, so the audit drains
+/// each region's dirty-set shard under that region's exclusive latch
+/// before folding (a queued-but-unapplied delta would otherwise read as
+/// a spurious mismatch). No global quiesce anywhere.
 fn sweep_audit(db: &Arc<Db>) -> Result<dali_codeword::AuditReport> {
-    if db.config.scheme.defers_maintenance() {
-        let _q = db.quiesce.write();
-        db.prot.drain_deferred();
-        db.prot.audit(&db.image)
-    } else {
-        db.prot.audit(&db.image)
-    }
+    db.prot.audit(&db.image)
 }
 
 /// Take a checkpoint (paper §2.1 + §4.2 certification). See module docs.

@@ -35,6 +35,7 @@ pub mod corruption;
 pub mod db;
 pub mod heap;
 pub mod lock;
+pub mod maintenance;
 pub mod recovery;
 pub mod trace;
 pub mod txn;
@@ -220,6 +221,12 @@ impl DaliEngine {
     /// mprotect statistics (Hardware Protection scheme, §5.3).
     pub fn protect_stats(&self) -> &dali_mem::ProtectStats {
         self.db.protector.stats()
+    }
+
+    /// Deferred-maintenance dirty-set gauges and counters (zeroed for
+    /// non-deferred schemes).
+    pub fn deferred_stats(&self) -> dali_codeword::DeferredStatsSnapshot {
+        self.db.prot.deferred_stats()
     }
 
     /// The active configuration.

@@ -112,11 +112,15 @@ pub(crate) fn build_db(
     next_audit: u64,
     last_clean_audit: Option<Lsn>,
 ) -> Result<Arc<Db>> {
-    let prot = CodewordProtection::new(
+    let prot = CodewordProtection::with_deferred(
         &image,
         config.scheme,
         config.region_size,
         config.regions_per_latch,
+        dali_codeword::DeferredConfig {
+            shards: config.resolved_deferred_shards(),
+            watermark: config.deferred_shard_watermark,
+        },
     )?;
     let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
     let heaps: Vec<Arc<HeapRuntime>> = catalog
@@ -149,6 +153,7 @@ pub(crate) fn build_db(
     for h in db.heaps.read().iter() {
         h.rebuild_from_image(&db.image)?;
     }
+    crate::maintenance::spawn_drainer(&db);
     Ok(db)
 }
 

@@ -16,8 +16,12 @@
 //!
 //! Lock ordering throughout the engine: `quiesce` (shared) → transaction
 //! state mutex → heap alloc mutex → protection latches (ascending
-//! stripes). The checkpointer takes `quiesce` exclusively and then
-//! transaction state mutexes, which is consistent with this order.
+//! stripes) → deferred dirty-set shard mutex. The checkpointer takes
+//! `quiesce` exclusively and then transaction state mutexes, which is
+//! consistent with this order; the dirty-set shard mutex is only ever
+//! taken after latches (updaters enqueue inside their bracket, auditors
+//! drain under the exclusive stripe latch) and never while acquiring
+//! one.
 
 use crate::att::{InFlightUpdate, OpState, TxnState, TxnStatus};
 use crate::db::{Db, EngineStats};

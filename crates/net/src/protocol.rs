@@ -83,6 +83,16 @@ pub struct ServerStats {
     pub sessions: u64,
     /// Transactions rolled back because their connection dropped.
     pub orphans_rolled_back: u64,
+    /// Deferred maintenance: non-empty dirty-set shard drains performed.
+    pub deferred_drains: u64,
+    /// Deferred maintenance: deltas absorbed into an already-dirty
+    /// region (the savings coalescing bought).
+    pub deferred_coalesced: u64,
+    /// Deferred maintenance: high-watermark of any shard's dirty-region
+    /// depth.
+    pub deferred_max_shard_depth: u64,
+    /// Deferred maintenance: raw deltas currently queued.
+    pub deferred_pending: u64,
 }
 
 /// A server response.
@@ -361,6 +371,10 @@ impl Response {
                     s.group_followers,
                     s.sessions,
                     s.orphans_rolled_back,
+                    s.deferred_drains,
+                    s.deferred_coalesced,
+                    s.deferred_max_shard_depth,
+                    s.deferred_pending,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -408,6 +422,10 @@ impl Response {
                 group_followers: get_u64(buf)?,
                 sessions: get_u64(buf)?,
                 orphans_rolled_back: get_u64(buf)?,
+                deferred_drains: get_u64(buf)?,
+                deferred_coalesced: get_u64(buf)?,
+                deferred_max_shard_depth: get_u64(buf)?,
+                deferred_pending: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
             _ => return Err(bad(format!("unknown response tag {tag}"))),
@@ -701,6 +719,10 @@ mod tests {
                 group_followers: 7,
                 sessions: 8,
                 orphans_rolled_back: 9,
+                deferred_drains: 10,
+                deferred_coalesced: 11,
+                deferred_max_shard_depth: 12,
+                deferred_pending: 13,
             }),
             Response::Err(WireError::LockDenied {
                 txn: TxnId(5),

@@ -269,6 +269,7 @@ impl<'a> Session<'a> {
     fn stats(&self) -> ServerStats {
         let engine = &self.shared.engine;
         let log = engine.log_stats();
+        let deferred = engine.deferred_stats();
         ServerStats {
             commits: engine.stats().commits.load(Ordering::Relaxed),
             aborts: engine.stats().aborts.load(Ordering::Relaxed),
@@ -283,6 +284,10 @@ impl<'a> Session<'a> {
                 .counters
                 .orphans_rolled_back
                 .load(Ordering::Relaxed),
+            deferred_drains: deferred.drains,
+            deferred_coalesced: deferred.coalesced_deltas,
+            deferred_max_shard_depth: deferred.max_shard_depth,
+            deferred_pending: deferred.pending_deltas,
         }
     }
 }

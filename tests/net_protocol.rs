@@ -108,6 +108,10 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             group_followers: a ^ b,
             sessions: c ^ d,
             orphans_rolled_back: e ^ f,
+            deferred_drains: a ^ c,
+            deferred_coalesced: b ^ d,
+            deferred_max_shard_depth: a ^ e,
+            deferred_pending: b ^ f,
         })
 }
 
