@@ -1,0 +1,279 @@
+//! Audit-scan scaling sweep: the wide XOR-fold kernel and the striped
+//! parallel audit, measured at the three layers they live in.
+//!
+//! 1. **Fold kernel bandwidth** — GB/s of the one-word-at-a-time scalar
+//!    fold vs the 32-byte/4-lane wide fold, on both the slice path
+//!    (`codeword::fold`) and the raw-pointer path behind
+//!    `DbImage::xor_fold`, across region-sized buffers.
+//! 2. **Full-database audit** — `audit_all` wall-clock vs audit worker
+//!    count on a noise-filled image, with the parallel report checked
+//!    byte-identical to the serial one every time.
+//! 3. **Checkpoint certification** — end-to-end `checkpoint()` latency
+//!    (certification audit included) on a live TPC-B database, with
+//!    `audit_threads` swept, plus the engine's audit counters
+//!    (audits / regions / bytes folded / audit ns) after the run.
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin audit_scale [-- options]
+//!
+//! Options:
+//!   --sizes LIST    fold buffer sizes in KiB (default 4,64,1024,16384)
+//!   --threads LIST  audit worker counts (default 1,2,4,8)
+//!   --image-mib N   image size for audit/certification sweeps (default 256)
+//!   --reps N        repetitions per cell, best reported (default 5)
+//!   --ops N         TPC-B ops before each certification (default 500)
+//!   --quick         CI smoke mode: tiny sizes, seconds total
+
+use dali_bench::scratch_dir;
+use dali_codeword::codeword::{fold, fold_scalar};
+use dali_codeword::CodewordProtection;
+use dali_common::{DaliConfig, DbAddr, ProtectionScheme};
+use dali_engine::{CheckpointOutcome, DaliEngine};
+use dali_mem::DbImage;
+use dali_workload::{TpcbConfig, TpcbDriver};
+use std::hint::black_box;
+use std::time::Instant;
+
+const USAGE: &str = "usage: audit_scale [--sizes LIST] [--threads LIST] [--image-mib N] \
+                     [--reps N] [--ops N] [--quick]";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} must be comma-separated numbers")))
+        })
+        .collect()
+}
+
+fn human(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{} MiB", bytes >> 20)
+    } else {
+        format!("{} KiB", bytes >> 10)
+    }
+}
+
+/// Best-of-`reps` time for `iters` calls of `f`, in seconds.
+fn time_best(reps: usize, iters: usize, mut f: impl FnMut() -> u32) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let mut acc = 0u32;
+        for _ in 0..iters {
+            acc ^= f();
+        }
+        black_box(acc);
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn patterned(len: usize) -> Vec<u8> {
+    (0..len as u32)
+        .map(|i| (i.wrapping_mul(2654435761).rotate_right(7) ^ i) as u8)
+        .collect()
+}
+
+/// Noise-filled image of `mib` MiB (8 KiB pages).
+fn noisy_image(mib: usize) -> DbImage {
+    const PAGE: usize = 8192;
+    let image = DbImage::new(mib << 20 >> 13, PAGE).expect("allocate image");
+    let chunk = patterned(1 << 20);
+    for off in (0..image.len()).step_by(chunk.len()) {
+        let n = chunk.len().min(image.len() - off);
+        image.write(DbAddr(off), &chunk[..n]).expect("fill image");
+    }
+    image
+}
+
+fn fold_bandwidth(sizes_kib: &[usize], reps: usize, target_bytes: usize) {
+    println!("### Fold kernel bandwidth (GB/s, best of {reps})\n");
+    println!(
+        "| buffer | scalar slice | wide slice | speedup | scalar image | wide image | speedup |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for &kib in sizes_kib {
+        let len = kib << 10;
+        let buf = patterned(len);
+        let image = DbImage::new(len.div_ceil(8192).max(1), 8192).expect("allocate image");
+        image.write(DbAddr(0), &buf).expect("fill image");
+        let iters = (target_bytes / len).max(1);
+        let gbs = |secs: f64| (len * iters) as f64 / secs / 1e9;
+        let scalar = gbs(time_best(reps, iters, || fold_scalar(&buf)));
+        let wide = gbs(time_best(reps, iters, || fold(&buf)));
+        let img_scalar = gbs(time_best(reps, iters, || {
+            image.xor_fold_scalar(DbAddr(0), len).unwrap()
+        }));
+        let img_wide = gbs(time_best(reps, iters, || {
+            image.xor_fold(DbAddr(0), len).unwrap()
+        }));
+        println!(
+            "| {} | {scalar:.2} | {wide:.2} | {:.2}x | {img_scalar:.2} | {img_wide:.2} | {:.2}x |",
+            human(len),
+            wide / scalar,
+            img_wide / img_scalar,
+        );
+    }
+    println!();
+}
+
+fn audit_sweep(threads: &[usize], image_mib: usize, reps: usize) {
+    println!(
+        "### Full-database audit: {image_mib} MiB image, wall-clock vs workers \
+         (best of {reps})\n"
+    );
+    let image = noisy_image(image_mib);
+    let prot = CodewordProtection::new(&image, ProtectionScheme::DataCodeword, 4096, 8)
+        .expect("build protection");
+    let serial = prot.audit_with_threads(&image, 1).expect("serial audit");
+    assert!(serial.clean(), "noise image must audit clean");
+    println!("| workers | audit ms | speedup | scan GB/s |");
+    println!("|---|---|---|---|");
+    let mut base_ms = 0.0;
+    for &t in threads {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let report = prot.audit_with_threads(&image, t).expect("audit");
+            best = best.min(start.elapsed().as_secs_f64());
+            assert_eq!(report.regions_checked, serial.regions_checked);
+            assert_eq!(
+                report.corrupt, serial.corrupt,
+                "{t} workers: report differs"
+            );
+        }
+        let ms = best * 1e3;
+        if t == threads[0] {
+            base_ms = ms;
+        }
+        println!(
+            "| {t} | {ms:.1} | {:.2}x | {:.2} |",
+            base_ms / ms,
+            image.len() as f64 / best / 1e9
+        );
+    }
+    println!();
+}
+
+fn certification_sweep(threads: &[usize], image_mib: usize, ops: usize, reps: usize) {
+    println!(
+        "### Checkpoint certification: {image_mib} MiB database, {ops} TPC-B ops, \
+         latency vs audit_threads (best of {reps})\n"
+    );
+    println!(
+        "| audit_threads | checkpoint ms | speedup | audits | regions | GiB folded | audit ms |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    let wl = TpcbConfig::small();
+    let mut base_ms = 0.0;
+    for &t in threads {
+        let mut config = DaliConfig::small(scratch_dir(&format!("auditscale-{t}")))
+            .with_scheme(ProtectionScheme::DataCodeword)
+            .with_audit_threads(t);
+        config.db_pages = wl
+            .required_pages(config.page_size)
+            .max((image_mib << 20) / config.page_size);
+        let (db, _) = DaliEngine::create(config).expect("create db");
+        let mut driver = TpcbDriver::setup(&db, wl.clone()).expect("populate");
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            driver.run_ops(ops).expect("workload");
+            let start = Instant::now();
+            match db.checkpoint().expect("checkpoint") {
+                CheckpointOutcome::Certified { .. } => {}
+                other => panic!("certification failed on a clean database: {other:?}"),
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let ms = best * 1e3;
+        if t == threads[0] {
+            base_ms = ms;
+        }
+        let stats = db.stats();
+        let load = |c: &std::sync::atomic::AtomicU64| c.load(std::sync::atomic::Ordering::Relaxed);
+        println!(
+            "| {t} | {ms:.1} | {:.2}x | {} | {} | {:.2} | {:.1} |",
+            base_ms / ms,
+            load(&stats.audits),
+            load(&stats.regions_audited),
+            load(&stats.bytes_folded) as f64 / (1u64 << 30) as f64,
+            load(&stats.audit_ns) as f64 / 1e6,
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let mut sizes_kib: Vec<usize> = vec![4, 64, 1024, 16384];
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut image_mib: usize = 256;
+    let mut reps: usize = 5;
+    let mut ops: usize = 500;
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sizes" => sizes_kib = parse_list(&value(&mut args, "--sizes"), "--sizes"),
+            "--threads" => threads = parse_list(&value(&mut args, "--threads"), "--threads"),
+            "--image-mib" => {
+                image_mib = value(&mut args, "--image-mib")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--image-mib must be a number"));
+            }
+            "--reps" => {
+                reps = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps must be a number"));
+            }
+            "--ops" => {
+                ops = value(&mut args, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if quick {
+        // CI smoke: exercise every code path once, in seconds.
+        sizes_kib = vec![4, 64];
+        threads = vec![1, 2];
+        image_mib = 8;
+        reps = 1;
+        ops = 100;
+    }
+    if sizes_kib.is_empty() || threads.is_empty() {
+        fail("--sizes and --threads each need at least one entry");
+    }
+    if sizes_kib.contains(&0) || threads.contains(&0) || image_mib == 0 || reps == 0 || ops == 0 {
+        fail("all numeric arguments must be positive");
+    }
+
+    // Enough traffic per measurement that timer resolution is noise.
+    let target_bytes = if quick { 8 << 20 } else { 256 << 20 };
+
+    println!("Audit scaling: wide fold kernel and striped parallel scans");
+    println!(
+        "(host CPUs: {})\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    fold_bandwidth(&sizes_kib, reps, target_bytes);
+    audit_sweep(&threads, image_mib, reps);
+    certification_sweep(&threads, image_mib, ops, reps);
+}

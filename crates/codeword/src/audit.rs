@@ -124,6 +124,63 @@ pub fn audit_all(
     Ok(report)
 }
 
+/// Audit every region of the database with `threads` scoped workers, each
+/// scanning one contiguous stripe of the region space in ascending order.
+///
+/// Every region is still audited under its own exclusive protection latch
+/// (with the region's deferred shard drained under the latch), so normal
+/// processing continues around a parallel audit exactly as it does around
+/// a serial one; only the order in which region latches are taken changes,
+/// and single-region exclusive acquisitions cannot deadlock. Stripe
+/// results are merged in stripe order, so the report — corrupt regions in
+/// ascending region order — is byte-identical to [`audit_all`]'s.
+///
+/// `threads <= 1` (or a single-region geometry) falls back to the serial
+/// scan.
+pub fn audit_all_parallel(
+    image: &DbImage,
+    geom: &RegionGeometry,
+    table: &CodewordTable,
+    latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
+    threads: usize,
+) -> Result<AuditReport> {
+    let n = geom.num_regions();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        return audit_all(image, geom, table, latches, deferred);
+    }
+    let per = n.div_ceil(threads);
+    let stripe_reports = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+                s.spawn(move || -> Result<AuditReport> {
+                    let mut report = AuditReport::default();
+                    for r in lo..hi {
+                        if let Some(c) = audit_region(image, geom, table, latches, deferred, r)? {
+                            report.corrupt.push(c);
+                        }
+                        report.regions_checked += 1;
+                    }
+                    Ok(report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("audit stripe worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut report = AuditReport::default();
+    for stripe in stripe_reports {
+        let stripe = stripe?;
+        report.corrupt.extend(stripe.corrupt);
+        report.regions_checked += stripe.regions_checked;
+    }
+    Ok(report)
+}
+
 /// Audit only the regions overlapping the given pages (used when
 /// propagating specific dirty pages, §4.2's page-steal discussion).
 pub fn audit_pages(
@@ -232,6 +289,33 @@ mod tests {
         image.write(DbAddr(8), &[0x02]).unwrap();
         let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
         assert!(!report.clean());
+    }
+
+    #[test]
+    fn parallel_audit_report_identical_to_serial() {
+        let (image, geom, table, latches) = setup();
+        // Corrupt several regions scattered across stripe boundaries.
+        for addr in [3usize, 64, 4096 + 7, 2 * 4096 + 130, 4 * 4096 - 20] {
+            image.write(DbAddr(addr), &[0x5a]).unwrap();
+        }
+        let serial = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        assert!(!serial.clean());
+        for threads in [1, 2, 3, 4, 7, 64, geom.num_regions() + 5] {
+            let par = audit_all_parallel(&image, &geom, &table, &latches, None, threads).unwrap();
+            assert_eq!(
+                par.regions_checked, serial.regions_checked,
+                "{threads} threads"
+            );
+            assert_eq!(par.corrupt, serial.corrupt, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_audit_clean_image() {
+        let (image, geom, table, latches) = setup();
+        let report = audit_all_parallel(&image, &geom, &table, &latches, None, 4).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.regions_checked, geom.num_regions());
     }
 
     #[test]

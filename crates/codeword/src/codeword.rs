@@ -11,49 +11,156 @@
 //!
 //! Deltas commute, so concurrent updaters can publish them with an atomic
 //! `fetch_xor` without any ordering constraint.
+//!
+//! # The wide kernel
+//!
+//! The fold is computed 32 bytes at a time with four independent `u64`
+//! accumulators. This is exact, not an approximation: a little-endian
+//! `u64` is the pair `[lo u32, hi u32]`, XOR operates on each bit column
+//! independently, so XOR-ing whole `u64` lanes accumulates the even words
+//! of the range in the low halves and the odd words in the high halves.
+//! Folding the final `u64` with `lo ^ hi` therefore yields exactly the
+//! XOR of all 32-bit words — the same value the one-word-at-a-time loop
+//! produces. Four accumulators break the serial XOR dependency chain so
+//! LLVM can auto-vectorize the loop to SSE/AVX and keep multiple loads in
+//! flight; the remainder is mopped up one `u64` and then one `u32` at a
+//! time. `u64::from_le_bytes` on byte chunks compiles to unaligned loads,
+//! so the slice path needs no alignment on the base pointer.
 
 use dali_common::align::WORD;
+
+/// Bytes per wide block: 4 lanes x 8 bytes.
+const BLOCK: usize = 32;
+
+#[inline(always)]
+fn load64(b: &[u8]) -> u64 {
+    u64::from_le_bytes(b.try_into().unwrap())
+}
+
+#[inline(always)]
+fn load32(b: &[u8]) -> u32 {
+    u32::from_le_bytes(b.try_into().unwrap())
+}
+
+/// XOR all 32-bit little-endian words of `bytes`, whose length must be a
+/// word multiple, using the wide 4x`u64` kernel.
+#[inline]
+fn fold_words_wide(bytes: &[u8]) -> u32 {
+    debug_assert!(bytes.len().is_multiple_of(WORD));
+    let mut lanes = [0u64; 4];
+    let mut blocks = bytes.chunks_exact(BLOCK);
+    for b in &mut blocks {
+        lanes[0] ^= load64(&b[0..8]);
+        lanes[1] ^= load64(&b[8..16]);
+        lanes[2] ^= load64(&b[16..24]);
+        lanes[3] ^= load64(&b[24..32]);
+    }
+    let tail = blocks.remainder();
+    let mut words2 = tail.chunks_exact(8);
+    let mut acc64 = (lanes[0] ^ lanes[1]) ^ (lanes[2] ^ lanes[3]);
+    for w in &mut words2 {
+        acc64 ^= load64(w);
+    }
+    let mut acc = (acc64 as u32) ^ ((acc64 >> 32) as u32);
+    let rem = words2.remainder();
+    if !rem.is_empty() {
+        // len is a word multiple, so the leftover is exactly one word.
+        acc ^= load32(rem);
+    }
+    acc
+}
 
 /// XOR-fold a word-aligned byte slice into a `u32` codeword.
 ///
 /// # Panics
 ///
-/// Panics (debug) if `bytes.len()` is not a multiple of 4. In release the
-/// trailing partial word is ignored; callers are expected to widen ranges
-/// with [`dali_common::align::widen_to_words`] first.
+/// Panics — in **all** build profiles — if `bytes.len()` is not a multiple
+/// of 4. (Release builds used to silently drop the trailing partial word
+/// while [`Arena::xor_fold`](../../dali_mem/struct.Arena.html) rejected the
+/// same length with `InvalidArg`; the slice path now rejects too, so both
+/// fold entry points enforce the same contract.) Callers with unaligned
+/// ranges widen them with [`dali_common::align::widen_to_words`] first, or
+/// use [`fold_padded`] when zero-padding is the intended semantics.
 #[inline]
 pub fn fold(bytes: &[u8]) -> u32 {
-    debug_assert!(
+    assert!(
+        bytes.len().is_multiple_of(WORD),
+        "fold over unaligned length {}",
+        bytes.len()
+    );
+    fold_words_wide(bytes)
+}
+
+/// One-word-at-a-time scalar reference fold: the kernel the wide path
+/// replaced, kept public for the `audit_scale` bench and the kernel
+/// equivalence suites. Same contract as [`fold`].
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 4.
+#[inline]
+pub fn fold_scalar(bytes: &[u8]) -> u32 {
+    assert!(
         bytes.len().is_multiple_of(WORD),
         "fold over unaligned length {}",
         bytes.len()
     );
     let mut acc = 0u32;
     for chunk in bytes.chunks_exact(WORD) {
-        acc ^= u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        acc ^= load32(chunk);
     }
     acc
 }
 
 /// The codeword delta produced by overwriting `old` with `new` (equal
-/// lengths, word-aligned).
+/// lengths, word-aligned). Algebraically `fold(old) ^ fold(new)`, computed
+/// in a single interleaved pass over both slices — this sits on every
+/// prescribed-update hot path, and fusing the walks halves the loop
+/// overhead and lets both streams share the accumulator registers.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a multiple of 4.
 #[inline]
 pub fn delta(old: &[u8], new: &[u8]) -> u32 {
-    debug_assert_eq!(old.len(), new.len());
-    fold(old) ^ fold(new)
+    assert_eq!(old.len(), new.len(), "delta over unequal lengths");
+    assert!(
+        old.len().is_multiple_of(WORD),
+        "delta over unaligned length {}",
+        old.len()
+    );
+    let mut lanes = [0u64; 4];
+    let mut ob = old.chunks_exact(BLOCK);
+    let mut nb = new.chunks_exact(BLOCK);
+    for (o, n) in (&mut ob).zip(&mut nb) {
+        lanes[0] ^= load64(&o[0..8]) ^ load64(&n[0..8]);
+        lanes[1] ^= load64(&o[8..16]) ^ load64(&n[8..16]);
+        lanes[2] ^= load64(&o[16..24]) ^ load64(&n[16..24]);
+        lanes[3] ^= load64(&o[24..32]) ^ load64(&n[24..32]);
+    }
+    let mut acc64 = (lanes[0] ^ lanes[1]) ^ (lanes[2] ^ lanes[3]);
+    let mut ow = ob.remainder().chunks_exact(8);
+    let mut nw = nb.remainder().chunks_exact(8);
+    for (o, n) in (&mut ow).zip(&mut nw) {
+        acc64 ^= load64(o) ^ load64(n);
+    }
+    let mut acc = (acc64 as u32) ^ ((acc64 >> 32) as u32);
+    let (orem, nrem) = (ow.remainder(), nw.remainder());
+    if !orem.is_empty() {
+        acc ^= load32(orem) ^ load32(nrem);
+    }
+    acc
 }
 
 /// XOR-fold an arbitrary-length byte slice, zero-padding the trailing
 /// partial word. Used for value checksums in read log records, where the
-/// logged range need not be word-aligned.
+/// logged range need not be word-aligned. Unlike [`fold`] this accepts any
+/// length by construction — padding, not rejection, is the contract here.
 #[inline]
 pub fn fold_padded(bytes: &[u8]) -> u32 {
-    let mut acc = 0u32;
-    let mut chunks = bytes.chunks_exact(WORD);
-    for chunk in &mut chunks {
-        acc ^= u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-    }
-    let rem = chunks.remainder();
+    let full = bytes.len() / WORD * WORD;
+    let mut acc = fold_words_wide(&bytes[..full]);
+    let rem = &bytes[full..];
     if !rem.is_empty() {
         let mut w = [0u8; WORD];
         w[..rem.len()].copy_from_slice(rem);
@@ -66,6 +173,23 @@ pub fn fold_padded(bytes: &[u8]) -> u32 {
 mod tests {
     use super::*;
     use proptest::prelude::*;
+
+    /// Independent byte-at-a-time reference: byte `i` contributes to bit
+    /// column `8 * (i mod 4)` of the codeword. Zero-pad semantics, so it
+    /// matches `fold` on aligned lengths and `fold_padded` on any length.
+    fn ref_fold(bytes: &[u8]) -> u32 {
+        let mut acc = 0u32;
+        for (i, &b) in bytes.iter().enumerate() {
+            acc ^= (b as u32) << (8 * (i & 3));
+        }
+        acc
+    }
+
+    fn patterned(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(7))
+            .collect()
+    }
 
     #[test]
     fn fold_of_zeros_is_zero() {
@@ -93,10 +217,74 @@ mod tests {
         assert_eq!(cw >> 31, 0);
     }
 
+    /// Every word-aligned length through several wide blocks, so each
+    /// remainder shape (0..3 u64 words + 0/1 u32) is exercised.
+    #[test]
+    fn wide_fold_matches_reference_every_aligned_length() {
+        for len in (0..=4 * BLOCK + WORD).step_by(WORD) {
+            let buf = patterned(len);
+            assert_eq!(fold(&buf), ref_fold(&buf), "len {len}");
+            assert_eq!(fold_scalar(&buf), ref_fold(&buf), "scalar len {len}");
+        }
+    }
+
+    /// Every length 0..=2 blocks, including every partial-word tail.
+    #[test]
+    fn fold_padded_matches_reference_every_length() {
+        for len in 0..=2 * BLOCK + 5 {
+            let buf = patterned(len);
+            assert_eq!(fold_padded(&buf), ref_fold(&buf), "len {len}");
+        }
+    }
+
+    /// Misaligned base pointers: the slice kernel is defined by byte
+    /// offsets within the slice, not by pointer alignment, so folding a
+    /// sub-slice at every offset 0..8 must match the reference on the same
+    /// sub-slice.
+    #[test]
+    fn wide_fold_is_alignment_oblivious() {
+        let backing = patterned(3 * BLOCK + 16);
+        for off in 0..8 {
+            let sub = &backing[off..off + 2 * BLOCK + 8];
+            assert_eq!(fold(sub), ref_fold(sub), "offset {off}");
+            assert_eq!(fold_padded(&backing[off..]), ref_fold(&backing[off..]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fold over unaligned length")]
+    fn fold_rejects_unaligned_length_in_all_builds() {
+        // Regression: release builds used to silently drop the trailing
+        // partial word here and return fold of the first 4 bytes.
+        fold(&[1u8, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta over unaligned length")]
+    fn delta_rejects_unaligned_length() {
+        delta(&[1u8, 2, 3], &[4u8, 5, 6]);
+    }
+
     #[test]
     fn delta_zero_for_identical() {
         let a = [5u8; 32];
         assert_eq!(delta(&a, &a), 0);
+    }
+
+    /// The fused interleaved delta equals the two-pass definition for
+    /// every aligned length through several blocks.
+    #[test]
+    fn fused_delta_matches_two_pass_every_length() {
+        for len in (0..=3 * BLOCK + WORD).step_by(WORD) {
+            let old = patterned(len);
+            let new: Vec<u8> = old.iter().map(|b| b.wrapping_add(131)).collect();
+            assert_eq!(delta(&old, &new), fold(&old) ^ fold(&new), "len {len}");
+            assert_eq!(
+                delta(&old, &new),
+                ref_fold(&old) ^ ref_fold(&new),
+                "len {len}"
+            );
+        }
     }
 
     #[test]
@@ -112,6 +300,26 @@ mod tests {
     }
 
     proptest! {
+        #[test]
+        fn wide_fold_equals_reference(
+            bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let aligned = &bytes[..bytes.len() / 4 * 4];
+            prop_assert_eq!(fold(aligned), ref_fold(aligned));
+            prop_assert_eq!(fold(aligned), fold_scalar(aligned));
+            prop_assert_eq!(fold_padded(&bytes), ref_fold(&bytes));
+        }
+
+        #[test]
+        fn fused_delta_equals_reference(
+            a in proptest::collection::vec(any::<u8>(), 0..512),
+            b in proptest::collection::vec(any::<u8>(), 0..512),
+        ) {
+            let n = a.len().min(b.len()) / 4 * 4;
+            let (old, new) = (&a[..n], &b[..n]);
+            prop_assert_eq!(delta(old, new), ref_fold(old) ^ ref_fold(new));
+        }
+
         #[test]
         fn composition(a in proptest::collection::vec(any::<u8>(), 0..64),
                        b in proptest::collection::vec(any::<u8>(), 0..64)) {

@@ -11,7 +11,8 @@
 //! Modules:
 //!
 //! * [`codeword`] — the XOR-fold algebra (fold, delta, incremental
-//!   maintenance identities).
+//!   maintenance identities), computed by a wide 4×`u64`-lane kernel that
+//!   auto-vectorizes.
 //! * [`region`] — protection-region geometry over the database address
 //!   space.
 //! * [`table`] — the codeword table, one atomic `u32` per region.
@@ -21,7 +22,10 @@
 //!   spin latches with explicit lock/unlock (guards must survive across the
 //!   beginUpdate/endUpdate window, which RAII lifetimes cannot express).
 //! * [`audit`] — region and whole-database audits producing
-//!   [`AuditReport`](audit::AuditReport)s.
+//!   [`AuditReport`](audit::AuditReport)s; full-database scans can be
+//!   striped across scoped worker threads
+//!   ([`audit_all_parallel`](audit::audit_all_parallel)) with reports
+//!   identical to the serial scan.
 //! * [`protection`] — [`CodewordProtection`](protection::CodewordProtection),
 //!   the façade bundling geometry + table + latches and implementing the
 //!   per-scheme read/update protocols.

@@ -35,6 +35,9 @@ pub struct CodewordProtection {
     /// `region → accumulated XOR delta` awaiting application (only for
     /// [`ProtectionScheme::DeferredMaintenance`]).
     deferred: Option<DeferredSet>,
+    /// Worker count for full-image scans (audits, resync, the initial
+    /// table fold); ≥ 1. Per-region scans are unaffected.
+    audit_threads: usize,
 }
 
 impl CodewordProtection {
@@ -57,7 +60,9 @@ impl CodewordProtection {
     }
 
     /// [`new`](Self::new) with explicit deferred dirty-set sizing
-    /// (ignored unless the scheme defers maintenance).
+    /// (ignored unless the scheme defers maintenance). Full-image scans
+    /// stay serial; use [`with_config`](Self::with_config) to parallelize
+    /// them.
     pub fn with_deferred(
         image: &DbImage,
         scheme: ProtectionScheme,
@@ -65,9 +70,32 @@ impl CodewordProtection {
         regions_per_latch: usize,
         deferred_cfg: DeferredConfig,
     ) -> Result<CodewordProtection> {
+        Self::with_config(
+            image,
+            scheme,
+            region_size,
+            regions_per_latch,
+            deferred_cfg,
+            1,
+        )
+    }
+
+    /// Fully-parameterized constructor: deferred dirty-set sizing plus the
+    /// worker count used for every full-image scan this protection runs —
+    /// [`audit`](Self::audit), [`resync`](Self::resync), and the initial
+    /// codeword-table fold (`audit_threads` is clamped to ≥ 1).
+    pub fn with_config(
+        image: &DbImage,
+        scheme: ProtectionScheme,
+        region_size: usize,
+        regions_per_latch: usize,
+        deferred_cfg: DeferredConfig,
+        audit_threads: usize,
+    ) -> Result<CodewordProtection> {
+        let audit_threads = audit_threads.max(1);
         let geom = RegionGeometry::new(image.len(), region_size)?;
         let table = if scheme.maintains_codewords() {
-            CodewordTable::from_image(image, &geom)?
+            CodewordTable::from_image_parallel(image, &geom, audit_threads)?
         } else {
             // Baseline / mprotect schemes keep an (unused) empty table.
             CodewordTable::new_zeroed(0)
@@ -82,7 +110,14 @@ impl CodewordProtection {
             table,
             latches,
             deferred,
+            audit_threads,
         })
+    }
+
+    /// Worker count used for full-image scans (≥ 1).
+    #[inline]
+    pub fn audit_threads(&self) -> usize {
+        self.audit_threads
     }
 
     /// The active scheme.
@@ -293,30 +328,41 @@ impl CodewordProtection {
     /// Audit the whole database (region-by-region, latched; for the
     /// deferred scheme each region's dirty-set shard is drained under
     /// that region's exclusive latch before the fold — no global
-    /// quiesce).
+    /// quiesce). Runs with the configured
+    /// [`audit_threads`](Self::audit_threads) stripe workers; the report is
+    /// identical to a serial scan regardless of the worker count.
     pub fn audit(&self, image: &DbImage) -> Result<AuditReport> {
+        self.audit_with_threads(image, self.audit_threads)
+    }
+
+    /// [`audit`](Self::audit) with an explicit worker count (used by the
+    /// `audit_scale` bench and the parallel-vs-serial equivalence suite).
+    pub fn audit_with_threads(&self, image: &DbImage, threads: usize) -> Result<AuditReport> {
         if !self.scheme.maintains_codewords() {
             // Nothing to audit against; report an empty, clean pass.
             return Ok(AuditReport::default());
         }
-        audit::audit_all(
+        audit::audit_all_parallel(
             image,
             &self.geom,
             &self.table,
             &self.latches,
             self.deferred.as_ref(),
+            threads,
         )
     }
 
     /// Recompute every codeword from the image (after recovery rebuilds or
-    /// repairs the image). Any queued deferred deltas are superseded and
-    /// dropped.
+    /// repairs the image), striped across the configured
+    /// [`audit_threads`](Self::audit_threads). Any queued deferred deltas
+    /// are superseded and dropped.
     pub fn resync(&self, image: &DbImage) -> Result<()> {
         if let Some(set) = &self.deferred {
             set.clear();
         }
         if self.scheme.maintains_codewords() {
-            self.table.recompute_all(image, &self.geom)?;
+            self.table
+                .recompute_all_parallel(image, &self.geom, self.audit_threads)?;
         }
         Ok(())
     }
@@ -544,6 +590,63 @@ mod tests {
         prot.drain_region(0);
         assert_eq!(prot.deferred_len(), 1, "only shard(0) drained");
         assert!(prot.audit(&image).unwrap().clean());
+    }
+
+    #[test]
+    fn parallel_audit_equals_serial_with_deferred_queue_and_corruption() {
+        let image = DbImage::new(4, 4096).unwrap();
+        let prot = CodewordProtection::with_config(
+            &image,
+            ProtectionScheme::DeferredMaintenance,
+            64,
+            1,
+            crate::deferred::DeferredConfig {
+                shards: 4,
+                watermark: 0,
+            },
+            4,
+        )
+        .unwrap();
+        assert_eq!(prot.audit_threads(), 4);
+        // Maintained updates queue deltas; stray writes corrupt.
+        prescribed_update(&image, &prot, DbAddr(100), &[1, 2, 3, 4, 5]);
+        prescribed_update(&image, &prot, DbAddr(5000), &[6, 7]);
+        image.write(DbAddr(300), &[0xee]).unwrap();
+        image.write(DbAddr(3 * 4096 + 9), &[0xdd]).unwrap();
+        // The parallel audit (threads = 4) must both absorb the queued
+        // deltas and report exactly what a fresh serial pass reports.
+        let par = prot.audit(&image).unwrap();
+        let serial = prot.audit_with_threads(&image, 1).unwrap();
+        assert_eq!(par.corrupt, serial.corrupt);
+        assert_eq!(par.regions_checked, serial.regions_checked);
+        assert_eq!(par.corrupt.len(), 2);
+        assert_eq!(prot.deferred_len(), 0, "parallel audit drained the set");
+    }
+
+    #[test]
+    fn parallel_construction_and_resync_match_serial_table() {
+        let image = DbImage::new(2, 4096).unwrap();
+        let noise: Vec<u8> = (0..image.len() as u32)
+            .map(|i| (i.wrapping_mul(2246822519) >> 9) as u8)
+            .collect();
+        image.write(DbAddr(0), &noise).unwrap();
+        let serial =
+            CodewordProtection::new(&image, ProtectionScheme::DataCodeword, 64, 1).unwrap();
+        let par = CodewordProtection::with_config(
+            &image,
+            ProtectionScheme::DataCodeword,
+            64,
+            1,
+            DeferredConfig::default(),
+            3,
+        )
+        .unwrap();
+        for r in 0..serial.geometry().num_regions() {
+            assert_eq!(serial.table().get(r), par.table().get(r), "region {r}");
+        }
+        image.write(DbAddr(40), &[0xaa; 8]).unwrap(); // external repair path
+        par.resync(&image).unwrap();
+        assert!(par.audit(&image).unwrap().clean());
     }
 
     #[test]

@@ -27,8 +27,19 @@ impl CodewordTable {
 
     /// Build a table by folding every region of `image`.
     pub fn from_image(image: &DbImage, geom: &RegionGeometry) -> Result<CodewordTable> {
+        CodewordTable::from_image_parallel(image, geom, 1)
+    }
+
+    /// Build a table by folding every region of `image` with `threads`
+    /// scoped workers (startup cost on a large image is one full-image
+    /// fold; see [`recompute_all_parallel`](CodewordTable::recompute_all_parallel)).
+    pub fn from_image_parallel(
+        image: &DbImage,
+        geom: &RegionGeometry,
+        threads: usize,
+    ) -> Result<CodewordTable> {
         let table = CodewordTable::new_zeroed(geom.num_regions());
-        table.recompute_all(image, geom)?;
+        table.recompute_all_parallel(image, geom, threads)?;
         Ok(table)
     }
 
@@ -68,11 +79,48 @@ impl CodewordTable {
     /// Recompute every codeword from the image (used at initialization and
     /// after recovery rebuilds the image).
     pub fn recompute_all(&self, image: &DbImage, geom: &RegionGeometry) -> Result<()> {
-        for r in 0..geom.num_regions() {
-            let cw = image.xor_fold(geom.region_base(r), geom.region_size())?;
-            self.set(r, cw);
+        self.recompute_all_parallel(image, geom, 1)
+    }
+
+    /// Recompute every codeword from the image with `threads` scoped
+    /// workers, each folding a contiguous stripe of regions. Slot stores
+    /// are atomic and the stripes are disjoint, so the result is identical
+    /// to the serial recompute; the caller must quiesce updaters (as at
+    /// initialization and recovery resync) since a recompute is not an
+    /// incremental delta.
+    pub fn recompute_all_parallel(
+        &self,
+        image: &DbImage,
+        geom: &RegionGeometry,
+        threads: usize,
+    ) -> Result<()> {
+        let n = geom.num_regions();
+        let threads = threads.clamp(1, n.max(1));
+        if threads <= 1 {
+            for r in 0..n {
+                let cw = image.xor_fold(geom.region_base(r), geom.region_size())?;
+                self.set(r, cw);
+            }
+            return Ok(());
         }
-        Ok(())
+        let per = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let (lo, hi) = (t * per, ((t + 1) * per).min(n));
+                    s.spawn(move || -> Result<()> {
+                        for r in lo..hi {
+                            let cw = image.xor_fold(geom.region_base(r), geom.region_size())?;
+                            self.set(r, cw);
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .try_for_each(|h| h.join().expect("recompute stripe worker panicked"))
+        })
     }
 
     /// Recompute the codeword of a single region from the image.
@@ -153,6 +201,22 @@ mod tests {
         assert_ne!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
         t.recompute_region(&image, &geom, 0).unwrap();
         assert_eq!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
+    }
+
+    #[test]
+    fn parallel_recompute_matches_serial() {
+        let (image, geom, _t) = setup();
+        let noise: Vec<u8> = (0..image.len() as u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        image.write(DbAddr(0), &noise).unwrap();
+        let serial = CodewordTable::from_image(&image, &geom).unwrap();
+        for threads in [2, 3, 8, geom.num_regions() + 1] {
+            let par = CodewordTable::from_image_parallel(&image, &geom, threads).unwrap();
+            for r in 0..geom.num_regions() {
+                assert_eq!(par.get(r), serial.get(r), "region {r}, {threads} threads");
+            }
+        }
     }
 
     #[test]

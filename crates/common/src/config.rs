@@ -201,6 +201,13 @@ pub struct DaliConfig {
     /// shard deeper than this drains the shard inline (backpressure when
     /// the background drainer falls behind). `0` = unbounded.
     pub deferred_shard_watermark: usize,
+    /// Number of worker threads striping full-image codeword scans —
+    /// whole-database audits, checkpoint certification, the startup
+    /// codeword-table fold, and post-recovery resync. `0` = auto: one per
+    /// available CPU. Each region is still audited under its own
+    /// protection latch, so normal processing continues around a parallel
+    /// audit exactly as around a serial one; `1` keeps scans serial.
+    pub audit_threads: usize,
     /// Lay allocation bitmaps out adjacent to their table's data instead
     /// of on separate pages. Dali keeps control information *off* the
     /// data pages (the default, `false`); colocating models a page-based
@@ -232,6 +239,7 @@ impl DaliConfig {
             deferred_shards: 0,
             deferred_drain_interval: Some(Duration::from_millis(25)),
             deferred_shard_watermark: 4096,
+            audit_threads: 0,
             colocate_control: false,
         }
     }
@@ -316,6 +324,25 @@ impl DaliConfig {
             self.deferred_shards
         };
         n.next_power_of_two()
+    }
+
+    /// Builder-style audit-scan worker count (`0` = auto, `1` = serial).
+    pub fn with_audit_threads(mut self, audit_threads: usize) -> Self {
+        self.audit_threads = audit_threads;
+        self
+    }
+
+    /// The effective audit-scan worker count: `audit_threads`, or one per
+    /// available CPU when `0` (no power-of-two rounding — stripes are
+    /// contiguous region chunks, not hash buckets).
+    pub fn resolved_audit_threads(&self) -> usize {
+        if self.audit_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.audit_threads
+        }
     }
 
     /// Validate internal consistency; returns a description of the first
@@ -470,6 +497,16 @@ mod tests {
             8
         );
         assert_eq!(c.with_deferred_shards(8).resolved_deferred_shards(), 8);
+    }
+
+    #[test]
+    fn audit_threads_resolve() {
+        let c = DaliConfig::small("/tmp/x");
+        assert_eq!(c.audit_threads, 0, "auto by default");
+        assert!(c.resolved_audit_threads() >= 1);
+        assert_eq!(c.clone().with_audit_threads(1).resolved_audit_threads(), 1);
+        // No power-of-two rounding: stripes are contiguous chunks.
+        assert_eq!(c.with_audit_threads(6).resolved_audit_threads(), 6);
     }
 
     #[test]

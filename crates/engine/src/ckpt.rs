@@ -219,9 +219,29 @@ fn write_pages(
 /// latch shared across the write+enqueue bracket, so the audit drains
 /// each region's dirty-set shard under that region's exclusive latch
 /// before folding (a queued-but-unapplied delta would otherwise read as
-/// a spurious mismatch). No global quiesce anywhere.
+/// a spurious mismatch). No global quiesce anywhere. The sweep is striped
+/// across [`DaliConfig::audit_threads`](dali_common::DaliConfig) workers
+/// (each region still individually latched, so the concurrency argument
+/// is unchanged), and the sweep's region count, bytes folded, and
+/// wall-clock time are recorded in [`EngineStats`].
 fn sweep_audit(db: &Arc<Db>) -> Result<dali_codeword::AuditReport> {
-    db.prot.audit(&db.image)
+    let start = std::time::Instant::now();
+    let report = db.prot.audit(&db.image)?;
+    let elapsed = start.elapsed().as_nanos() as u64;
+    let region_size = db.prot.geometry().region_size() as u64;
+    let stats = &db.stats;
+    stats.regions_audited.fetch_add(
+        report.regions_checked as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    stats.bytes_folded.fetch_add(
+        report.regions_checked as u64 * region_size,
+        std::sync::atomic::Ordering::Relaxed,
+    );
+    stats
+        .audit_ns
+        .fetch_add(elapsed, std::sync::atomic::Ordering::Relaxed);
+    Ok(report)
 }
 
 /// Take a checkpoint (paper §2.1 + §4.2 certification). See module docs.

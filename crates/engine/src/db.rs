@@ -23,7 +23,15 @@ pub struct EngineStats {
     pub commits: AtomicU64,
     pub aborts: AtomicU64,
     pub read_log_records: AtomicU64,
+    /// Full-database audit sweeps run (on-demand audits plus checkpoint
+    /// certification passes).
     pub audits: AtomicU64,
+    /// Regions folded-and-compared across all audit sweeps.
+    pub regions_audited: AtomicU64,
+    /// Bytes XOR-folded by audit sweeps (regions × region size).
+    pub bytes_folded: AtomicU64,
+    /// Wall-clock nanoseconds spent inside audit sweeps.
+    pub audit_ns: AtomicU64,
     pub checkpoints: AtomicU64,
 }
 

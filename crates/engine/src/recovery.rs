@@ -112,7 +112,7 @@ pub(crate) fn build_db(
     next_audit: u64,
     last_clean_audit: Option<Lsn>,
 ) -> Result<Arc<Db>> {
-    let prot = CodewordProtection::with_deferred(
+    let prot = CodewordProtection::with_config(
         &image,
         config.scheme,
         config.region_size,
@@ -121,6 +121,7 @@ pub(crate) fn build_db(
             shards: config.resolved_deferred_shards(),
             watermark: config.deferred_shard_watermark,
         },
+        config.resolved_audit_threads(),
     )?;
     let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
     let heaps: Vec<Arc<HeapRuntime>> = catalog

@@ -120,6 +120,14 @@ impl DbImage {
         self.arena.xor_fold(addr.0, len)
     }
 
+    /// [`xor_fold`](Self::xor_fold) through the one-word-at-a-time kernel
+    /// — the baseline the wide kernel is benchmarked against.
+    #[inline]
+    pub fn xor_fold_scalar(&self, addr: DbAddr, len: usize) -> Result<u32> {
+        self.check(addr, len)?;
+        self.arena.xor_fold_scalar(addr.0, len)
+    }
+
     /// The pages overlapped by `[addr, addr+len)`.
     pub fn pages_overlapping(&self, addr: DbAddr, len: usize) -> Vec<PageId> {
         dali_common::align::split_by_chunks(addr.0, len, self.page_size)

@@ -93,6 +93,15 @@ pub struct ServerStats {
     pub deferred_max_shard_depth: u64,
     /// Deferred maintenance: raw deltas currently queued.
     pub deferred_pending: u64,
+    /// Full-database audit sweeps run (on-demand + checkpoint
+    /// certification).
+    pub audits_run: u64,
+    /// Regions folded-and-compared across all audit sweeps.
+    pub audit_regions: u64,
+    /// Bytes XOR-folded by audit sweeps.
+    pub audit_bytes_folded: u64,
+    /// Wall-clock nanoseconds spent inside audit sweeps.
+    pub audit_ns: u64,
 }
 
 /// A server response.
@@ -375,6 +384,10 @@ impl Response {
                     s.deferred_coalesced,
                     s.deferred_max_shard_depth,
                     s.deferred_pending,
+                    s.audits_run,
+                    s.audit_regions,
+                    s.audit_bytes_folded,
+                    s.audit_ns,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -426,6 +439,10 @@ impl Response {
                 deferred_coalesced: get_u64(buf)?,
                 deferred_max_shard_depth: get_u64(buf)?,
                 deferred_pending: get_u64(buf)?,
+                audits_run: get_u64(buf)?,
+                audit_regions: get_u64(buf)?,
+                audit_bytes_folded: get_u64(buf)?,
+                audit_ns: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
             _ => return Err(bad(format!("unknown response tag {tag}"))),
@@ -723,6 +740,10 @@ mod tests {
                 deferred_coalesced: 11,
                 deferred_max_shard_depth: 12,
                 deferred_pending: 13,
+                audits_run: 14,
+                audit_regions: 15,
+                audit_bytes_folded: 16,
+                audit_ns: 17,
             }),
             Response::Err(WireError::LockDenied {
                 txn: TxnId(5),

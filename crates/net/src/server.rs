@@ -288,6 +288,10 @@ impl<'a> Session<'a> {
             deferred_coalesced: deferred.coalesced_deltas,
             deferred_max_shard_depth: deferred.max_shard_depth,
             deferred_pending: deferred.pending_deltas,
+            audits_run: engine.stats().audits.load(Ordering::Relaxed),
+            audit_regions: engine.stats().regions_audited.load(Ordering::Relaxed),
+            audit_bytes_folded: engine.stats().bytes_folded.load(Ordering::Relaxed),
+            audit_ns: engine.stats().audit_ns.load(Ordering::Relaxed),
         }
     }
 }

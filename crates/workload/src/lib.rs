@@ -433,6 +433,12 @@ impl TpcbDriver {
         self.account_recs[self.rng.gen_range(0..self.account_recs.len())]
     }
 
+    /// A deterministic account record id (for fault-injection tests that
+    /// must corrupt the same record across separate engines).
+    pub fn account(&self, i: usize) -> RecId {
+        self.account_recs[i % self.account_recs.len()]
+    }
+
     /// Execute one TPC-B operation inside `txn`.
     pub fn run_op(&mut self, txn: &TxnHandle) -> Result<()> {
         let a = self.rng.gen_range(0..self.account_recs.len());

@@ -15,10 +15,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 const THREADS: usize = 4;
 const OPS: usize = 4_000;
 
-fn stress(scheme: ProtectionScheme) {
+fn stress(scheme: ProtectionScheme, audit_threads: usize) {
     let cfg = TpcbConfig::small();
-    let dir = dali_testutil::TempDir::new(&format!("stress-{scheme:?}"));
-    let mut config = DaliConfig::small(dir.path()).with_scheme(scheme);
+    let dir = dali_testutil::TempDir::new(&format!("stress-{scheme:?}-{audit_threads}"));
+    let mut config = DaliConfig::small(dir.path())
+        .with_scheme(scheme)
+        .with_audit_threads(audit_threads);
     config.db_pages = cfg.required_pages(config.page_size);
     let (db, _) = DaliEngine::create(config).unwrap();
     let mut driver = TpcbDriver::setup(&db, cfg.clone()).unwrap();
@@ -83,12 +85,27 @@ fn stress(scheme: ProtectionScheme) {
 
 #[test]
 fn stress_data_codeword() {
-    stress(ProtectionScheme::DataCodeword);
+    stress(ProtectionScheme::DataCodeword, 1);
 }
 
 #[test]
 fn stress_read_precheck() {
-    stress(ProtectionScheme::ReadPrecheck);
+    stress(ProtectionScheme::ReadPrecheck, 1);
+}
+
+/// The audit loop runs *striped across 4 worker threads* while the TPC-B
+/// updaters and the ad-hoc reader hammer the same regions. Each stripe
+/// worker still takes every region's latch individually, so the
+/// no-false-positive guarantee must be unchanged — a corruption report
+/// here means the parallel scan broke the latch-then-check protocol.
+#[test]
+fn stress_data_codeword_parallel_audit() {
+    stress(ProtectionScheme::DataCodeword, 4);
+}
+
+#[test]
+fn stress_read_precheck_parallel_audit() {
+    stress(ProtectionScheme::ReadPrecheck, 4);
 }
 
 /// Contended variant: workers draw from *overlapping* row ranges, so
@@ -192,14 +209,20 @@ fn stress_contended_data_codeword_single_shard() {
 /// here means a delta was visible in the image but missed by the audit's
 /// shard drain. After quiesce the dirty set must be empty and the
 /// drainer must actually have run.
-fn stress_deferred(shards: usize, drain_interval: Option<std::time::Duration>, watermark: usize) {
+fn stress_deferred(
+    shards: usize,
+    drain_interval: Option<std::time::Duration>,
+    watermark: usize,
+    audit_threads: usize,
+) {
     let cfg = TpcbConfig::small();
-    let dir = dali_testutil::TempDir::new(&format!("stress-deferred-{shards}"));
+    let dir = dali_testutil::TempDir::new(&format!("stress-deferred-{shards}-{audit_threads}"));
     let mut config = DaliConfig::small(dir.path())
         .with_scheme(ProtectionScheme::DeferredMaintenance)
         .with_deferred_shards(shards)
         .with_deferred_drain_interval(drain_interval)
-        .with_deferred_watermark(watermark);
+        .with_deferred_watermark(watermark)
+        .with_audit_threads(audit_threads);
     config.db_pages = cfg.required_pages(config.page_size);
     let (db, _) = DaliEngine::create(config).unwrap();
     let mut driver = TpcbDriver::setup(&db, cfg.clone()).unwrap();
@@ -268,12 +291,24 @@ fn stress_deferred(shards: usize, drain_interval: Option<std::time::Duration>, w
 
 #[test]
 fn stress_deferred_sharded_with_background_drainer() {
-    stress_deferred(8, Some(std::time::Duration::from_millis(1)), 4096);
+    stress_deferred(8, Some(std::time::Duration::from_millis(1)), 4096, 1);
 }
 
 /// No background drainer and a tiny watermark: catch-up rides entirely
 /// on audit drains and inline backpressure drains.
 #[test]
 fn stress_deferred_watermark_only() {
-    stress_deferred(4, None, 16);
+    stress_deferred(4, None, 16, 1);
+}
+
+/// The hardest combination: concurrent TPC-B updaters queueing deferred
+/// deltas, the background drainer applying them, an ad-hoc reader, and a
+/// *4-way-striped* audit loop doing the latch-then-drain-shard catch-up
+/// from four threads at once. Every audit must stay clean and the dirty
+/// set must still be empty at quiesce — stripe workers draining shards
+/// concurrently with each other, the drainer, and watermark pushers must
+/// never lose or double-apply a delta.
+#[test]
+fn stress_deferred_parallel_audit() {
+    stress_deferred(8, Some(std::time::Duration::from_millis(1)), 4096, 4);
 }

@@ -112,6 +112,10 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             deferred_coalesced: b ^ d,
             deferred_max_shard_depth: a ^ e,
             deferred_pending: b ^ f,
+            audits_run: c ^ e,
+            audit_regions: d ^ f,
+            audit_bytes_folded: a ^ f,
+            audit_ns: c ^ f,
         })
 }
 

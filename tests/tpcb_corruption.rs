@@ -101,6 +101,49 @@ fn repeated_corruption_recovery_cycles() {
     }
 }
 
+/// Checkpoint certification striped across 4 audit workers must still
+/// find a wild write — and report exactly what a serial certification
+/// pass reports. The engine is poisoned after the failed certification,
+/// so the serial reference report comes from a second engine opened on
+/// an identically-corrupted database.
+#[test]
+fn parallel_certification_detects_corruption() {
+    let run = |name: &str, audit_threads: usize| {
+        let wl = TpcbConfig::small();
+        let dir = tmpdir(name);
+        let mut config = DaliConfig::small(dir.path())
+            .with_scheme(ProtectionScheme::DataCodeword)
+            .with_audit_threads(audit_threads);
+        config.db_pages = wl.required_pages(config.page_size);
+        let (db, _) = DaliEngine::create(config).unwrap();
+        let mut driver = TpcbDriver::setup(&db, wl).unwrap();
+        driver.run_ops(100).unwrap();
+        // Deterministic victim so both engines corrupt the same record.
+        let victim = driver.account(7);
+        FaultInjector::new(&db)
+            .wild_write(db.record_addr(victim).unwrap().add(8), 0xEE, 4)
+            .unwrap();
+        match db.checkpoint().unwrap() {
+            dali::CheckpointOutcome::CorruptionDetected(report) => report,
+            other => panic!("certification must fail: {other:?}"),
+        }
+    };
+    let parallel = run("parcert-4", 4);
+    let serial = run("parcert-1", 1);
+    assert!(!parallel.clean());
+    assert_eq!(parallel.regions_checked, serial.regions_checked);
+    assert_eq!(
+        parallel.corrupt.len(),
+        serial.corrupt.len(),
+        "stripe workers must find the same corrupt regions"
+    );
+    for (p, s) in parallel.corrupt.iter().zip(&serial.corrupt) {
+        assert_eq!(p.region, s.region);
+        assert_eq!(p.addr, s.addr);
+        assert_eq!(p.len, s.len);
+    }
+}
+
 #[test]
 fn mprotect_scheme_blocks_campaign_and_workload_continues() {
     let (_config, db, mut driver, _dir) = build("mp", ProtectionScheme::MemoryProtection);
