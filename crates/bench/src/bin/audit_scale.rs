@@ -26,8 +26,8 @@
 
 use dali_bench::scratch_dir;
 use dali_codeword::codeword::{fold, fold_scalar};
-use dali_codeword::CodewordProtection;
-use dali_common::{DaliConfig, DbAddr, ProtectionScheme};
+use dali_codeword::{CodewordProtection, DeferredConfig};
+use dali_common::{DaliConfig, DbAddr, PageId, ProtectionScheme};
 use dali_engine::{CheckpointOutcome, DaliEngine};
 use dali_mem::DbImage;
 use dali_workload::{TpcbConfig, TpcbDriver};
@@ -162,6 +162,82 @@ fn audit_sweep(threads: &[usize], image_mib: usize, reps: usize) {
     println!();
 }
 
+/// Delta-certification sweep: certification cost vs dirty fraction.
+///
+/// Pseudo-randomly marks a fraction of pages dirty (page-clustered, the
+/// shape a real checkpoint footprint has), maps them to protection
+/// regions exactly as `checkpoint()` does, and times `audit_regions`
+/// against the full sweep — both latch-batched. The bracket-drop column
+/// is regions folded per exclusive latch bracket (1.0 = the paper's
+/// latch-per-region cadence; the full sweep approaches the latch-run
+/// bound).
+fn delta_sweep(image_mib: usize, reps: usize, audit_threads: usize, latch_run: usize) {
+    const PAGE: usize = 8192;
+    const REGION: usize = 4096;
+    println!(
+        "### Delta certification: {image_mib} MiB image, latency vs dirty fraction \
+         ({audit_threads} workers, latch run {latch_run}, best of {reps})\n"
+    );
+    let image = noisy_image(image_mib);
+    let mut prot = CodewordProtection::with_config(
+        &image,
+        ProtectionScheme::DataCodeword,
+        REGION,
+        8,
+        DeferredConfig::default(),
+        audit_threads,
+    )
+    .expect("build protection");
+    prot.set_latch_run(latch_run);
+    let num_pages = image.len() / PAGE;
+
+    let mut full_best = f64::INFINITY;
+    let mut full_report = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let report = prot.audit(&image).expect("full audit");
+        full_best = full_best.min(start.elapsed().as_secs_f64());
+        assert!(report.clean());
+        full_report = Some(report);
+    }
+    let full_report = full_report.unwrap();
+    let full_ms = full_best * 1e3;
+
+    println!("| dirty pages | regions audited | certify ms | vs full | regions/bracket |");
+    println!("|---|---|---|---|---|");
+    for permille in [10usize, 50, 100, 250, 500, 1000] {
+        let (regions, ms, report) = if permille == 1000 {
+            (prot.geometry().num_regions(), full_ms, full_report.clone())
+        } else {
+            // Deterministic scatter: page p is dirty iff its hash lands
+            // under the threshold.
+            let pages: Vec<PageId> = (0..num_pages)
+                .filter(|p| (p.wrapping_mul(2654435761) >> 7) % 1000 < permille)
+                .map(|p| PageId(p as u32))
+                .collect();
+            let regions = dali_wal::pages_to_regions(&pages, PAGE, REGION);
+            let mut best = f64::INFINITY;
+            let mut rep = None;
+            for _ in 0..reps {
+                let start = Instant::now();
+                let r = prot.audit_regions(&image, &regions).expect("delta audit");
+                best = best.min(start.elapsed().as_secs_f64());
+                assert!(r.clean());
+                assert_eq!(r.regions_checked, regions.len());
+                rep = Some(r);
+            }
+            (regions.len(), best * 1e3, rep.unwrap())
+        };
+        println!(
+            "| {:.1}% | {regions} | {ms:.2} | {:.2}x | {:.1} |",
+            permille as f64 / 10.0,
+            full_ms / ms,
+            report.regions_checked as f64 / report.latch_brackets.max(1) as f64,
+        );
+    }
+    println!();
+}
+
 fn certification_sweep(threads: &[usize], image_mib: usize, ops: usize, reps: usize) {
     println!(
         "### Checkpoint certification: {image_mib} MiB database, {ops} TPC-B ops, \
@@ -275,5 +351,11 @@ fn main() {
     );
     fold_bandwidth(&sizes_kib, reps, target_bytes);
     audit_sweep(&threads, image_mib, reps);
+    delta_sweep(
+        image_mib,
+        reps,
+        threads.iter().copied().max().unwrap(),
+        DaliConfig::small("unused").audit_latch_run,
+    );
     certification_sweep(&threads, image_mib, ops, reps);
 }

@@ -14,6 +14,17 @@
 //! exclusive latch is taken and *before* the fold, so queued-but-
 //! unapplied deltas never read as spurious mismatches — and the audit
 //! never quiesces writers outside the one stripe it is checking.
+//!
+//! Latch batching: sweeps take one [`LatchTable::with_span`] bracket per
+//! *contiguous run* of regions (bounded by the caller's `max_run`,
+//! [`dali_common::DaliConfig::audit_latch_run`]) instead of one per
+//! region. The PR 4 ordering argument is unchanged — every deferred
+//! shard covering the run is drained inside the exclusive bracket, after
+//! which no delta for any run region can be missing (updaters hold the
+//! latch shared across write+enqueue) — while the latch traffic of a
+//! sweep drops by a factor of the run length. The bound keeps the
+//! longest writer stall proportional to `max_run` region folds.
+//! `max_run = 1` is exactly the paper's latch-per-region cadence.
 
 use crate::deferred::DeferredSet;
 use crate::latch::{LatchMode, LatchTable};
@@ -44,6 +55,10 @@ pub struct AuditReport {
     pub corrupt: Vec<CorruptRegion>,
     /// Number of regions checked.
     pub regions_checked: usize,
+    /// Number of exclusive latch brackets (`with_span` acquisitions) the
+    /// pass took. Equal to `regions_checked` at `max_run = 1`; smaller by
+    /// up to the run bound when runs are batched.
+    pub latch_brackets: usize,
 }
 
 impl AuditReport {
@@ -105,35 +120,112 @@ pub fn check_region(
     })
 }
 
-/// Audit every region of the database, region by region (each under its
-/// latch, so normal processing continues around the audit).
+/// Audit the contiguous run `first..=last` under **one** exclusive latch
+/// bracket, appending results to `report`.
+///
+/// Every deferred shard covering a run region is drained inside the
+/// bracket (deduplicated — a 64-region run touches at most
+/// `min(64, shards)` distinct shards), so the catch-up guarantee is the
+/// per-region audit's, taken once per run instead of once per region.
+#[allow(clippy::too_many_arguments)]
+fn audit_run(
+    image: &DbImage,
+    geom: &RegionGeometry,
+    table: &CodewordTable,
+    latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
+    first: RegionId,
+    last: RegionId,
+    report: &mut AuditReport,
+) -> Result<()> {
+    debug_assert!(first <= last);
+    latches.with_span(first, last, LatchMode::Exclusive, || {
+        if let Some(set) = deferred {
+            let mut shards: Vec<usize> = (first..=last).map(|r| set.shard_of(r)).collect();
+            shards.sort_unstable();
+            shards.dedup();
+            for s in shards {
+                set.drain_shard(s, table);
+            }
+        }
+        for r in first..=last {
+            if let Some(c) = check_region(image, geom, table, r)? {
+                report.corrupt.push(c);
+            }
+            report.regions_checked += 1;
+        }
+        Ok::<(), dali_common::DaliError>(())
+    })?;
+    report.latch_brackets += 1;
+    Ok(())
+}
+
+/// Audit every region of the database in ascending order, one exclusive
+/// latch bracket per run of at most `max_run` consecutive regions
+/// (`max_run <= 1` gives the paper's latch-per-region sweep). Normal
+/// processing continues around the audit outside the bracket currently
+/// held.
 pub fn audit_all(
     image: &DbImage,
     geom: &RegionGeometry,
     table: &CodewordTable,
     latches: &LatchTable,
     deferred: Option<&DeferredSet>,
+    max_run: usize,
 ) -> Result<AuditReport> {
     let mut report = AuditReport::default();
-    for r in 0..geom.num_regions() {
-        if let Some(c) = audit_region(image, geom, table, latches, deferred, r)? {
-            report.corrupt.push(c);
-        }
-        report.regions_checked += 1;
-    }
+    audit_range(
+        image,
+        geom,
+        table,
+        latches,
+        deferred,
+        0,
+        geom.num_regions(),
+        max_run,
+        &mut report,
+    )?;
     Ok(report)
 }
 
+/// Audit regions `lo..hi` in runs of at most `max_run` (shared by the
+/// serial sweep and each parallel stripe, so stripe reports concatenate
+/// to exactly the serial report).
+#[allow(clippy::too_many_arguments)]
+fn audit_range(
+    image: &DbImage,
+    geom: &RegionGeometry,
+    table: &CodewordTable,
+    latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
+    lo: RegionId,
+    hi: RegionId,
+    max_run: usize,
+    report: &mut AuditReport,
+) -> Result<()> {
+    let max_run = max_run.max(1);
+    let mut first = lo;
+    while first < hi {
+        let last = (first + max_run).min(hi) - 1;
+        audit_run(image, geom, table, latches, deferred, first, last, report)?;
+        first = last + 1;
+    }
+    Ok(())
+}
+
 /// Audit every region of the database with `threads` scoped workers, each
-/// scanning one contiguous stripe of the region space in ascending order.
+/// scanning one contiguous stripe of the region space in ascending order,
+/// in latch brackets of at most `max_run` regions (runs never cross a
+/// stripe boundary).
 ///
-/// Every region is still audited under its own exclusive protection latch
-/// (with the region's deferred shard drained under the latch), so normal
+/// Every bracket still holds only its own regions' latches (with the
+/// covered deferred shards drained inside the bracket), so normal
 /// processing continues around a parallel audit exactly as it does around
-/// a serial one; only the order in which region latches are taken changes,
-/// and single-region exclusive acquisitions cannot deadlock. Stripe
-/// results are merged in stripe order, so the report — corrupt regions in
-/// ascending region order — is byte-identical to [`audit_all`]'s.
+/// a serial one; brackets within a stripe are taken in ascending order
+/// and brackets of different stripes are disjoint, so latch acquisition
+/// cannot deadlock. Stripe results are merged in stripe order, so the
+/// report — corrupt regions in ascending region order — is byte-identical
+/// to [`audit_all`]'s.
 ///
 /// `threads <= 1` (or a single-region geometry) falls back to the serial
 /// scan.
@@ -144,11 +236,12 @@ pub fn audit_all_parallel(
     latches: &LatchTable,
     deferred: Option<&DeferredSet>,
     threads: usize,
+    max_run: usize,
 ) -> Result<AuditReport> {
     let n = geom.num_regions();
     let threads = threads.clamp(1, n.max(1));
     if threads <= 1 {
-        return audit_all(image, geom, table, latches, deferred);
+        return audit_all(image, geom, table, latches, deferred, max_run);
     }
     let per = n.div_ceil(threads);
     let stripe_reports = std::thread::scope(|s| {
@@ -157,12 +250,17 @@ pub fn audit_all_parallel(
                 let (lo, hi) = (t * per, ((t + 1) * per).min(n));
                 s.spawn(move || -> Result<AuditReport> {
                     let mut report = AuditReport::default();
-                    for r in lo..hi {
-                        if let Some(c) = audit_region(image, geom, table, latches, deferred, r)? {
-                            report.corrupt.push(c);
-                        }
-                        report.regions_checked += 1;
-                    }
+                    audit_range(
+                        image,
+                        geom,
+                        table,
+                        latches,
+                        deferred,
+                        lo,
+                        hi,
+                        max_run,
+                        &mut report,
+                    )?;
                     Ok(report)
                 })
             })
@@ -177,8 +275,118 @@ pub fn audit_all_parallel(
         let stripe = stripe?;
         report.corrupt.extend(stripe.corrupt);
         report.regions_checked += stripe.regions_checked;
+        report.latch_brackets += stripe.latch_brackets;
     }
     Ok(report)
+}
+
+/// Audit exactly the given regions — the delta-certification sweep.
+///
+/// `regions` must be sorted ascending and deduplicated (the dirty-page →
+/// region mapping and [`DeferredSet::dirty_region_ids`] both produce
+/// this form). Consecutive region ids are grouped into contiguous runs of
+/// at most `max_run`, one latch bracket each; with `threads > 1` the
+/// region list is striped into contiguous chunks first. The report lists
+/// corrupt regions in ascending order and is identical for every
+/// `(threads, max_run)` combination.
+#[allow(clippy::too_many_arguments)]
+pub fn audit_regions(
+    image: &DbImage,
+    geom: &RegionGeometry,
+    table: &CodewordTable,
+    latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
+    regions: &[RegionId],
+    threads: usize,
+    max_run: usize,
+) -> Result<AuditReport> {
+    debug_assert!(regions.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    let n = regions.len();
+    let threads = threads.clamp(1, n.max(1));
+    if threads <= 1 {
+        let mut report = AuditReport::default();
+        audit_region_list(
+            image,
+            geom,
+            table,
+            latches,
+            deferred,
+            regions,
+            max_run,
+            &mut report,
+        )?;
+        return Ok(report);
+    }
+    let per = n.div_ceil(threads);
+    let stripe_reports = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let chunk = &regions[t * per..((t + 1) * per).min(n)];
+                s.spawn(move || -> Result<AuditReport> {
+                    let mut report = AuditReport::default();
+                    audit_region_list(
+                        image,
+                        geom,
+                        table,
+                        latches,
+                        deferred,
+                        chunk,
+                        max_run,
+                        &mut report,
+                    )?;
+                    Ok(report)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("audit stripe worker panicked"))
+            .collect::<Vec<_>>()
+    });
+    let mut report = AuditReport::default();
+    for stripe in stripe_reports {
+        let stripe = stripe?;
+        report.corrupt.extend(stripe.corrupt);
+        report.regions_checked += stripe.regions_checked;
+        report.latch_brackets += stripe.latch_brackets;
+    }
+    Ok(report)
+}
+
+/// Audit a sorted region list, bracketing each maximal run of consecutive
+/// ids (capped at `max_run`).
+#[allow(clippy::too_many_arguments)]
+fn audit_region_list(
+    image: &DbImage,
+    geom: &RegionGeometry,
+    table: &CodewordTable,
+    latches: &LatchTable,
+    deferred: Option<&DeferredSet>,
+    regions: &[RegionId],
+    max_run: usize,
+    report: &mut AuditReport,
+) -> Result<()> {
+    let max_run = max_run.max(1);
+    let mut i = 0;
+    while i < regions.len() {
+        let first = regions[i];
+        let mut j = i + 1;
+        while j < regions.len() && j - i < max_run && regions[j] == first + (j - i) {
+            j += 1;
+        }
+        audit_run(
+            image,
+            geom,
+            table,
+            latches,
+            deferred,
+            first,
+            regions[j - 1],
+            report,
+        )?;
+        i = j;
+    }
+    Ok(())
 }
 
 /// Audit only the regions overlapping the given pages (used when
@@ -201,6 +409,7 @@ pub fn audit_pages(
                 report.corrupt.push(c);
             }
             report.regions_checked += 1;
+            report.latch_brackets += 1;
         }
     }
     Ok(report)
@@ -221,7 +430,7 @@ mod tests {
     #[test]
     fn clean_image_audits_clean() {
         let (image, geom, table, latches) = setup();
-        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         assert!(report.clean());
         assert_eq!(report.regions_checked, geom.num_regions());
     }
@@ -231,7 +440,7 @@ mod tests {
         let (image, geom, table, latches) = setup();
         // Corrupt without maintaining the codeword.
         image.write(DbAddr(200), &[0xde, 0xad]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         assert_eq!(report.corrupt.len(), 1);
         let c = &report.corrupt[0];
         assert_eq!(c.region, geom.region_of(DbAddr(200)));
@@ -246,7 +455,7 @@ mod tests {
         let new = [9u8, 8, 7, 6];
         image.write(addr, &new).unwrap();
         table.apply_delta(geom.region_of(addr), crate::codeword::delta(&old, &new));
-        assert!(audit_all(&image, &geom, &table, &latches, None)
+        assert!(audit_all(&image, &geom, &table, &latches, None, 1)
             .unwrap()
             .clean());
     }
@@ -282,12 +491,12 @@ mod tests {
         let (image, geom, table, latches) = setup();
         image.write(DbAddr(0), &[0x01]).unwrap();
         image.write(DbAddr(4), &[0x01]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         assert!(report.clean(), "parity cancellation goes undetected");
         // But the corruption is caught if the flips land in different bit
         // positions.
         image.write(DbAddr(8), &[0x02]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         assert!(!report.clean());
     }
 
@@ -298,10 +507,11 @@ mod tests {
         for addr in [3usize, 64, 4096 + 7, 2 * 4096 + 130, 4 * 4096 - 20] {
             image.write(DbAddr(addr), &[0x5a]).unwrap();
         }
-        let serial = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let serial = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         assert!(!serial.clean());
         for threads in [1, 2, 3, 4, 7, 64, geom.num_regions() + 5] {
-            let par = audit_all_parallel(&image, &geom, &table, &latches, None, threads).unwrap();
+            let par =
+                audit_all_parallel(&image, &geom, &table, &latches, None, threads, 1).unwrap();
             assert_eq!(
                 par.regions_checked, serial.regions_checked,
                 "{threads} threads"
@@ -313,16 +523,94 @@ mod tests {
     #[test]
     fn parallel_audit_clean_image() {
         let (image, geom, table, latches) = setup();
-        let report = audit_all_parallel(&image, &geom, &table, &latches, None, 4).unwrap();
+        let report = audit_all_parallel(&image, &geom, &table, &latches, None, 4, 1).unwrap();
         assert!(report.clean());
         assert_eq!(report.regions_checked, geom.num_regions());
+    }
+
+    #[test]
+    fn batched_runs_report_identical_to_per_region() {
+        let (image, geom, table, latches) = setup();
+        for addr in [3usize, 64, 4096 + 7, 2 * 4096 + 130, 4 * 4096 - 20] {
+            image.write(DbAddr(addr), &[0x5a]).unwrap();
+        }
+        let baseline = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
+        assert_eq!(baseline.latch_brackets, geom.num_regions());
+        for max_run in [2, 3, 16, 64, geom.num_regions(), geom.num_regions() * 2] {
+            for threads in [1, 4] {
+                let batched =
+                    audit_all_parallel(&image, &geom, &table, &latches, None, threads, max_run)
+                        .unwrap();
+                assert_eq!(batched.corrupt, baseline.corrupt, "run {max_run}");
+                assert_eq!(batched.regions_checked, baseline.regions_checked);
+                assert!(
+                    batched.latch_brackets <= geom.num_regions().div_ceil(max_run) + threads,
+                    "run {max_run} threads {threads}: {} brackets",
+                    batched.latch_brackets
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_run_drains_deferred_shards() {
+        let (image, geom, table, latches) = setup();
+        let set = DeferredSet::new(crate::deferred::DeferredConfig {
+            shards: 4,
+            watermark: 0,
+        });
+        // Maintained updates whose deltas are queued, not yet applied.
+        for region in [0, 1, 5, 9] {
+            let addr = geom.region_base(region);
+            let new = [region as u8 + 1; 4];
+            image.write(addr, &new).unwrap();
+            set.push(region, crate::codeword::delta(&[0u8; 4], &new));
+        }
+        let report = audit_all(&image, &geom, &table, &latches, Some(&set), 8).unwrap();
+        assert!(report.clean(), "queued deltas drained inside brackets");
+        assert_eq!(set.dirty_regions(), 0);
+    }
+
+    #[test]
+    fn audit_regions_scopes_to_subset() {
+        let (image, geom, table, latches) = setup();
+        // Corrupt region 2 and region 40.
+        image.write(geom.region_base(2), &[1]).unwrap();
+        image.write(geom.region_base(40), &[1]).unwrap();
+        // A subset covering only region 2 sees only that corruption.
+        let subset = [0, 1, 2, 3, 10, 11];
+        let report = audit_regions(&image, &geom, &table, &latches, None, &subset, 1, 16).unwrap();
+        assert_eq!(report.corrupt.len(), 1);
+        assert_eq!(report.corrupt[0].region, 2);
+        assert_eq!(report.regions_checked, subset.len());
+        // Two consecutive runs (0..=3 and 10..=11) → two brackets.
+        assert_eq!(report.latch_brackets, 2);
+        // Including region 40 finds both, for every (threads, max_run).
+        let all: Vec<RegionId> = (0..geom.num_regions()).collect();
+        for threads in [1, 3, 8] {
+            for max_run in [1, 7, 64] {
+                let report = audit_regions(
+                    &image, &geom, &table, &latches, None, &all, threads, max_run,
+                )
+                .unwrap();
+                assert_eq!(report.corrupt.len(), 2, "t={threads} run={max_run}");
+                assert_eq!(report.corrupt[0].region, 2);
+                assert_eq!(report.corrupt[1].region, 40);
+                assert_eq!(report.regions_checked, geom.num_regions());
+            }
+        }
+        // Empty list is a clean no-op.
+        let report = audit_regions(&image, &geom, &table, &latches, None, &[], 4, 8).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.regions_checked, 0);
+        assert_eq!(report.latch_brackets, 0);
     }
 
     #[test]
     fn corrupt_ranges_reports_addresses() {
         let (image, geom, table, latches) = setup();
         image.write(DbAddr(65), &[7]).unwrap();
-        let report = audit_all(&image, &geom, &table, &latches, None).unwrap();
+        let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
         let ranges = report.corrupt_ranges();
         assert_eq!(ranges, vec![(DbAddr(64), 64)]);
         let _ = geom;

@@ -288,6 +288,22 @@ impl DeferredSet {
         self.shards.iter().map(|s| s.dirty.lock().len()).sum()
     }
 
+    /// The ids of the currently dirty regions, sorted ascending. The
+    /// snapshot is per-shard (no global freeze): a region pushed while
+    /// this walks may or may not appear, which is fine for the delta-
+    /// certification caller — any delta pushed after the checkpoint's
+    /// quiesce point belongs to the *next* certification, and the audit
+    /// drains each covered shard under the region latch regardless.
+    pub fn dirty_region_ids(&self) -> Vec<RegionId> {
+        let mut ids: Vec<RegionId> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.dirty.lock().keys().copied().collect::<Vec<_>>())
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Raw deltas currently queued (before coalescing).
     #[inline]
     pub fn pending_deltas(&self) -> u64 {
@@ -389,6 +405,18 @@ mod tests {
         assert!(d.push(3, 1), "third distinct region exceeds watermark 2");
         // Coalescing pushes do not deepen the shard.
         assert!(d.push(3, 5));
+    }
+
+    #[test]
+    fn dirty_region_ids_sorted_across_shards() {
+        let d = set(4, 0);
+        for r in [9usize, 1, 30, 9, 17] {
+            d.push(r, 0xff);
+        }
+        assert_eq!(d.dirty_region_ids(), vec![1, 9, 17, 30]);
+        let table = CodewordTable::new_zeroed(64);
+        d.drain_all(&table);
+        assert!(d.dirty_region_ids().is_empty());
     }
 
     #[test]

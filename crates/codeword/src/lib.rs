@@ -42,7 +42,7 @@ pub use audit::{AuditReport, CorruptRegion};
 pub use deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 pub use latch::{LatchMode, LatchTable};
 pub use protection::CodewordProtection;
-pub use region::RegionGeometry;
+pub use region::{RegionGeometry, RegionId};
 pub use table::CodewordTable;
 
 // Re-export the scheme selector for convenience.

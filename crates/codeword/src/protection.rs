@@ -38,6 +38,10 @@ pub struct CodewordProtection {
     /// Worker count for full-image scans (audits, resync, the initial
     /// table fold); ≥ 1. Per-region scans are unaffected.
     audit_threads: usize,
+    /// Longest contiguous run of regions audited under one exclusive
+    /// latch bracket ([`dali_common::DaliConfig::audit_latch_run`]); ≥ 1.
+    /// `1` is the paper's latch-per-region cadence.
+    latch_run: usize,
 }
 
 impl CodewordProtection {
@@ -111,6 +115,7 @@ impl CodewordProtection {
             latches,
             deferred,
             audit_threads,
+            latch_run: 1,
         })
     }
 
@@ -118,6 +123,19 @@ impl CodewordProtection {
     #[inline]
     pub fn audit_threads(&self) -> usize {
         self.audit_threads
+    }
+
+    /// Longest latch-bracketed region run audits take (≥ 1).
+    #[inline]
+    pub fn latch_run(&self) -> usize {
+        self.latch_run
+    }
+
+    /// Set the audit latch-run bound (clamped to ≥ 1). The audit report
+    /// is identical for every bound; only the number of latch brackets a
+    /// sweep takes changes.
+    pub fn set_latch_run(&mut self, run: usize) {
+        self.latch_run = run.max(1);
     }
 
     /// The active scheme.
@@ -349,7 +367,40 @@ impl CodewordProtection {
             &self.latches,
             self.deferred.as_ref(),
             threads,
+            self.latch_run,
         )
+    }
+
+    /// Audit only the given regions (sorted ascending, deduplicated) —
+    /// the delta-certification sweep. Runs with the configured
+    /// [`audit_threads`](Self::audit_threads) and latch-run bound; the
+    /// report is identical to restricting a full sweep to `regions`.
+    /// Non-codeword schemes report an empty, clean pass.
+    pub fn audit_regions(&self, image: &DbImage, regions: &[RegionId]) -> Result<AuditReport> {
+        if !self.scheme.maintains_codewords() {
+            return Ok(AuditReport::default());
+        }
+        audit::audit_regions(
+            image,
+            &self.geom,
+            &self.table,
+            &self.latches,
+            self.deferred.as_ref(),
+            regions,
+            self.audit_threads,
+            self.latch_run,
+        )
+    }
+
+    /// Sorted, deduplicated ids of regions with queued deferred deltas
+    /// (empty for non-deferred schemes). A delta certification must audit
+    /// these in addition to the checkpoint's dirty-page footprint: a
+    /// queued delta means the region's maintained codeword lags the
+    /// image.
+    pub fn deferred_dirty_regions(&self) -> Vec<RegionId> {
+        self.deferred
+            .as_ref()
+            .map_or_else(Vec::new, |set| set.dirty_region_ids())
     }
 
     /// Recompute every codeword from the image (after recovery rebuilds or
@@ -512,9 +563,15 @@ mod tests {
         assert_eq!(prot.deferred_pending_deltas(), 1);
         // Without draining, the table is stale: a raw sweep (audit_all
         // with no dirty set wired in) would flag the region.
-        let raw =
-            crate::audit::audit_all(&image, prot.geometry(), prot.table(), prot.latches(), None)
-                .unwrap();
+        let raw = crate::audit::audit_all(
+            &image,
+            prot.geometry(),
+            prot.table(),
+            prot.latches(),
+            None,
+            1,
+        )
+        .unwrap();
         assert!(!raw.clean(), "queued delta not yet applied");
         prot.drain_deferred();
         assert_eq!(prot.deferred_len(), 0);
@@ -647,6 +704,42 @@ mod tests {
         image.write(DbAddr(40), &[0xaa; 8]).unwrap(); // external repair path
         par.resync(&image).unwrap();
         assert!(par.audit(&image).unwrap().clean());
+    }
+
+    #[test]
+    fn audit_regions_matches_full_sweep_on_subset() {
+        let (image, mut prot) = setup(ProtectionScheme::DataCodeword);
+        prot.set_latch_run(8);
+        assert_eq!(prot.latch_run(), 8);
+        image.write(DbAddr(130), &[0xbe]).unwrap(); // corrupt region 2
+        image.write(DbAddr(3000), &[0xef]).unwrap(); // corrupt region 46
+        let full = prot.audit(&image).unwrap();
+        assert_eq!(full.corrupt.len(), 2);
+        // A subset sweep over the dirty footprint reports exactly the
+        // full sweep's findings restricted to that footprint.
+        let sub = prot.audit_regions(&image, &[1, 2, 3, 46]).unwrap();
+        assert_eq!(sub.corrupt, full.corrupt);
+        assert_eq!(sub.regions_checked, 4);
+        // Regions outside the footprint are not consulted.
+        let miss = prot.audit_regions(&image, &[0, 10, 11]).unwrap();
+        assert!(miss.clean());
+    }
+
+    #[test]
+    fn deferred_dirty_regions_feed_delta_sweeps() {
+        let (image, prot) = setup(ProtectionScheme::DeferredMaintenance);
+        prescribed_update(&image, &prot, DbAddr(100), &[1, 2, 3]); // region 1
+        prescribed_update(&image, &prot, DbAddr(900), &[7, 8]); // region 14
+        let dirty = prot.deferred_dirty_regions();
+        assert_eq!(dirty, vec![1, 14]);
+        // Sweeping exactly the dirty regions absorbs the queued deltas.
+        assert!(prot.audit_regions(&image, &dirty).unwrap().clean());
+        assert_eq!(prot.deferred_len(), 0);
+        assert!(prot.deferred_dirty_regions().is_empty());
+        // Non-codeword schemes: empty dirty set, clean no-op sweeps.
+        let (image, prot) = setup(ProtectionScheme::Baseline);
+        assert!(prot.deferred_dirty_regions().is_empty());
+        assert!(prot.audit_regions(&image, &[0, 1]).unwrap().clean());
     }
 
     #[test]

@@ -208,6 +208,27 @@ pub struct DaliConfig {
     /// protection latch, so normal processing continues around a parallel
     /// audit exactly as around a serial one; `1` keeps scans serial.
     pub audit_threads: usize,
+    /// Checkpoint certification cadence: every `full_certify_every`-th
+    /// checkpoint audits the *entire* database (paper §4.2); the
+    /// checkpoints in between *delta-certify* only the protection regions
+    /// covered by pages dirtied since the image was last written (plus any
+    /// regions queued in the deferred dirty set). `0` = every checkpoint
+    /// is a full sweep — the paper-faithful mode and the default. Delta
+    /// certification cannot see a wild write that lands entirely outside
+    /// the dirty footprint, so a corrupt checkpoint can be certified for
+    /// at most `full_certify_every - 1` intervals before the next full
+    /// sweep catches it (see DESIGN.md); `Audit_SN` only advances on full
+    /// sweeps for the same reason. A failed certification or a restart
+    /// forces the next sweep full regardless of cadence.
+    pub full_certify_every: u32,
+    /// Upper bound on the number of consecutive regions audited under one
+    /// protection-latch bracket during audit/certification sweeps. `1`
+    /// keeps the paper's latch-per-region cadence; larger values amortize
+    /// latch traffic (one `with_span` per run instead of one per region)
+    /// at the cost of holding writers off a longer span — the bound keeps
+    /// writer latency proportional to `audit_latch_run` region folds.
+    /// `0` is treated as `1`.
+    pub audit_latch_run: usize,
     /// Lay allocation bitmaps out adjacent to their table's data instead
     /// of on separate pages. Dali keeps control information *off* the
     /// data pages (the default, `false`); colocating models a page-based
@@ -240,6 +261,8 @@ impl DaliConfig {
             deferred_drain_interval: Some(Duration::from_millis(25)),
             deferred_shard_watermark: 4096,
             audit_threads: 0,
+            full_certify_every: 0,
+            audit_latch_run: 64,
             colocate_control: false,
         }
     }
@@ -332,6 +355,27 @@ impl DaliConfig {
         self
     }
 
+    /// Builder-style certification cadence (`0` = every checkpoint runs a
+    /// full sweep, the paper-faithful default; `n > 0` = delta-certify,
+    /// with a full sweep every `n`-th checkpoint).
+    pub fn with_full_certify_every(mut self, every: u32) -> Self {
+        self.full_certify_every = every;
+        self
+    }
+
+    /// Builder-style audit latch-run bound (`0`/`1` = latch-per-region).
+    pub fn with_audit_latch_run(mut self, run: usize) -> Self {
+        self.audit_latch_run = run;
+        self
+    }
+
+    /// The effective latch-run bound: `audit_latch_run` with `0` treated
+    /// as `1` (latch-per-region).
+    #[inline]
+    pub fn resolved_audit_latch_run(&self) -> usize {
+        self.audit_latch_run.max(1)
+    }
+
     /// The effective audit-scan worker count: `audit_threads`, or one per
     /// available CPU when `0` (no power-of-two rounding — stripes are
     /// contiguous region chunks, not hash buckets).
@@ -369,6 +413,12 @@ impl DaliConfig {
         }
         if self.regions_per_latch == 0 || !self.regions_per_latch.is_power_of_two() {
             return Err("regions_per_latch must be a power of two >= 1".into());
+        }
+        if self.full_certify_every == 1 {
+            // `1` would mean "every checkpoint is the Nth" — identical to
+            // `0` but ambiguous at call sites; reject it so the two
+            // spellings of always-full cannot drift apart.
+            return Err("full_certify_every must be 0 (always full) or >= 2".into());
         }
         Ok(())
     }
@@ -507,6 +557,30 @@ mod tests {
         assert_eq!(c.clone().with_audit_threads(1).resolved_audit_threads(), 1);
         // No power-of-two rounding: stripes are contiguous chunks.
         assert_eq!(c.with_audit_threads(6).resolved_audit_threads(), 6);
+    }
+
+    #[test]
+    fn certify_knobs_default_paper_faithful() {
+        let c = DaliConfig::small("/tmp/x");
+        assert_eq!(c.full_certify_every, 0, "always-full by default");
+        assert_eq!(c.audit_latch_run, 64);
+        assert_eq!(c.resolved_audit_latch_run(), 64);
+        let c = c.with_full_certify_every(8).with_audit_latch_run(0);
+        assert_eq!(c.full_certify_every, 8);
+        assert_eq!(c.resolved_audit_latch_run(), 1, "0 means per-region");
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn certify_every_one_rejected() {
+        let c = DaliConfig::small("/tmp/x").with_full_certify_every(1);
+        assert!(c.validate().is_err());
+        assert_eq!(
+            DaliConfig::small("/tmp/x")
+                .with_full_certify_every(2)
+                .validate(),
+            Ok(())
+        );
     }
 
     #[test]

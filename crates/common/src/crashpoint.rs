@@ -1,0 +1,114 @@
+//! Named crash points for fault-injection tests.
+//!
+//! A crash point marks a spot where a process crash has interesting
+//! durability consequences — e.g. between a `rename` and the directory
+//! fsync that makes it durable. Production code calls
+//! [`check`] at the spot; the call is a no-op (one relaxed atomic load)
+//! unless a test has [`arm`]ed that name, in which case it returns an
+//! error that unwinds the operation mid-flight, leaving exactly the
+//! on-disk state a crash at that instant would leave. The test then
+//! simulates the possible post-crash disk states and drives recovery.
+//!
+//! The registry is process-global (crash points are reached from
+//! arbitrary call depths), so tests using it must not share a process
+//! with other armed tests — keep them in their own integration-test
+//! binary. Trips are one-shot: a point disarms itself when it fires.
+
+use crate::{DaliError, Result};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// Armed points: name → number of checks to let pass before tripping.
+static ARMED: Mutex<Option<HashMap<String, u32>>> = Mutex::new(None);
+/// Fast path: true only while at least one point is armed.
+static ANY_ARMED: AtomicBool = AtomicBool::new(false);
+
+/// Arm `name`: the next [`check`] of that name trips.
+pub fn arm(name: &str) {
+    arm_after(name, 0);
+}
+
+/// Arm `name`, letting `skip` checks pass first (the `skip + 1`-th check
+/// trips). Lets a test target one of several occurrences of the same
+/// point, e.g. the anchor write after the meta write.
+pub fn arm_after(name: &str, skip: u32) {
+    let mut armed = ARMED.lock().unwrap();
+    armed
+        .get_or_insert_with(HashMap::new)
+        .insert(name.to_string(), skip);
+    ANY_ARMED.store(true, Ordering::Release);
+}
+
+/// Disarm every crash point (test cleanup).
+pub fn disarm_all() {
+    let mut armed = ARMED.lock().unwrap();
+    *armed = None;
+    ANY_ARMED.store(false, Ordering::Release);
+}
+
+/// Declare a crash point. Returns an error if `name` is armed (and
+/// disarms it — trips are one-shot); otherwise a no-op.
+pub fn check(name: &str) -> Result<()> {
+    if !ANY_ARMED.load(Ordering::Acquire) {
+        return Ok(());
+    }
+    let mut armed = ARMED.lock().unwrap();
+    let Some(map) = armed.as_mut() else {
+        return Ok(());
+    };
+    match map.get_mut(name) {
+        Some(0) => {
+            map.remove(name);
+            if map.is_empty() {
+                *armed = None;
+                ANY_ARMED.store(false, Ordering::Release);
+            }
+            Err(DaliError::Io(std::io::Error::other(format!(
+                "crash point tripped: {name}"
+            ))))
+        }
+        Some(skip) => {
+            *skip -= 1;
+            Ok(())
+        }
+        None => Ok(()),
+    }
+}
+
+/// Is `name` currently armed? (Diagnostics/assertions in tests.)
+pub fn is_armed(name: &str) -> bool {
+    ARMED
+        .lock()
+        .unwrap()
+        .as_ref()
+        .is_some_and(|m| m.contains_key(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // One test exercises every transition: the registry is process-global
+    // and the crate's unit tests share a process.
+    #[test]
+    fn arm_trip_skip_disarm() {
+        assert!(check("p").is_ok(), "unarmed point is a no-op");
+
+        arm("p");
+        assert!(is_armed("p"));
+        assert!(check("q").is_ok(), "other names unaffected");
+        assert!(check("p").is_err(), "armed point trips");
+        assert!(!is_armed("p"), "trip is one-shot");
+        assert!(check("p").is_ok());
+
+        arm_after("p", 2);
+        assert!(check("p").is_ok());
+        assert!(check("p").is_ok());
+        assert!(check("p").is_err(), "third check trips");
+
+        arm("p");
+        disarm_all();
+        assert!(check("p").is_ok());
+    }
+}

@@ -11,9 +11,12 @@
 //!   selector corresponding to the rows of Table 2 in the paper.
 //! * [`align`] — alignment arithmetic used by codeword maintenance
 //!   (updates are widened to word boundaries so XOR deltas are computable).
+//! * [`crashpoint`] — named crash points fault-injection tests arm to
+//!   stop an operation at a durability-critical instant.
 
 pub mod align;
 pub mod config;
+pub mod crashpoint;
 pub mod error;
 pub mod ids;
 

@@ -135,8 +135,18 @@ impl CkptMeta {
     }
 }
 
-/// Atomically (write-temp + rename) persist `bytes` at `path`.
-fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
+/// Atomically (write-temp + rename + parent-dir fsync) persist `bytes`
+/// at `path`.
+///
+/// The directory sync is not optional: `rename` only updates the
+/// directory entry in memory, so a crash after the rename but before the
+/// directory block reaches disk can resurface the *old* file — for the
+/// anchor, a certified-checkpoint pointer silently rolling back. Either
+/// post-crash state (old or new bytes) is individually sound; the sync
+/// bounds *when* the new state becomes the only possible one. The
+/// `atomic_write.post_rename` crash point sits exactly in that window so
+/// fault-injection tests can exercise both outcomes.
+pub(crate) fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
     let tmp = path.with_extension("tmp");
     {
         let mut f = OpenOptions::new()
@@ -148,6 +158,16 @@ fn atomic_write(path: &Path, bytes: &[u8]) -> Result<()> {
         f.sync_data()?;
     }
     std::fs::rename(&tmp, path)?;
+    dali_common::crashpoint::check("atomic_write.post_rename")?;
+    sync_parent_dir(path)
+}
+
+/// Fsync the directory containing `path`, making a rename into it
+/// durable.
+pub(crate) fn sync_parent_dir(path: &Path) -> Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::File::open(parent)?.sync_all()?;
+    }
     Ok(())
 }
 
@@ -227,21 +247,38 @@ fn write_pages(
 fn sweep_audit(db: &Arc<Db>) -> Result<dali_codeword::AuditReport> {
     let start = std::time::Instant::now();
     let report = db.prot.audit(&db.image)?;
-    let elapsed = start.elapsed().as_nanos() as u64;
+    record_sweep_stats(db, &report, start.elapsed().as_nanos() as u64);
+    Ok(report)
+}
+
+/// Run a delta-certification sweep over exactly `regions` (sorted,
+/// deduplicated), with the same latching, deferred catch-up, and stats
+/// recording as the full sweep. See [`checkpoint`] for how the region
+/// list is derived and why the restriction is sound.
+fn sweep_audit_regions(
+    db: &Arc<Db>,
+    regions: &[dali_codeword::RegionId],
+) -> Result<dali_codeword::AuditReport> {
+    let start = std::time::Instant::now();
+    let report = db.prot.audit_regions(&db.image, regions)?;
+    record_sweep_stats(db, &report, start.elapsed().as_nanos() as u64);
+    Ok(report)
+}
+
+fn record_sweep_stats(db: &Arc<Db>, report: &dali_codeword::AuditReport, elapsed_ns: u64) {
+    use std::sync::atomic::Ordering::Relaxed;
     let region_size = db.prot.geometry().region_size() as u64;
     let stats = &db.stats;
-    stats.regions_audited.fetch_add(
-        report.regions_checked as u64,
-        std::sync::atomic::Ordering::Relaxed,
-    );
-    stats.bytes_folded.fetch_add(
-        report.regions_checked as u64 * region_size,
-        std::sync::atomic::Ordering::Relaxed,
-    );
     stats
-        .audit_ns
-        .fetch_add(elapsed, std::sync::atomic::Ordering::Relaxed);
-    Ok(report)
+        .regions_audited
+        .fetch_add(report.regions_checked as u64, Relaxed);
+    stats
+        .bytes_folded
+        .fetch_add(report.regions_checked as u64 * region_size, Relaxed);
+    stats
+        .audit_latch_brackets
+        .fetch_add(report.latch_brackets as u64, Relaxed);
+    stats.audit_ns.fetch_add(elapsed_ns, Relaxed);
 }
 
 /// Take a checkpoint (paper §2.1 + §4.2 certification). See module docs.
@@ -278,14 +315,53 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
         &dirty_pages,
     )?;
 
-    // ---- certify: audit the whole database ----
+    // ---- certify: audit the database (full sweep or dirty delta) ----
+    //
+    // The paper's §4.2 certification audits every region. With the
+    // `full_certify_every` cadence, intermediate checkpoints instead
+    // delta-certify: they audit only the regions overlapped by the dirty
+    // pages just drained (a safe superset of everything written through
+    // the interface since this image's previous checkpoint — pages are
+    // noted to both images) plus any regions with queued deferred
+    // deltas. Corruption *inside* that footprint is caught exactly as a
+    // full sweep would catch it; a wild write to an untouched region is
+    // invisible to the maintained codewords' drift (nothing legitimate
+    // changed them) and is caught by the next full sweep — at most
+    // `full_certify_every - 1` checkpoints later. Because of that bound,
+    // `Audit_SN` (`last_clean_audit`, the corruption-recovery horizon)
+    // only advances on full sweeps, and the cadence is overridden to
+    // full after recovery or any failed certification (`force_full`).
     if db.config.audit_on_checkpoint && db.config.scheme.maintains_codewords() {
+        let every = db.config.full_certify_every;
+        let full =
+            every == 0 || state.force_full || state.ckpts_since_full >= every.saturating_sub(1);
         let audit_id = db.next_audit_id();
         let begin_lsn = {
             let _q = db.quiesce.read();
             db.syslog.append(&LogRecord::AuditBegin { audit_id })
         };
-        let report = sweep_audit(db)?;
+        let report = if full {
+            sweep_audit(db)?
+        } else {
+            let pages: Vec<PageId> = dirty_pages.iter().map(|(p, _)| *p).collect();
+            let mut regions = dali_wal::pages_to_regions(
+                &pages,
+                db.config.page_size,
+                db.prot.geometry().region_size(),
+            );
+            regions.extend(db.prot.deferred_dirty_regions());
+            regions.sort_unstable();
+            regions.dedup();
+            let skipped = db.prot.geometry().num_regions() - regions.len();
+            db.stats
+                .certify_regions_skipped
+                .fetch_add(skipped as u64, std::sync::atomic::Ordering::Relaxed);
+            sweep_audit_regions(db, &regions)?
+        };
+        db.stats.certify_regions_certified.fetch_add(
+            report.regions_checked as u64,
+            std::sync::atomic::Ordering::Relaxed,
+        );
         let clean = report.clean();
         {
             let _q = db.quiesce.read();
@@ -293,16 +369,30 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
         }
         db.syslog.flush(false)?;
         EngineStats::bump(&db.stats.audits);
+        EngineStats::bump(if full {
+            &db.stats.certify_full
+        } else {
+            &db.stats.certify_delta
+        });
         if !clean {
             // Keep the previous certified checkpoint; the pages we drained
-            // must be re-noted so a future checkpoint rewrites them.
+            // must be re-noted so a future checkpoint rewrites them, and
+            // the next certification must sweep everything — the failed
+            // one proves the footprint no longer bounds the damage.
+            state.force_full = true;
             db.syslog
                 .dirty()
                 .note_all(dirty_pages.iter().map(|(p, _)| *p));
             crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
             return Ok(CheckpointOutcome::CorruptionDetected(report));
         }
-        *db.last_clean_audit.lock() = Some(begin_lsn);
+        if full {
+            state.ckpts_since_full = 0;
+            state.force_full = false;
+            *db.last_clean_audit.lock() = Some(begin_lsn);
+        } else {
+            state.ckpts_since_full += 1;
+        }
     }
 
     // ---- publish ----
@@ -377,6 +467,10 @@ pub fn initial_state() -> CkptState {
     CkptState {
         next_image: 0,
         serial: 0,
+        ckpts_since_full: 0,
+        // A fresh database has never been fully certified: the first
+        // checkpoint sweeps everything before any delta cadence starts.
+        force_full: true,
     }
 }
 

@@ -153,12 +153,13 @@ impl CorruptionMarker {
     }
 }
 
-/// Write the corruption marker for `dir`.
+/// Write the corruption marker for `dir` (durably: the marker is what
+/// tells a restart to run corruption recovery instead of plain restart
+/// recovery, so it must survive a crash that follows the report — see
+/// [`crate::ckpt`]'s `atomic_write` on why the rename alone is not
+/// enough).
 pub fn write_marker(dir: &Path, marker: &CorruptionMarker) -> Result<()> {
-    let tmp = dir.join("corrupt.marker.tmp");
-    std::fs::write(&tmp, marker.encode())?;
-    std::fs::rename(tmp, Db::marker_path(dir))?;
-    Ok(())
+    crate::ckpt::atomic_write(&Db::marker_path(dir), &marker.encode())
 }
 
 /// Read the corruption marker, if present.
@@ -170,10 +171,14 @@ pub fn read_marker(dir: &Path) -> Result<Option<CorruptionMarker>> {
     }
 }
 
-/// Remove the corruption marker (recovery completed).
+/// Remove the corruption marker (recovery completed). The removal is
+/// fsynced like the write: a resurfacing marker would send the next
+/// restart back into corruption recovery it already finished (harmless
+/// but wasteful), while losing one is only possible before recovery
+/// declared itself done.
 pub fn clear_marker(dir: &Path) -> Result<()> {
     match std::fs::remove_file(Db::marker_path(dir)) {
-        Ok(()) => Ok(()),
+        Ok(()) => crate::ckpt::sync_parent_dir(&Db::marker_path(dir)),
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
         Err(e) => Err(e.into()),
     }

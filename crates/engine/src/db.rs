@@ -33,6 +33,18 @@ pub struct EngineStats {
     /// Wall-clock nanoseconds spent inside audit sweeps.
     pub audit_ns: AtomicU64,
     pub checkpoints: AtomicU64,
+    /// Checkpoint certifications that swept every region (full audits).
+    pub certify_full: AtomicU64,
+    /// Checkpoint certifications restricted to the dirty footprint.
+    pub certify_delta: AtomicU64,
+    /// Regions folded by checkpoint certification sweeps (full + delta).
+    pub certify_regions_certified: AtomicU64,
+    /// Regions a delta certification *skipped* relative to a full sweep
+    /// (clean-by-footprint: no dirty page or queued delta touched them).
+    pub certify_regions_skipped: AtomicU64,
+    /// Exclusive latch brackets taken by audit and certification sweeps
+    /// (one per region run; equals regions audited at latch run 1).
+    pub audit_latch_brackets: AtomicU64,
 }
 
 impl EngineStats {
@@ -47,6 +59,15 @@ pub struct CkptState {
     pub next_image: usize,
     /// Monotonic checkpoint serial (anchor tie-break / staleness check).
     pub serial: u64,
+    /// Checkpoints certified since the last *full* sweep of this
+    /// database (delta certifications in a row). Gates the
+    /// [`DaliConfig::full_certify_every`] cadence.
+    pub ckpts_since_full: u32,
+    /// Force the next certification to sweep every region regardless of
+    /// cadence. Set at recovery (the dirty footprint does not describe
+    /// what a crash or a repair touched) and after any certification
+    /// finds corruption.
+    pub force_full: bool,
 }
 
 /// Shared state of one open database.

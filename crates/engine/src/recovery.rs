@@ -112,7 +112,7 @@ pub(crate) fn build_db(
     next_audit: u64,
     last_clean_audit: Option<Lsn>,
 ) -> Result<Arc<Db>> {
-    let prot = CodewordProtection::with_config(
+    let mut prot = CodewordProtection::with_config(
         &image,
         config.scheme,
         config.region_size,
@@ -123,6 +123,7 @@ pub(crate) fn build_db(
         },
         config.resolved_audit_threads(),
     )?;
+    prot.set_latch_run(config.resolved_audit_latch_run());
     let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
     let heaps: Vec<Arc<HeapRuntime>> = catalog
         .iter()
@@ -450,6 +451,11 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         CkptState {
             next_image: 1 - image_idx,
             serial,
+            ckpts_since_full: 0,
+            // The dirty-page footprint describes interface writes, not
+            // what the crash (or the repair we just did) touched: the
+            // first post-recovery certification must sweep everything.
+            force_full: true,
         },
         next_txn,
         next_audit,
@@ -666,6 +672,11 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
         CkptState {
             next_image: 1 - image_idx,
             serial,
+            ckpts_since_full: 0,
+            // The dirty-page footprint describes interface writes, not
+            // what the crash (or the repair we just did) touched: the
+            // first post-recovery certification must sweep everything.
+            force_full: true,
         },
         meta.next_txn.max(max_txn_seen),
         meta.next_audit.max(max_audit_seen),

@@ -17,6 +17,12 @@ use dali_common::{DbAddr, PageId, Result};
 use dali_engine::DaliEngine;
 use rand::Rng;
 
+/// Named crash points (re-exported from `dali-common` so fault-injection
+/// tests need only this crate): arm a point, drive the engine into it,
+/// and the operation errors out mid-flight exactly where a crash would
+/// have cut it.
+pub use dali_common::crashpoint;
+
 /// What happened when a fault was injected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InjectionEffect {

@@ -102,6 +102,12 @@ pub struct ServerStats {
     pub audit_bytes_folded: u64,
     /// Wall-clock nanoseconds spent inside audit sweeps.
     pub audit_ns: u64,
+    /// Regions folded by checkpoint certification sweeps (full + delta).
+    pub certify_regions_certified: u64,
+    /// Regions delta certifications skipped relative to full sweeps.
+    pub certify_regions_skipped: u64,
+    /// Exclusive latch brackets taken by audit/certification sweeps.
+    pub audit_latch_brackets: u64,
 }
 
 /// A server response.
@@ -388,6 +394,9 @@ impl Response {
                     s.audit_regions,
                     s.audit_bytes_folded,
                     s.audit_ns,
+                    s.certify_regions_certified,
+                    s.certify_regions_skipped,
+                    s.audit_latch_brackets,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -443,6 +452,9 @@ impl Response {
                 audit_regions: get_u64(buf)?,
                 audit_bytes_folded: get_u64(buf)?,
                 audit_ns: get_u64(buf)?,
+                certify_regions_certified: get_u64(buf)?,
+                certify_regions_skipped: get_u64(buf)?,
+                audit_latch_brackets: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
             _ => return Err(bad(format!("unknown response tag {tag}"))),
@@ -744,6 +756,9 @@ mod tests {
                 audit_regions: 15,
                 audit_bytes_folded: 16,
                 audit_ns: 17,
+                certify_regions_certified: 18,
+                certify_regions_skipped: 19,
+                audit_latch_brackets: 20,
             }),
             Response::Err(WireError::LockDenied {
                 txn: TxnId(5),

@@ -28,10 +28,11 @@ use crate::protocol::{
 };
 use dali_common::Result;
 use dali_engine::{DaliEngine, TxnHandle};
+use std::collections::HashMap;
 use std::io::BufWriter;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 /// Server-side counters (sessions and orphan rollbacks).
@@ -45,6 +46,13 @@ struct Shared {
     engine: DaliEngine,
     counters: ServerCounters,
     stop: AtomicBool,
+    /// Live connections, by id: a clone of each session's stream, kept so
+    /// shutdown can `Shutdown::Both` sessions parked in `read_frame`
+    /// waiting for a client that will never send (an idle client would
+    /// otherwise hang the accept thread's session join forever). Sessions
+    /// deregister themselves when they finish.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
 }
 
 /// A running server. Dropping (or calling [`shutdown`](Self::shutdown))
@@ -66,6 +74,8 @@ impl DaliServer {
             engine,
             counters: ServerCounters::default(),
             stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::spawn(move || {
@@ -76,11 +86,20 @@ impl DaliServer {
                 }
                 match conn {
                     Ok(stream) => {
+                        // Register a stream clone *before* spawning the
+                        // session: once the stop flag is set, every entry
+                        // in the map is guaranteed to get a Shutdown, and
+                        // no connection accepted afterwards reaches here.
+                        let conn_id = accept_shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(clone) = stream.try_clone() {
+                            accept_shared.conns.lock().unwrap().insert(conn_id, clone);
+                        }
                         let shared = Arc::clone(&accept_shared);
                         sessions.push(std::thread::spawn(move || {
                             shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
                             Session::new(&shared).serve(stream);
                             shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                            shared.conns.lock().unwrap().remove(&conn_id);
                         }));
                     }
                     Err(_) => break,
@@ -110,15 +129,24 @@ impl DaliServer {
         &self.shared.engine
     }
 
-    /// Stop accepting and join the accept loop. Open sessions finish
-    /// serving their current connection (clients see resets only if they
-    /// keep the socket open past shutdown).
+    /// Stop accepting, disconnect open sessions, and join the accept
+    /// loop. Sessions parked in a blocking read (an idle client holding
+    /// its socket open) see EOF and wind down — their open transactions
+    /// are rolled back through the orphan path; clients see the
+    /// connection close.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shared.stop.store(true, Ordering::Release);
+        // Disconnect every live session so none stays parked in
+        // `read_frame` waiting on a quiet client — the accept thread
+        // joins session threads, so one blocked read would hang the
+        // whole shutdown.
+        for (_, conn) in self.shared.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
         // Unblock the accept loop with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept_thread.take() {
@@ -292,6 +320,15 @@ impl<'a> Session<'a> {
             audit_regions: engine.stats().regions_audited.load(Ordering::Relaxed),
             audit_bytes_folded: engine.stats().bytes_folded.load(Ordering::Relaxed),
             audit_ns: engine.stats().audit_ns.load(Ordering::Relaxed),
+            certify_regions_certified: engine
+                .stats()
+                .certify_regions_certified
+                .load(Ordering::Relaxed),
+            certify_regions_skipped: engine
+                .stats()
+                .certify_regions_skipped
+                .load(Ordering::Relaxed),
+            audit_latch_brackets: engine.stats().audit_latch_brackets.load(Ordering::Relaxed),
         }
     }
 }

@@ -66,6 +66,36 @@ impl DualDirtySet {
     }
 }
 
+/// Map a **sorted** dirty-page list (the form [`DualDirtySet::take`]
+/// returns) to the sorted, deduplicated ids of the protection regions
+/// those pages overlap.
+///
+/// This is the dirty-footprint half of delta certification: the dual
+/// dirty set drains a safe superset of the pages changed since the image
+/// was last certified (pages are noted to both images, so a page stays
+/// dirty for an image across the *other* image's checkpoint), and the
+/// regions of that superset are exactly the regions whose codewords a
+/// wild-free store can have changed since then. Both sizes are powers of
+/// two, so one side tiles the other: each page covers
+/// `page_size / region_size` regions (≥ 1), or several pages share one
+/// region when regions are larger than pages.
+pub fn pages_to_regions(pages: &[PageId], page_size: usize, region_size: usize) -> Vec<usize> {
+    debug_assert!(page_size.is_power_of_two() && region_size.is_power_of_two());
+    debug_assert!(pages.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+    let mut regions = Vec::new();
+    for &page in pages {
+        let base = page.0 as usize * page_size;
+        let first = base / region_size;
+        let last = (base + page_size - 1) / region_size;
+        for r in first..=last {
+            if regions.last() != Some(&r) {
+                regions.push(r);
+            }
+        }
+    }
+    regions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +137,32 @@ mod tests {
         let d = DualDirtySet::new();
         d.note_all([PageId(9), PageId(1), PageId(5)]);
         assert_eq!(d.take(0), vec![PageId(1), PageId(5), PageId(9)]);
+    }
+
+    #[test]
+    fn pages_to_regions_small_regions_tile_pages() {
+        // 4096-byte pages, 64-byte regions: 64 regions per page.
+        let regions = pages_to_regions(&[PageId(0), PageId(2)], 4096, 64);
+        assert_eq!(regions.len(), 128);
+        assert_eq!(regions[0], 0);
+        assert_eq!(regions[63], 63);
+        assert_eq!(regions[64], 128);
+        assert_eq!(regions[127], 191);
+        assert!(regions.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn pages_to_regions_large_regions_dedup_pages() {
+        // 4096-byte pages, 8192-byte regions: two pages per region.
+        assert_eq!(
+            pages_to_regions(&[PageId(0), PageId(1), PageId(2)], 4096, 8192),
+            vec![0, 1]
+        );
+        assert_eq!(
+            pages_to_regions(&[PageId(4), PageId(5)], 4096, 8192),
+            vec![2]
+        );
+        assert!(pages_to_regions(&[], 4096, 8192).is_empty());
     }
 
     #[test]

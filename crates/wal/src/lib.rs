@@ -25,7 +25,7 @@ pub mod locallog;
 pub mod record;
 pub mod syslog;
 
-pub use dpt::DualDirtySet;
+pub use dpt::{pages_to_regions, DualDirtySet};
 pub use locallog::{LocalRedoLog, LocalUndoLog, UndoEntry, UndoKind};
 pub use record::{LogRecord, LogicalUndo, OpKind};
 pub use syslog::{SyncStats, SystemLog};

@@ -1,0 +1,110 @@
+//! Checkpoint-anchor durability under a crash between the anchor rename
+//! and the directory fsync that makes the rename durable.
+//!
+//! `atomic_write` renames the new anchor over the old and then fsyncs
+//! the parent directory. A crash inside that window leaves the disk in
+//! one of two states: the rename persisted (new anchor) or it was lost
+//! (old anchor resurfaces). Either way the anchor must name a
+//! *certified* checkpoint and recovery must reproduce every committed
+//! transaction — the older anchor simply replays a longer log tail.
+//!
+//! The `atomic_write.post_rename` crash point is armed to trip on its
+//! second occurrence within the checkpoint (the first is the meta write,
+//! the second the anchor write). The crash-point registry is
+//! process-global, so this test lives alone in its own binary.
+
+use dali_common::{DaliConfig, ProtectionScheme, RecId};
+use dali_engine::DaliEngine;
+use dali_faultinject::crashpoint;
+
+fn tmpdir(name: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "dali-ckdur-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .as_nanos()
+    ));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        if entry.file_type().unwrap().is_file() {
+            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        }
+    }
+}
+
+fn assert_recovers(dir: &std::path::Path, expected: &[(RecId, Vec<u8>)]) {
+    let config = DaliConfig::small(dir).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _outcome) = DaliEngine::open(config).unwrap();
+    // The anchor named a certified image: the database opens and every
+    // committed record is present with its committed value.
+    let txn = db.begin().unwrap();
+    for (rec, val) in expected {
+        assert_eq!(&txn.read_vec(*rec).unwrap(), val, "record {rec:?}");
+    }
+    txn.commit().unwrap();
+    // And the recovered database is itself audit-clean.
+    assert!(db.audit().unwrap().clean());
+}
+
+#[test]
+fn crash_between_anchor_rename_and_dir_sync_recovers_both_ways() {
+    let dir = tmpdir("anchor");
+    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let t = db.create_table("t", 32, 16).unwrap();
+
+    // Transaction 1, then a certified checkpoint (anchor → image 0).
+    let txn = db.begin().unwrap();
+    let r1 = txn.insert(t, &[0x11; 32]).unwrap();
+    txn.commit().unwrap();
+    db.checkpoint().unwrap();
+    let anchor_path = dir.join("cur_ckpt");
+    let old_anchor = std::fs::read(&anchor_path).unwrap();
+
+    // Transaction 2, committed but only checkpointed by the attempt that
+    // crashes mid-anchor-write.
+    let txn = db.begin().unwrap();
+    let r2 = txn.insert(t, &[0x22; 32]).unwrap();
+    txn.commit().unwrap();
+
+    // Arm the second atomic_write of the checkpoint: the meta write
+    // passes, the anchor write trips *after* its rename, *before* the
+    // directory sync.
+    crashpoint::arm_after("atomic_write.post_rename", 1);
+    let err = db.checkpoint().unwrap_err();
+    assert!(
+        err.to_string().contains("crash point tripped"),
+        "unexpected error: {err}"
+    );
+    assert!(!crashpoint::is_armed("atomic_write.post_rename"));
+    db.crash();
+
+    let expected = vec![(r1, vec![0x11; 32]), (r2, vec![0x22; 32])];
+    let new_anchor = std::fs::read(&anchor_path).unwrap();
+    assert_ne!(old_anchor, new_anchor, "the rename itself happened");
+
+    // Post-crash state A: the rename persisted — the anchor names the
+    // just-written (fully certified: pages + audit + meta all preceded
+    // the anchor write) image.
+    let persisted = tmpdir("anchor-persisted");
+    copy_dir(&dir, &persisted);
+    assert_recovers(&persisted, &expected);
+
+    // Post-crash state B: the unsynced rename was lost — the previous
+    // anchor resurfaces and recovery replays the longer log tail from
+    // the older certified checkpoint.
+    let reverted = tmpdir("anchor-reverted");
+    copy_dir(&dir, &reverted);
+    std::fs::write(reverted.join("cur_ckpt"), &old_anchor).unwrap();
+    assert_recovers(&reverted, &expected);
+
+    crashpoint::disarm_all();
+}

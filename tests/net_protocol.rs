@@ -116,6 +116,9 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             audit_regions: d ^ f,
             audit_bytes_folded: a ^ f,
             audit_ns: c ^ f,
+            certify_regions_certified: a ^ d,
+            certify_regions_skipped: b ^ e,
+            audit_latch_brackets: c.wrapping_add(f),
         })
 }
 

@@ -1,0 +1,80 @@
+//! Server shutdown must not hang on idle clients.
+//!
+//! The accept thread joins every session thread, and a session blocks in
+//! `read_frame` while its client is quiet. Shutdown therefore
+//! `Shutdown::Both`s every registered connection so parked reads return
+//! EOF — without that, `shutdown()` with one idle connected client never
+//! returns. The test runs the shutdown on a watchdog thread and fails if
+//! it misses a generous deadline; orphaned open transactions must still
+//! be rolled back through the usual path.
+
+use dali::net::{DaliClient, DaliServer};
+use dali::{DaliConfig, DaliEngine, ProtectionScheme};
+use std::time::{Duration, Instant};
+
+fn server(name: &str) -> (DaliServer, dali_testutil::TempDir) {
+    let dir = dali_testutil::TempDir::new(&format!("net-shutdown-{name}"));
+    let config = DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::DataCodeword);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let server = DaliServer::start(db, "127.0.0.1:0").unwrap();
+    (server, dir)
+}
+
+fn assert_shutdown_within(server: DaliServer, deadline: Duration) {
+    let start = Instant::now();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.shutdown();
+        let _ = tx.send(());
+    });
+    assert!(
+        rx.recv_timeout(deadline).is_ok(),
+        "shutdown hung past {deadline:?} (idle session never unblocked)"
+    );
+    assert!(start.elapsed() < deadline);
+}
+
+#[test]
+fn shutdown_with_idle_connected_client_returns_promptly() {
+    let (server, _dir) = server("idle");
+    let engine = server.engine().clone();
+    // An idle client: connected, proven live, then silent forever.
+    let mut client = DaliClient::connect(server.addr()).unwrap();
+    client.ping().unwrap();
+    assert_shutdown_within(server, Duration::from_secs(10));
+    // The engine survives its server.
+    assert!(engine.audit().unwrap().clean());
+}
+
+#[test]
+fn shutdown_rolls_back_idle_client_open_transaction() {
+    let (server, _dir) = server("orphan");
+    let engine = server.engine().clone();
+    let mut client = DaliClient::connect(server.addr()).unwrap();
+    let table = client.create_table("t", 32, 16).unwrap();
+    client.begin().unwrap();
+    client.insert(table, &[7u8; 32]).unwrap();
+    // Client goes quiet mid-transaction; shutdown must both return and
+    // roll the orphan back, releasing its locks and its insert.
+    assert_shutdown_within(server, Duration::from_secs(10));
+    assert_eq!(engine.record_count(table).unwrap(), 0);
+    assert_eq!(
+        engine
+            .stats()
+            .aborts
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+}
+
+#[test]
+fn shutdown_with_many_idle_clients() {
+    let (server, _dir) = server("many");
+    let mut clients = Vec::new();
+    for _ in 0..8 {
+        let mut c = DaliClient::connect(server.addr()).unwrap();
+        c.ping().unwrap();
+        clients.push(c);
+    }
+    assert_shutdown_within(server, Duration::from_secs(10));
+}

@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn cpu_clock_advances() {
         unsafe {
-            let mut a = timespec { tv_sec: 0, tv_nsec: 0 };
+            let mut a = timespec {
+                tv_sec: 0,
+                tv_nsec: 0,
+            };
             assert_eq!(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut a), 0);
             // Burn a little CPU.
             let mut x = 0u64;
@@ -102,7 +105,10 @@ mod tests {
                 x = x.wrapping_add(i * i);
             }
             std::hint::black_box(x);
-            let mut b = timespec { tv_sec: 0, tv_nsec: 0 };
+            let mut b = timespec {
+                tv_sec: 0,
+                tv_nsec: 0,
+            };
             assert_eq!(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut b), 0);
             assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));
         }

@@ -49,10 +49,7 @@ pub mod test_runner {
 
         pub fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
@@ -416,7 +413,9 @@ pub mod prelude {
     pub use crate::collection::SizeRange;
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Defines `#[test]` functions whose arguments are drawn from
