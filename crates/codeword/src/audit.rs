@@ -321,7 +321,11 @@ pub fn audit_regions(
     let stripe_reports = std::thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
-                let chunk = &regions[t * per..((t + 1) * per).min(n)];
+                // Clamp both ends: with per = ceil(n/threads) the last
+                // stripe's start can land past n (e.g. n=5, threads=4
+                // gives per=2 and t*per=6), which would panic unclamped.
+                let start = (t * per).min(n);
+                let chunk = &regions[start..((t + 1) * per).min(n)];
                 s.spawn(move || -> Result<AuditReport> {
                     let mut report = AuditReport::default();
                     audit_region_list(
@@ -604,6 +608,23 @@ mod tests {
         assert!(report.clean());
         assert_eq!(report.regions_checked, 0);
         assert_eq!(report.latch_brackets, 0);
+    }
+
+    #[test]
+    fn audit_regions_stripes_with_ragged_region_count() {
+        // n=5 regions across 4 threads gives per=ceil(5/4)=2, so the last
+        // stripe's unclamped start (3*2=6) would overrun the list — this
+        // used to panic the delta-certification checkpoint.
+        let (image, geom, table, latches) = setup();
+        image.write(geom.region_base(4), &[1]).unwrap();
+        let subset = [0, 1, 2, 4, 7];
+        for threads in [2, 3, 4, 5, 9] {
+            let report =
+                audit_regions(&image, &geom, &table, &latches, None, &subset, threads, 2).unwrap();
+            assert_eq!(report.corrupt.len(), 1, "{threads} threads");
+            assert_eq!(report.corrupt[0].region, 4);
+            assert_eq!(report.regions_checked, subset.len());
+        }
     }
 
     #[test]

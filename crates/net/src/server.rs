@@ -87,12 +87,25 @@ impl DaliServer {
                 match conn {
                     Ok(stream) => {
                         // Register a stream clone *before* spawning the
-                        // session: once the stop flag is set, every entry
-                        // in the map is guaranteed to get a Shutdown, and
-                        // no connection accepted afterwards reaches here.
+                        // session, then re-check the stop flag: stop()
+                        // sets the flag and *then* sweeps the map, so a
+                        // connection that raced past the flag check above
+                        // either lands in the map before the sweep (and is
+                        // shut down by it) or sees the flag here and is
+                        // shut down inline. A connection whose clone fails
+                        // would be unreachable from stop(), so drop it
+                        // instead of serving it.
                         let conn_id = accept_shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(clone) = stream.try_clone() {
-                            accept_shared.conns.lock().unwrap().insert(conn_id, clone);
+                        match stream.try_clone() {
+                            Ok(clone) => {
+                                accept_shared.conns.lock().unwrap().insert(conn_id, clone);
+                            }
+                            Err(_) => continue,
+                        }
+                        if accept_shared.stop.load(Ordering::Acquire) {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            accept_shared.conns.lock().unwrap().remove(&conn_id);
+                            break;
                         }
                         let shared = Arc::clone(&accept_shared);
                         sessions.push(std::thread::spawn(move || {
