@@ -1,17 +1,19 @@
-//! Audit-scan scaling sweep: the wide XOR-fold kernel and the striped
-//! parallel audit, measured at the three layers they live in.
+//! Audit-scan scaling sweep: the wide fold kernels (XOR parity and
+//! mod-(2^32-1) residue) and the striped parallel audit, measured at the
+//! three layers they live in.
 //!
 //! 1. **Fold kernel bandwidth** — GB/s of the one-word-at-a-time scalar
 //!    fold vs the 32-byte/4-lane wide fold, on both the slice path
-//!    (`codeword::fold`) and the raw-pointer path behind
-//!    `DbImage::xor_fold`, across region-sized buffers.
+//!    (`algebra::fold`) and the raw-pointer path behind
+//!    `DbImage::fold`, across region-sized buffers, per algebra.
 //! 2. **Full-database audit** — `audit_all` wall-clock vs audit worker
 //!    count on a noise-filled image, with the parallel report checked
-//!    byte-identical to the serial one every time.
+//!    byte-identical to the serial one every time, per algebra.
 //! 3. **Checkpoint certification** — end-to-end `checkpoint()` latency
 //!    (certification audit included) on a live TPC-B database, with
 //!    `audit_threads` swept, plus the engine's audit counters
-//!    (audits / regions / bytes folded / audit ns) after the run.
+//!    (audits / regions / bytes folded / audit ns) after the run, per
+//!    algebra — the Table 2-style overhead comparison.
 //!
 //! Usage:
 //!   cargo run -p dali-bench --release --bin audit_scale [-- options]
@@ -22,12 +24,13 @@
 //!   --image-mib N   image size for audit/certification sweeps (default 256)
 //!   --reps N        repetitions per cell, best reported (default 5)
 //!   --ops N         TPC-B ops before each certification (default 500)
+//!   --algebra A     xor | residue | both (default both)
 //!   --quick         CI smoke mode: tiny sizes, seconds total
 
 use dali_bench::scratch_dir;
-use dali_codeword::codeword::{fold, fold_scalar};
+use dali_codeword::algebra;
 use dali_codeword::{CodewordProtection, DeferredConfig};
-use dali_common::{DaliConfig, DbAddr, PageId, ProtectionScheme};
+use dali_common::{CodewordAlgebraKind, DaliConfig, DbAddr, PageId, ProtectionScheme};
 use dali_engine::{CheckpointOutcome, DaliEngine};
 use dali_mem::DbImage;
 use dali_workload::{TpcbConfig, TpcbDriver};
@@ -35,7 +38,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const USAGE: &str = "usage: audit_scale [--sizes LIST] [--threads LIST] [--image-mib N] \
-                     [--reps N] [--ops N] [--quick]";
+                     [--reps N] [--ops N] [--algebra xor|residue|both] [--quick]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -93,8 +96,16 @@ fn noisy_image(mib: usize) -> DbImage {
     image
 }
 
-fn fold_bandwidth(sizes_kib: &[usize], reps: usize, target_bytes: usize) {
-    println!("### Fold kernel bandwidth (GB/s, best of {reps})\n");
+fn fold_bandwidth(
+    kind: CodewordAlgebraKind,
+    sizes_kib: &[usize],
+    reps: usize,
+    target_bytes: usize,
+) {
+    println!(
+        "### Fold kernel bandwidth, {} algebra (GB/s, best of {reps})\n",
+        kind.label()
+    );
     println!(
         "| buffer | scalar slice | wide slice | speedup | scalar image | wide image | speedup |"
     );
@@ -106,13 +117,13 @@ fn fold_bandwidth(sizes_kib: &[usize], reps: usize, target_bytes: usize) {
         image.write(DbAddr(0), &buf).expect("fill image");
         let iters = (target_bytes / len).max(1);
         let gbs = |secs: f64| (len * iters) as f64 / secs / 1e9;
-        let scalar = gbs(time_best(reps, iters, || fold_scalar(&buf)));
-        let wide = gbs(time_best(reps, iters, || fold(&buf)));
+        let scalar = gbs(time_best(reps, iters, || algebra::fold_scalar(kind, &buf)));
+        let wide = gbs(time_best(reps, iters, || algebra::fold(kind, &buf)));
         let img_scalar = gbs(time_best(reps, iters, || {
-            image.xor_fold_scalar(DbAddr(0), len).unwrap()
+            image.fold_scalar(kind, DbAddr(0), len).unwrap()
         }));
         let img_wide = gbs(time_best(reps, iters, || {
-            image.xor_fold(DbAddr(0), len).unwrap()
+            image.fold(kind, DbAddr(0), len).unwrap()
         }));
         println!(
             "| {} | {scalar:.2} | {wide:.2} | {:.2}x | {img_scalar:.2} | {img_wide:.2} | {:.2}x |",
@@ -124,14 +135,23 @@ fn fold_bandwidth(sizes_kib: &[usize], reps: usize, target_bytes: usize) {
     println!();
 }
 
-fn audit_sweep(threads: &[usize], image_mib: usize, reps: usize) {
+fn audit_sweep(kind: CodewordAlgebraKind, threads: &[usize], image_mib: usize, reps: usize) {
     println!(
-        "### Full-database audit: {image_mib} MiB image, wall-clock vs workers \
-         (best of {reps})\n"
+        "### Full-database audit, {} algebra: {image_mib} MiB image, wall-clock vs workers \
+         (best of {reps})\n",
+        kind.label()
     );
     let image = noisy_image(image_mib);
-    let prot = CodewordProtection::new(&image, ProtectionScheme::DataCodeword, 4096, 8)
-        .expect("build protection");
+    let prot = CodewordProtection::with_config(
+        &image,
+        ProtectionScheme::DataCodeword,
+        4096,
+        8,
+        DeferredConfig::default(),
+        1,
+        kind,
+    )
+    .expect("build protection");
     let serial = prot.audit_with_threads(&image, 1).expect("serial audit");
     assert!(serial.clean(), "noise image must audit clean");
     println!("| workers | audit ms | speedup | scan GB/s |");
@@ -171,12 +191,19 @@ fn audit_sweep(threads: &[usize], image_mib: usize, reps: usize) {
 /// is regions folded per exclusive latch bracket (1.0 = the paper's
 /// latch-per-region cadence; the full sweep approaches the latch-run
 /// bound).
-fn delta_sweep(image_mib: usize, reps: usize, audit_threads: usize, latch_run: usize) {
+fn delta_sweep(
+    kind: CodewordAlgebraKind,
+    image_mib: usize,
+    reps: usize,
+    audit_threads: usize,
+    latch_run: usize,
+) {
     const PAGE: usize = 8192;
     const REGION: usize = 4096;
     println!(
-        "### Delta certification: {image_mib} MiB image, latency vs dirty fraction \
-         ({audit_threads} workers, latch run {latch_run}, best of {reps})\n"
+        "### Delta certification, {} algebra: {image_mib} MiB image, latency vs dirty \
+         fraction ({audit_threads} workers, latch run {latch_run}, best of {reps})\n",
+        kind.label()
     );
     let image = noisy_image(image_mib);
     let mut prot = CodewordProtection::with_config(
@@ -186,6 +213,7 @@ fn delta_sweep(image_mib: usize, reps: usize, audit_threads: usize, latch_run: u
         8,
         DeferredConfig::default(),
         audit_threads,
+        kind,
     )
     .expect("build protection");
     prot.set_latch_run(latch_run);
@@ -238,10 +266,17 @@ fn delta_sweep(image_mib: usize, reps: usize, audit_threads: usize, latch_run: u
     println!();
 }
 
-fn certification_sweep(threads: &[usize], image_mib: usize, ops: usize, reps: usize) {
+fn certification_sweep(
+    kind: CodewordAlgebraKind,
+    threads: &[usize],
+    image_mib: usize,
+    ops: usize,
+    reps: usize,
+) {
     println!(
-        "### Checkpoint certification: {image_mib} MiB database, {ops} TPC-B ops, \
-         latency vs audit_threads (best of {reps})\n"
+        "### Checkpoint certification, {} algebra: {image_mib} MiB database, {ops} TPC-B \
+         ops, latency vs audit_threads (best of {reps})\n",
+        kind.label()
     );
     println!(
         "| audit_threads | checkpoint ms | speedup | audits | regions | GiB folded | audit ms |"
@@ -250,8 +285,9 @@ fn certification_sweep(threads: &[usize], image_mib: usize, ops: usize, reps: us
     let wl = TpcbConfig::small();
     let mut base_ms = 0.0;
     for &t in threads {
-        let mut config = DaliConfig::small(scratch_dir(&format!("auditscale-{t}")))
+        let mut config = DaliConfig::small(scratch_dir(&format!("auditscale-{}-{t}", kind.tag())))
             .with_scheme(ProtectionScheme::DataCodeword)
+            .with_codeword_algebra(kind)
             .with_audit_threads(t);
         config.db_pages = wl
             .required_pages(config.page_size)
@@ -292,6 +328,7 @@ fn main() {
     let mut image_mib: usize = 256;
     let mut reps: usize = 5;
     let mut ops: usize = 500;
+    let mut kinds: Vec<CodewordAlgebraKind> = CodewordAlgebraKind::ALL.to_vec();
     let mut quick = false;
 
     let mut args = std::env::args().skip(1);
@@ -317,6 +354,14 @@ fn main() {
                 ops = value(&mut args, "--ops")
                     .parse()
                     .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--algebra" => {
+                kinds = match value(&mut args, "--algebra").as_str() {
+                    "xor" => vec![CodewordAlgebraKind::XorFold],
+                    "residue" => vec![CodewordAlgebraKind::Residue],
+                    "both" => CodewordAlgebraKind::ALL.to_vec(),
+                    _ => fail("--algebra must be xor, residue, or both"),
+                };
             }
             "--quick" => quick = true,
             "--help" | "-h" => {
@@ -344,18 +389,21 @@ fn main() {
     // Enough traffic per measurement that timer resolution is noise.
     let target_bytes = if quick { 8 << 20 } else { 256 << 20 };
 
-    println!("Audit scaling: wide fold kernel and striped parallel scans");
+    println!("Audit scaling: wide fold kernels and striped parallel scans");
     println!(
         "(host CPUs: {})\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
-    fold_bandwidth(&sizes_kib, reps, target_bytes);
-    audit_sweep(&threads, image_mib, reps);
-    delta_sweep(
-        image_mib,
-        reps,
-        threads.iter().copied().max().unwrap(),
-        DaliConfig::small("unused").audit_latch_run,
-    );
-    certification_sweep(&threads, image_mib, ops, reps);
+    for &kind in &kinds {
+        fold_bandwidth(kind, &sizes_kib, reps, target_bytes);
+        audit_sweep(kind, &threads, image_mib, reps);
+        delta_sweep(
+            kind,
+            image_mib,
+            reps,
+            threads.iter().copied().max().unwrap(),
+            DaliConfig::small("unused").audit_latch_run,
+        );
+        certification_sweep(kind, &threads, image_mib, ops, reps);
+    }
 }

@@ -16,6 +16,7 @@
 //!   --stats        print §5.3-style mprotect statistics
 //!   --row LABEL    run only rows whose label contains LABEL (plus Baseline)
 //!   --deferred     append the Deferred Maintenance extension row
+//!   --algebra A    codeword algebra: xor (default, the paper's) or residue
 //!
 //! Set DALI_BENCH_VERBOSE=1 to print every repetition.
 
@@ -56,6 +57,16 @@ fn main() {
     };
     if has("--deferred") {
         specs.push(dali_bench::deferred_spec());
+    }
+    match get("--algebra").as_deref() {
+        None | Some("xor") => {}
+        Some("residue") => {
+            specs = specs
+                .into_iter()
+                .map(|s| s.with_algebra(dali_common::CodewordAlgebraKind::Residue))
+                .collect();
+        }
+        Some(other) => panic!("--algebra must be xor or residue, got {other}"),
     }
 
     println!("Table 2. Cost of Corruption Protection");

@@ -27,7 +27,7 @@
 //! * each run's ~150 MB scratch directory is deleted immediately so
 //!   writeback of one run does not tax the next.
 
-use dali_common::{DaliConfig, ProtectionScheme};
+use dali_common::{CodewordAlgebraKind, DaliConfig, ProtectionScheme};
 use dali_engine::DaliEngine;
 use dali_workload::{TpcbConfig, TpcbDriver};
 use std::path::PathBuf;
@@ -37,6 +37,10 @@ use std::path::PathBuf;
 pub struct SchemeSpec {
     pub scheme: ProtectionScheme,
     pub region_size: usize,
+    /// Codeword algebra for the codeword-bearing schemes (the paper's
+    /// Table 2 is the XOR fold; `table2 --algebra residue` re-runs the
+    /// table under the mod-(2^32−1) residue code).
+    pub algebra: CodewordAlgebraKind,
     /// The paper's measured ops/sec for this row (UltraSPARC, 1998).
     pub paper_ops_per_sec: f64,
     /// The paper's reported slowdown for this row.
@@ -44,9 +48,20 @@ pub struct SchemeSpec {
 }
 
 impl SchemeSpec {
-    /// Row label as printed in the paper.
+    /// Row label as printed in the paper (suffixed when running under a
+    /// non-default algebra).
     pub fn label(&self) -> String {
-        self.scheme.label(self.region_size)
+        let base = self.scheme.label(self.region_size);
+        match self.algebra {
+            CodewordAlgebraKind::XorFold => base,
+            other => format!("{base} [{}]", other.label()),
+        }
+    }
+
+    /// This spec under a different codeword algebra.
+    pub fn with_algebra(mut self, algebra: CodewordAlgebraKind) -> SchemeSpec {
+        self.algebra = algebra;
+        self
     }
 }
 
@@ -55,48 +70,56 @@ pub fn table2_specs() -> Vec<SchemeSpec> {
     use ProtectionScheme::*;
     vec![
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: Baseline,
             region_size: 64,
             paper_ops_per_sec: 417.0,
             paper_pct_slower: 0.0,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: DataCodeword,
             region_size: 64,
             paper_ops_per_sec: 380.0,
             paper_pct_slower: 8.5,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: ReadPrecheck,
             region_size: 64,
             paper_ops_per_sec: 366.0,
             paper_pct_slower: 12.2,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: ReadLogging,
             region_size: 64,
             paper_ops_per_sec: 345.0,
             paper_pct_slower: 17.1,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: CwReadLogging,
             region_size: 64,
             paper_ops_per_sec: 323.0,
             paper_pct_slower: 22.4,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: ReadPrecheck,
             region_size: 512,
             paper_ops_per_sec: 311.0,
             paper_pct_slower: 25.4,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: MemoryProtection,
             region_size: 64,
             paper_ops_per_sec: 257.0,
             paper_pct_slower: 38.2,
         },
         SchemeSpec {
+            algebra: CodewordAlgebraKind::XorFold,
             scheme: ReadPrecheck,
             region_size: 8192,
             paper_ops_per_sec: 115.0,
@@ -153,7 +176,9 @@ pub fn scratch_dir(tag: &str) -> PathBuf {
 
 /// Build an engine + populated TPC-B driver for one scheme row.
 pub fn setup_engine(spec: &SchemeSpec, wl: &TpcbConfig, tag: &str) -> (DaliEngine, TpcbDriver) {
-    let mut config = DaliConfig::small(scratch_dir(tag)).with_scheme(spec.scheme);
+    let mut config = DaliConfig::small(scratch_dir(tag))
+        .with_scheme(spec.scheme)
+        .with_codeword_algebra(spec.algebra);
     config.region_size = spec.region_size;
     config.db_pages = wl.required_pages(config.page_size);
     // Audits run at explicit checkpoints; keep certification on (it is
@@ -284,6 +309,7 @@ pub fn build_rows(specs: Vec<SchemeSpec>, measurements: Vec<RowMeasurement>) -> 
 /// §4.3 but not measured there) — codeword deltas queue until audits.
 pub fn deferred_spec() -> SchemeSpec {
     SchemeSpec {
+        algebra: CodewordAlgebraKind::XorFold,
         scheme: ProtectionScheme::DeferredMaintenance,
         region_size: 64,
         paper_ops_per_sec: f64::NAN,

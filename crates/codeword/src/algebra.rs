@@ -1,0 +1,470 @@
+//! Pluggable codeword algebras: the paper's XOR fold and a mod-(2^32−1)
+//! residue code.
+//!
+//! The paper fixes the codeword to the bitwise XOR of a region's 32-bit
+//! words (§3). Everything the protection machinery actually relies on is
+//! weaker than "XOR": it needs a commutative group on `u32` codewords —
+//!
+//! * **Composition** — `fold(a ++ b) = combine(fold(a), fold(b))`.
+//! * **Update delta** — replacing sub-range `old` with `new` moves the
+//!   region codeword by `delta = combine(fold(new), neg(fold(old)))`, and
+//!   `combine(codeword, delta)` equals recompute-from-image.
+//! * **Coalescing** — deltas combine associatively and commutatively, so
+//!   the sharded deferred dirty set can merge any number of them in any
+//!   order (and concurrent updaters can publish them without ordering).
+//!
+//! [`CodewordAlgebra`] captures exactly that contract. Two
+//! implementations:
+//!
+//! * [`XorFoldAlgebra`] — the paper's parity fold ([`crate::codeword`]).
+//!   Deltas are self-inverse (`neg` is the identity function); the fold is
+//!   blind to an even number of identical flips in one bit column.
+//! * [`ResidueAlgebra`] — the sum of the region's words modulo
+//!   `2^32 − 1`, canonical in `[0, 2^32 − 1)`. A same-direction pair of
+//!   identical bit-column flips perturbs the sum by `2^(k+1) ≠ 0`, so the
+//!   paired-flip class the XOR fold misses is detected — including flips
+//!   of bit 31, because `2^32 ≡ 1 (mod 2^32 − 1)` (the end-around carry).
+//!   Opposite-direction pairs (`+2^k` and `−2^k`) still cancel; see
+//!   DESIGN.md for the full blind-spot accounting.
+//!
+//! The hot paths dispatch on [`CodewordAlgebraKind`] (a `Copy` enum in
+//! `dali-common`, stored in config and checkpoint metadata) through the
+//! free functions in this module; the trait objects returned by
+//! [`algebra_for`] serve callers that want to hold an algebra as a value.
+
+use crate::codeword::{self, load32, load64, BLOCK};
+use dali_common::align::WORD;
+pub use dali_common::CodewordAlgebraKind;
+use dali_common::RESIDUE_MODULUS;
+
+/// A codeword algebra: a commutative group on `u32` codewords together
+/// with fold kernels mapping byte ranges into it. See the module docs for
+/// the laws; both implementations are property-tested against them.
+pub trait CodewordAlgebra: Send + Sync {
+    /// The kind selector this implementation corresponds to.
+    fn kind(&self) -> CodewordAlgebraKind;
+
+    /// The codeword of an empty region (the group's neutral element).
+    #[inline]
+    fn identity(&self) -> u32 {
+        0
+    }
+
+    /// The group operation: combine two codewords or deltas.
+    fn combine(&self, a: u32, b: u32) -> u32;
+
+    /// The inverse under [`combine`](Self::combine).
+    fn neg(&self, a: u32) -> u32;
+
+    /// Fold a word-aligned byte slice into a codeword.
+    ///
+    /// # Panics
+    ///
+    /// Panics — in all build profiles — if `bytes.len()` is not a multiple
+    /// of 4, matching [`crate::codeword::fold`]'s contract.
+    fn fold(&self, bytes: &[u8]) -> u32;
+
+    /// [`fold`](Self::fold) through the one-word-at-a-time reference
+    /// kernel (for benches and kernel-equivalence suites).
+    fn fold_scalar(&self, bytes: &[u8]) -> u32;
+
+    /// Fold an arbitrary-length slice, zero-padding the trailing partial
+    /// word (value-checksum semantics; accepts any length).
+    fn fold_padded(&self, bytes: &[u8]) -> u32;
+
+    /// The *directed* delta produced by overwriting `old` with `new`
+    /// (equal word-aligned lengths): `combine(fold-before, delta)` equals
+    /// fold-after. Rolling an update back composes `neg(delta)` —
+    /// equivalently the delta computed with the roles swapped.
+    fn delta(&self, old: &[u8], new: &[u8]) -> u32;
+}
+
+/// The paper's XOR-parity codeword (§3), folding through the wide
+/// 4×`u64`-lane kernel in [`crate::codeword`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct XorFoldAlgebra;
+
+impl CodewordAlgebra for XorFoldAlgebra {
+    #[inline]
+    fn kind(&self) -> CodewordAlgebraKind {
+        CodewordAlgebraKind::XorFold
+    }
+
+    #[inline]
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        a ^ b
+    }
+
+    #[inline]
+    fn neg(&self, a: u32) -> u32 {
+        a
+    }
+
+    #[inline]
+    fn fold(&self, bytes: &[u8]) -> u32 {
+        codeword::fold(bytes)
+    }
+
+    #[inline]
+    fn fold_scalar(&self, bytes: &[u8]) -> u32 {
+        codeword::fold_scalar(bytes)
+    }
+
+    #[inline]
+    fn fold_padded(&self, bytes: &[u8]) -> u32 {
+        codeword::fold_padded(bytes)
+    }
+
+    #[inline]
+    fn delta(&self, old: &[u8], new: &[u8]) -> u32 {
+        codeword::delta(old, new)
+    }
+}
+
+/// The mod-(2^32−1) residue codeword: the sum of the region's 32-bit
+/// little-endian words reduced modulo [`RESIDUE_MODULUS`], canonical in
+/// `[0, 2^32 − 1)`.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct ResidueAlgebra;
+
+impl CodewordAlgebra for ResidueAlgebra {
+    #[inline]
+    fn kind(&self) -> CodewordAlgebraKind {
+        CodewordAlgebraKind::Residue
+    }
+
+    #[inline]
+    fn combine(&self, a: u32, b: u32) -> u32 {
+        CodewordAlgebraKind::Residue.combine(a, b)
+    }
+
+    #[inline]
+    fn neg(&self, a: u32) -> u32 {
+        CodewordAlgebraKind::Residue.neg(a)
+    }
+
+    #[inline]
+    fn fold(&self, bytes: &[u8]) -> u32 {
+        residue_fold(bytes)
+    }
+
+    #[inline]
+    fn fold_scalar(&self, bytes: &[u8]) -> u32 {
+        residue_fold_scalar(bytes)
+    }
+
+    #[inline]
+    fn fold_padded(&self, bytes: &[u8]) -> u32 {
+        residue_fold_padded(bytes)
+    }
+
+    #[inline]
+    fn delta(&self, old: &[u8], new: &[u8]) -> u32 {
+        assert_eq!(old.len(), new.len(), "delta over unequal lengths");
+        CodewordAlgebraKind::Residue.delta_of_folds(residue_fold(old), residue_fold(new))
+    }
+}
+
+static XOR_FOLD: XorFoldAlgebra = XorFoldAlgebra;
+static RESIDUE: ResidueAlgebra = ResidueAlgebra;
+
+/// The algebra implementation for a kind selector.
+#[inline]
+pub fn algebra_for(kind: CodewordAlgebraKind) -> &'static dyn CodewordAlgebra {
+    match kind {
+        CodewordAlgebraKind::XorFold => &XOR_FOLD,
+        CodewordAlgebraKind::Residue => &RESIDUE,
+    }
+}
+
+/// Fold a word-aligned slice under `kind` (enum dispatch for hot paths).
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 4.
+#[inline]
+pub fn fold(kind: CodewordAlgebraKind, bytes: &[u8]) -> u32 {
+    match kind {
+        CodewordAlgebraKind::XorFold => codeword::fold(bytes),
+        CodewordAlgebraKind::Residue => residue_fold(bytes),
+    }
+}
+
+/// [`fold`] through the one-word-at-a-time reference kernels.
+#[inline]
+pub fn fold_scalar(kind: CodewordAlgebraKind, bytes: &[u8]) -> u32 {
+    match kind {
+        CodewordAlgebraKind::XorFold => codeword::fold_scalar(bytes),
+        CodewordAlgebraKind::Residue => residue_fold_scalar(bytes),
+    }
+}
+
+/// Fold any-length `bytes` under `kind`, zero-padding the partial word.
+#[inline]
+pub fn fold_padded(kind: CodewordAlgebraKind, bytes: &[u8]) -> u32 {
+    match kind {
+        CodewordAlgebraKind::XorFold => codeword::fold_padded(bytes),
+        CodewordAlgebraKind::Residue => residue_fold_padded(bytes),
+    }
+}
+
+/// The directed delta taking fold(`old`) to fold(`new`) under `kind`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or are not a multiple of 4.
+#[inline]
+pub fn delta(kind: CodewordAlgebraKind, old: &[u8], new: &[u8]) -> u32 {
+    match kind {
+        CodewordAlgebraKind::XorFold => codeword::delta(old, new),
+        CodewordAlgebraKind::Residue => {
+            assert_eq!(old.len(), new.len(), "delta over unequal lengths");
+            kind.delta_of_folds(residue_fold(old), residue_fold(new))
+        }
+    }
+}
+
+/// Sum the 32-bit little-endian words of a word-multiple slice into a
+/// `u64`. Addition carries across bit columns, so unlike the XOR kernel a
+/// `u64` lane cannot carry two words side by side — each load is split
+/// into its halves (`v & MASK` + `v >> 32`) before accumulating; four
+/// independent lanes still break the serial dependency chain. The caller
+/// bounds the slice so lanes stay far from overflow.
+#[inline]
+fn residue_sum_words(bytes: &[u8]) -> u64 {
+    debug_assert!(bytes.len().is_multiple_of(WORD));
+    const MASK: u64 = 0xFFFF_FFFF;
+    let mut lanes = [0u64; 4];
+    let mut blocks = bytes.chunks_exact(BLOCK);
+    for b in &mut blocks {
+        let v0 = load64(&b[0..8]);
+        let v1 = load64(&b[8..16]);
+        let v2 = load64(&b[16..24]);
+        let v3 = load64(&b[24..32]);
+        lanes[0] += (v0 & MASK) + (v0 >> 32);
+        lanes[1] += (v1 & MASK) + (v1 >> 32);
+        lanes[2] += (v2 & MASK) + (v2 >> 32);
+        lanes[3] += (v3 & MASK) + (v3 >> 32);
+    }
+    let tail = blocks.remainder();
+    let mut words2 = tail.chunks_exact(8);
+    let mut sum = lanes[0] + lanes[1] + lanes[2] + lanes[3];
+    for w in &mut words2 {
+        let v = load64(w);
+        sum += (v & MASK) + (v >> 32);
+    }
+    let rem = words2.remainder();
+    if !rem.is_empty() {
+        sum += load32(rem) as u64;
+    }
+    sum
+}
+
+/// Residue-fold a word-aligned byte slice: the sum of its words modulo
+/// `2^32 − 1`, canonical in `[0, 2^32 − 1)`.
+///
+/// # Panics
+///
+/// Panics if `bytes.len()` is not a multiple of 4.
+#[inline]
+pub fn residue_fold(bytes: &[u8]) -> u32 {
+    assert!(
+        bytes.len().is_multiple_of(WORD),
+        "fold over unaligned length {}",
+        bytes.len()
+    );
+    // 1 GiB chunks keep the wide kernel's lane accumulators below 2^59
+    // regardless of total slice length.
+    const CHUNK: usize = 1 << 30;
+    let mut acc: u64 = 0;
+    for chunk in bytes.chunks(CHUNK) {
+        acc = (acc + residue_sum_words(chunk) % RESIDUE_MODULUS) % RESIDUE_MODULUS;
+    }
+    acc as u32
+}
+
+/// One-word-at-a-time scalar reference for [`residue_fold`]. Same
+/// contract and result.
+#[inline]
+pub fn residue_fold_scalar(bytes: &[u8]) -> u32 {
+    assert!(
+        bytes.len().is_multiple_of(WORD),
+        "fold over unaligned length {}",
+        bytes.len()
+    );
+    let mut sum: u64 = 0;
+    for chunk in bytes.chunks_exact(WORD) {
+        sum += load32(chunk) as u64;
+        if sum >= u64::MAX - u32::MAX as u64 {
+            sum %= RESIDUE_MODULUS; // unreachable below ~16 GiB
+        }
+    }
+    (sum % RESIDUE_MODULUS) as u32
+}
+
+/// Residue-fold an arbitrary-length slice, zero-padding the trailing
+/// partial word (accepts any length, like [`crate::codeword::fold_padded`]).
+#[inline]
+pub fn residue_fold_padded(bytes: &[u8]) -> u32 {
+    let full = bytes.len() / WORD * WORD;
+    let mut acc = residue_fold(&bytes[..full]) as u64;
+    let rem = &bytes[full..];
+    if !rem.is_empty() {
+        let mut w = [0u8; WORD];
+        w[..rem.len()].copy_from_slice(rem);
+        acc = (acc + u32::from_le_bytes(w) as u64) % RESIDUE_MODULUS;
+    }
+    acc as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Independent byte-at-a-time reference: sum each byte into its LE
+    /// word column, reduce at the end. Zero-pad semantics.
+    fn ref_residue(bytes: &[u8]) -> u32 {
+        let mut sum: u128 = 0;
+        for (i, &b) in bytes.iter().enumerate() {
+            sum += (b as u128) << (8 * (i & 3));
+        }
+        (sum % RESIDUE_MODULUS as u128) as u32
+    }
+
+    fn patterned(len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| (i as u8).wrapping_mul(37).wrapping_add(11))
+            .collect()
+    }
+
+    #[test]
+    fn residue_fold_zeros_and_single_word() {
+        assert_eq!(residue_fold(&[]), 0);
+        assert_eq!(residue_fold(&[0u8; 64]), 0);
+        assert_eq!(residue_fold(&0xdead_beefu32.to_le_bytes()), 0xdead_beef);
+        // The all-ones word is congruent to zero: canonical fold is 0.
+        assert_eq!(residue_fold(&0xffff_ffffu32.to_le_bytes()), 0);
+    }
+
+    #[test]
+    fn residue_wide_matches_reference_every_aligned_length() {
+        for len in (0..=4 * BLOCK + WORD).step_by(WORD) {
+            let buf = patterned(len);
+            assert_eq!(residue_fold(&buf), ref_residue(&buf), "len {len}");
+            assert_eq!(
+                residue_fold_scalar(&buf),
+                ref_residue(&buf),
+                "scalar len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn residue_fold_padded_matches_reference_every_length() {
+        for len in 0..=2 * BLOCK + 5 {
+            let buf = patterned(len);
+            assert_eq!(residue_fold_padded(&buf), ref_residue(&buf), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fold over unaligned length")]
+    fn residue_fold_rejects_unaligned_length() {
+        residue_fold(&[1u8, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn trait_objects_agree_with_enum_dispatch() {
+        let buf = patterned(100);
+        let aligned = &buf[..96];
+        for kind in CodewordAlgebraKind::ALL {
+            let alg = algebra_for(kind);
+            assert_eq!(alg.kind(), kind);
+            assert_eq!(alg.fold(aligned), fold(kind, aligned));
+            assert_eq!(alg.fold_scalar(aligned), fold_scalar(kind, aligned));
+            assert_eq!(alg.fold_padded(&buf), fold_padded(kind, &buf));
+            let new: Vec<u8> = aligned.iter().map(|b| b.wrapping_add(3)).collect();
+            assert_eq!(alg.delta(aligned, &new), delta(kind, aligned, &new));
+            assert_eq!(alg.identity(), kind.identity());
+            assert_eq!(alg.combine(7, 9), kind.combine(7, 9));
+            assert_eq!(alg.neg(7), kind.neg(7));
+        }
+    }
+
+    #[test]
+    fn directed_delta_composes_for_both_algebras() {
+        let old = patterned(64);
+        let new: Vec<u8> = old
+            .iter()
+            .map(|b| b.wrapping_mul(5).wrapping_add(1))
+            .collect();
+        for kind in CodewordAlgebraKind::ALL {
+            let before = fold(kind, &old);
+            let after = fold(kind, &new);
+            let d = delta(kind, &old, &new);
+            assert_eq!(kind.combine(before, d), after, "{kind:?} forward");
+            let back = delta(kind, &new, &old);
+            assert_eq!(kind.combine(after, back), before, "{kind:?} rollback");
+            assert_eq!(back, kind.neg(d), "{kind:?} reverse is neg");
+        }
+    }
+
+    #[test]
+    fn residue_sees_the_xor_blind_pair() {
+        // Same-direction paired flip in one column: XOR delta cancels,
+        // residue moves by 2^(k+1).
+        let mut buf = patterned(64);
+        let before_x = fold(CodewordAlgebraKind::XorFold, &buf);
+        let before_r = fold(CodewordAlgebraKind::Residue, &buf);
+        // Clear bit 5 of words 3 and 7, then set both (same direction).
+        for w in [3usize, 7] {
+            buf[w * 4] &= !(1 << 5);
+        }
+        let cleared_x = fold(CodewordAlgebraKind::XorFold, &buf);
+        let cleared_r = fold(CodewordAlgebraKind::Residue, &buf);
+        for w in [3usize, 7] {
+            buf[w * 4] |= 1 << 5;
+        }
+        assert_eq!(
+            fold(CodewordAlgebraKind::XorFold, &buf),
+            cleared_x,
+            "XOR blind"
+        );
+        assert_ne!(
+            fold(CodewordAlgebraKind::Residue, &buf),
+            cleared_r,
+            "residue sees"
+        );
+        let _ = (before_x, before_r);
+    }
+
+    #[test]
+    fn bit31_pair_detected_via_end_around_carry() {
+        // Two +2^31 perturbations sum to 2^32 ≡ 1 (mod 2^32 − 1): even the
+        // top-bit pair, which overflows the word, stays visible.
+        let mut buf = vec![0u8; 32];
+        let before = fold(CodewordAlgebraKind::Residue, &buf);
+        buf[3] = 0x80;
+        buf[11] = 0x80;
+        let after = fold(CodewordAlgebraKind::Residue, &buf);
+        assert_eq!(
+            CodewordAlgebraKind::Residue.delta_of_folds(before, after),
+            1,
+            "2^31 + 2^31 = 2^32 ≡ 1"
+        );
+        assert_eq!(fold(CodewordAlgebraKind::XorFold, &buf), 0, "XOR blind");
+    }
+
+    #[test]
+    fn residue_opposite_direction_pair_still_cancels() {
+        // The documented residual blind spot: +2^k on one word and −2^k on
+        // another leave the sum unchanged.
+        let mut buf = vec![0u8; 32];
+        buf[0] = 0x10; // word 0 = 16
+        buf[4] = 0x10; // word 1 = 16
+        let before = fold(CodewordAlgebraKind::Residue, &buf);
+        buf[0] = 0x20; // word 0 += 16
+        buf[4] = 0x00; // word 1 -= 16
+        assert_eq!(fold(CodewordAlgebraKind::Residue, &buf), before);
+    }
+}

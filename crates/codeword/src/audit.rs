@@ -105,7 +105,7 @@ pub fn check_region(
 ) -> Result<Option<CorruptRegion>> {
     let addr = geom.region_base(region);
     let len = geom.region_size();
-    let actual = image.xor_fold(addr, len)?;
+    let actual = image.fold(table.kind(), addr, len)?;
     let expected = table.get(region);
     Ok(if actual != expected {
         Some(CorruptRegion {
@@ -422,13 +422,20 @@ pub fn audit_pages(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dali_common::CodewordAlgebraKind;
 
-    fn setup() -> (DbImage, RegionGeometry, CodewordTable, LatchTable) {
+    fn setup_kind(
+        kind: CodewordAlgebraKind,
+    ) -> (DbImage, RegionGeometry, CodewordTable, LatchTable) {
         let image = DbImage::new(4, 4096).unwrap();
         let geom = RegionGeometry::new(image.len(), 64).unwrap();
-        let table = CodewordTable::from_image(&image, &geom).unwrap();
+        let table = CodewordTable::from_image(&image, &geom, kind).unwrap();
         let latches = LatchTable::new(geom.num_regions(), 1);
         (image, geom, table, latches)
+    }
+
+    fn setup() -> (DbImage, RegionGeometry, CodewordTable, LatchTable) {
+        setup_kind(CodewordAlgebraKind::XorFold)
     }
 
     #[test]
@@ -559,10 +566,13 @@ mod tests {
     #[test]
     fn batched_run_drains_deferred_shards() {
         let (image, geom, table, latches) = setup();
-        let set = DeferredSet::new(crate::deferred::DeferredConfig {
-            shards: 4,
-            watermark: 0,
-        });
+        let set = DeferredSet::new(
+            crate::deferred::DeferredConfig {
+                shards: 4,
+                watermark: 0,
+            },
+            CodewordAlgebraKind::XorFold,
+        );
         // Maintained updates whose deltas are queued, not yet applied.
         for region in [0, 1, 5, 9] {
             let addr = geom.region_base(region);
@@ -624,6 +634,49 @@ mod tests {
             assert_eq!(report.corrupt.len(), 1, "{threads} threads");
             assert_eq!(report.corrupt[0].region, 4);
             assert_eq!(report.regions_checked, subset.len());
+        }
+    }
+
+    #[test]
+    fn paired_same_column_flip_audits_split_by_algebra() {
+        // The same wild write — bit 3 set in two words of one region,
+        // same column, same direction — cancels under XOR parity but
+        // shifts the residue sum by 2 * 2^3.
+        for kind in CodewordAlgebraKind::ALL {
+            let (image, geom, table, latches) = setup_kind(kind);
+            image.write(DbAddr(128), &[0x08]).unwrap();
+            image.write(DbAddr(136), &[0x08]).unwrap();
+            let report = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
+            match kind {
+                CodewordAlgebraKind::XorFold => {
+                    assert!(report.clean(), "XOR parity cancels the paired flip")
+                }
+                CodewordAlgebraKind::Residue => {
+                    assert_eq!(report.corrupt.len(), 1, "residue sees the paired flip");
+                    assert_eq!(report.corrupt[0].region, geom.region_of(DbAddr(128)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn serial_and_striped_reports_identical_both_algebras() {
+        for kind in CodewordAlgebraKind::ALL {
+            let (image, geom, table, latches) = setup_kind(kind);
+            for addr in [3usize, 64, 4096 + 7, 2 * 4096 + 130, 4 * 4096 - 20] {
+                image.write(DbAddr(addr), &[0x5a]).unwrap();
+            }
+            let serial = audit_all(&image, &geom, &table, &latches, None, 1).unwrap();
+            assert!(!serial.clean());
+            for threads in [2, 3, 7, 64] {
+                for max_run in [1, 4, 16] {
+                    let par =
+                        audit_all_parallel(&image, &geom, &table, &latches, None, threads, max_run)
+                            .unwrap();
+                    assert_eq!(par.corrupt, serial.corrupt, "{kind:?} t={threads}");
+                    assert_eq!(par.regions_checked, serial.regions_checked);
+                }
+            }
         }
     }
 

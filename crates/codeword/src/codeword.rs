@@ -30,15 +30,15 @@
 use dali_common::align::WORD;
 
 /// Bytes per wide block: 4 lanes x 8 bytes.
-const BLOCK: usize = 32;
+pub(crate) const BLOCK: usize = 32;
 
 #[inline(always)]
-fn load64(b: &[u8]) -> u64 {
+pub(crate) fn load64(b: &[u8]) -> u64 {
     u64::from_le_bytes(b.try_into().unwrap())
 }
 
 #[inline(always)]
-fn load32(b: &[u8]) -> u32 {
+pub(crate) fn load32(b: &[u8]) -> u32 {
     u32::from_le_bytes(b.try_into().unwrap())
 }
 

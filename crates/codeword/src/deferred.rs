@@ -32,6 +32,7 @@
 
 use crate::region::RegionId;
 use crate::table::CodewordTable;
+use dali_common::CodewordAlgebraKind;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
@@ -74,7 +75,8 @@ type RegionMap = HashMap<RegionId, Pending, BuildHasherDefault<RegionHasher>>;
 /// Accumulated state for one dirty region.
 #[derive(Clone, Copy, Debug)]
 struct Pending {
-    /// XOR of every queued delta for the region.
+    /// Every queued delta for the region, coalesced under the set's
+    /// algebra (`combine`: XOR or end-around-carry addition).
     delta: u32,
     /// How many raw deltas were coalesced into `delta`.
     pushes: u64,
@@ -136,6 +138,10 @@ struct Shard {
 /// The sharded, coalescing dirty set.
 pub struct DeferredSet {
     shards: Box<[Shard]>,
+    /// The algebra deltas coalesce under. Must match the codeword table
+    /// the set drains into — both algebras' `combine` is associative and
+    /// commutative, which is exactly the invariant coalescing rests on.
+    kind: CodewordAlgebraKind,
     /// `shards.len() - 1`; shard index = mixed hash masked.
     mask: usize,
     watermark: usize,
@@ -148,8 +154,8 @@ pub struct DeferredSet {
 
 impl DeferredSet {
     /// Build a dirty set per `cfg` (see [`DeferredConfig`] for the
-    /// `shards = 0` auto rule).
-    pub fn new(cfg: DeferredConfig) -> DeferredSet {
+    /// `shards = 0` auto rule), coalescing deltas under `kind`.
+    pub fn new(cfg: DeferredConfig, kind: CodewordAlgebraKind) -> DeferredSet {
         let n = if cfg.shards == 0 {
             std::thread::available_parallelism()
                 .map(|p| p.get())
@@ -168,6 +174,7 @@ impl DeferredSet {
             .into_boxed_slice();
         DeferredSet {
             shards,
+            kind,
             mask: n - 1,
             watermark: cfg.watermark,
             pending: AtomicU64::new(0),
@@ -175,6 +182,12 @@ impl DeferredSet {
             coalesced: AtomicU64::new(0),
             max_depth: AtomicU64::new(0),
         }
+    }
+
+    /// The algebra queued deltas coalesce under.
+    #[inline]
+    pub fn kind(&self) -> CodewordAlgebraKind {
+        self.kind
     }
 
     /// Number of shards (power of two).
@@ -203,7 +216,7 @@ impl DeferredSet {
             let coalesced = match map.entry(region) {
                 std::collections::hash_map::Entry::Occupied(mut e) => {
                     let p = e.get_mut();
-                    p.delta ^= delta;
+                    p.delta = self.kind.combine(p.delta, delta);
                     p.pushes += 1;
                     true
                 }
@@ -328,7 +341,14 @@ mod tests {
     use super::*;
 
     fn set(shards: usize, watermark: usize) -> DeferredSet {
-        DeferredSet::new(DeferredConfig { shards, watermark })
+        DeferredSet::new(
+            DeferredConfig { shards, watermark },
+            CodewordAlgebraKind::XorFold,
+        )
+    }
+
+    fn table(n: usize) -> CodewordTable {
+        CodewordTable::new_zeroed(n, CodewordAlgebraKind::XorFold)
     }
 
     #[test]
@@ -364,7 +384,7 @@ mod tests {
     #[test]
     fn drain_applies_coalesced_delta_once() {
         let d = set(2, 0);
-        let table = CodewordTable::new_zeroed(16);
+        let table = table(16);
         d.push(5, 0xff00);
         d.push(5, 0x00ff);
         d.drain_region(5, &table);
@@ -385,7 +405,7 @@ mod tests {
         let b = (1..64)
             .find(|&r| d.shard_of(r) != d.shard_of(a))
             .expect("some region maps to another shard");
-        let table = CodewordTable::new_zeroed(64);
+        let table = table(64);
         d.push(a, 1);
         d.push(b, 2);
         d.drain_region(a, &table);
@@ -414,15 +434,41 @@ mod tests {
             d.push(r, 0xff);
         }
         assert_eq!(d.dirty_region_ids(), vec![1, 9, 17, 30]);
-        let table = CodewordTable::new_zeroed(64);
+        let table = table(64);
         d.drain_all(&table);
         assert!(d.dirty_region_ids().is_empty());
     }
 
     #[test]
+    fn residue_coalescing_matches_sequential_application() {
+        // The deferred-shard invariant under the residue algebra: N
+        // coalesced pushes drain to the same codeword as N eager
+        // apply_delta calls.
+        let kind = CodewordAlgebraKind::Residue;
+        let d = DeferredSet::new(
+            DeferredConfig {
+                shards: 2,
+                watermark: 0,
+            },
+            kind,
+        );
+        assert_eq!(d.kind(), kind);
+        let deferred = CodewordTable::new_zeroed(16, kind);
+        let eager = CodewordTable::new_zeroed(16, kind);
+        let deltas = [0xFFFF_FFF0u32, 0x20, 1, 0x8000_0000, 0x7FFF_FFFF];
+        for &x in &deltas {
+            d.push(5, x);
+            eager.apply_delta(5, x);
+        }
+        d.drain_region(5, &deferred);
+        assert_eq!(deferred.get(5), eager.get(5));
+        assert_eq!(d.pending_deltas(), 0);
+    }
+
+    #[test]
     fn clear_discards_without_applying() {
         let d = set(2, 0);
-        let table = CodewordTable::new_zeroed(8);
+        let table = table(8);
         d.push(1, 0xdead);
         d.clear();
         assert_eq!(d.pending_deltas(), 0);

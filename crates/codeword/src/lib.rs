@@ -30,6 +30,7 @@
 //!   the façade bundling geometry + table + latches and implementing the
 //!   per-scheme read/update protocols.
 
+pub mod algebra;
 pub mod audit;
 pub mod codeword;
 pub mod deferred;
@@ -38,6 +39,7 @@ pub mod protection;
 pub mod region;
 pub mod table;
 
+pub use algebra::{algebra_for, CodewordAlgebra, ResidueAlgebra, XorFoldAlgebra};
 pub use audit::{AuditReport, CorruptRegion};
 pub use deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 pub use latch::{LatchMode, LatchTable};
@@ -45,5 +47,5 @@ pub use protection::CodewordProtection;
 pub use region::{RegionGeometry, RegionId};
 pub use table::CodewordTable;
 
-// Re-export the scheme selector for convenience.
-pub use dali_common::ProtectionScheme;
+// Re-export the scheme and algebra selectors for convenience.
+pub use dali_common::{CodewordAlgebraKind, ProtectionScheme};

@@ -11,18 +11,20 @@
 //! | DeferredMaintenance | shared (audits drain shard-by-shard under the stripe latch) | plain copy |
 //! | ReadPrecheck | exclusive | [`checked_read`](CodewordProtection::checked_read) |
 //!
-//! Codeword *maintenance* (the XOR delta published at `endUpdate`) is
-//! identical for every codeword scheme. The deferred scheme queues its
-//! deltas in a sharded, coalescing dirty set ([`crate::deferred`])
-//! instead of touching the codeword table at `endUpdate`.
+//! Codeword *maintenance* (the delta published at `endUpdate`) is
+//! identical for every codeword scheme, and generic over the configured
+//! [`CodewordAlgebraKind`] — the XOR fold or the mod-(2^32−1) residue
+//! code (see [`crate::algebra`]). The deferred scheme queues its deltas
+//! in a sharded, coalescing dirty set ([`crate::deferred`]) instead of
+//! touching the codeword table at `endUpdate`.
 
+use crate::algebra;
 use crate::audit::{self, AuditReport};
-use crate::codeword;
 use crate::deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 use crate::latch::{LatchMode, LatchTable};
 use crate::region::{RegionGeometry, RegionId};
 use crate::table::CodewordTable;
-use dali_common::{DaliError, DbAddr, ProtectionScheme, Result};
+use dali_common::{CodewordAlgebraKind, DaliError, DbAddr, ProtectionScheme, Result};
 use dali_mem::DbImage;
 
 /// Codeword state and latches for one database image.
@@ -42,6 +44,8 @@ pub struct CodewordProtection {
     /// latch bracket ([`dali_common::DaliConfig::audit_latch_run`]); ≥ 1.
     /// `1` is the paper's latch-per-region cadence.
     latch_run: usize,
+    /// The codeword algebra folds, deltas, and the table live in.
+    kind: CodewordAlgebraKind,
 }
 
 impl CodewordProtection {
@@ -81,13 +85,15 @@ impl CodewordProtection {
             regions_per_latch,
             deferred_cfg,
             1,
+            CodewordAlgebraKind::XorFold,
         )
     }
 
-    /// Fully-parameterized constructor: deferred dirty-set sizing plus the
+    /// Fully-parameterized constructor: deferred dirty-set sizing, the
     /// worker count used for every full-image scan this protection runs —
     /// [`audit`](Self::audit), [`resync`](Self::resync), and the initial
-    /// codeword-table fold (`audit_threads` is clamped to ≥ 1).
+    /// codeword-table fold (`audit_threads` is clamped to ≥ 1) — and the
+    /// codeword algebra every fold, delta, and table slot lives in.
     pub fn with_config(
         image: &DbImage,
         scheme: ProtectionScheme,
@@ -95,19 +101,20 @@ impl CodewordProtection {
         regions_per_latch: usize,
         deferred_cfg: DeferredConfig,
         audit_threads: usize,
+        kind: CodewordAlgebraKind,
     ) -> Result<CodewordProtection> {
         let audit_threads = audit_threads.max(1);
         let geom = RegionGeometry::new(image.len(), region_size)?;
         let table = if scheme.maintains_codewords() {
-            CodewordTable::from_image_parallel(image, &geom, audit_threads)?
+            CodewordTable::from_image_parallel(image, &geom, audit_threads, kind)?
         } else {
             // Baseline / mprotect schemes keep an (unused) empty table.
-            CodewordTable::new_zeroed(0)
+            CodewordTable::new_zeroed(0, kind)
         };
         let latches = LatchTable::new(geom.num_regions(), regions_per_latch);
         let deferred = scheme
             .defers_maintenance()
-            .then(|| DeferredSet::new(deferred_cfg));
+            .then(|| DeferredSet::new(deferred_cfg, kind));
         Ok(CodewordProtection {
             scheme,
             geom,
@@ -116,7 +123,14 @@ impl CodewordProtection {
             deferred,
             audit_threads,
             latch_run: 1,
+            kind,
         })
+    }
+
+    /// The codeword algebra this protection folds and maintains under.
+    #[inline]
+    pub fn kind(&self) -> CodewordAlgebraKind {
+        self.kind
     }
 
     /// Worker count used for full-image scans (≥ 1).
@@ -197,17 +211,17 @@ impl CodewordProtection {
         }
         for (region, s, l) in self.geom.split(waddr, old_widened.len()) {
             let rel = s.0 - waddr.0;
-            let old_fold = codeword::fold(&old_widened[rel..rel + l]);
-            let new_fold = image.xor_fold(s, l)?;
-            let delta = old_fold ^ new_fold;
+            let old_fold = algebra::fold(self.kind, &old_widened[rel..rel + l]);
+            let new_fold = image.fold(self.kind, s, l)?;
+            let delta = self.kind.delta_of_folds(old_fold, new_fold);
             match &self.deferred {
                 Some(set) => {
                     if set.push(region, delta) {
                         // Shard over its high-watermark: the pusher pays
                         // for the drain (backpressure). Applying queued
                         // deltas needs no latch — each was enqueued after
-                        // its bytes landed, and the table write is an
-                        // atomic fetch_xor.
+                        // its bytes landed, and the table publish is a
+                        // commuting atomic (fetch_xor / CAS'd mod-add).
                         set.drain_region(region, &self.table);
                     }
                 }
@@ -266,9 +280,13 @@ impl CodewordProtection {
     /// codeword-applied flag is clear: the undo image restores the bytes,
     /// and this restores the codeword).
     ///
-    /// Identical math to [`apply_update`](Self::apply_update) because XOR
-    /// deltas are self-inverse — provided as a named alias for clarity at
-    /// call sites.
+    /// Identical math to [`apply_update`](Self::apply_update) for *every*
+    /// algebra: the rollback is itself a directed transition (current
+    /// bytes → restored bytes), and `apply_update` computes the directed
+    /// delta from the passed before-image to what the image now holds —
+    /// which for a rollback is exactly the inverse of the original
+    /// update's delta (for XOR the two coincide because deltas are
+    /// self-inverse). Provided as a named alias for clarity at call sites.
     #[inline]
     pub fn unapply_update(&self, image: &DbImage, waddr: DbAddr, old_widened: &[u8]) -> Result<()> {
         self.apply_update(image, waddr, old_widened)
@@ -314,7 +332,9 @@ impl CodewordProtection {
             .with_span(first, last, LatchMode::Exclusive, || {
                 image.read(addr, buf)?;
                 (first..=last)
-                    .map(|r| image.xor_fold(self.geom.region_base(r), self.geom.region_size()))
+                    .map(|r| {
+                        image.fold(self.kind, self.geom.region_base(r), self.geom.region_size())
+                    })
                     .collect()
             })
     }
@@ -338,7 +358,9 @@ impl CodewordProtection {
         self.latches
             .with_span(first, last, LatchMode::Exclusive, || {
                 (first..=last)
-                    .map(|r| image.xor_fold(self.geom.region_base(r), self.geom.region_size()))
+                    .map(|r| {
+                        image.fold(self.kind, self.geom.region_base(r), self.geom.region_size())
+                    })
                     .collect()
             })
     }
@@ -430,7 +452,7 @@ impl CodewordProtection {
     ) -> Result<Vec<u32>> {
         let (first, last) = self.geom.region_span(addr, len);
         (first..=last)
-            .map(|r| image.xor_fold(self.geom.region_base(r), self.geom.region_size()))
+            .map(|r| image.fold(self.kind, self.geom.region_base(r), self.geom.region_size()))
             .collect()
     }
 }
@@ -634,10 +656,13 @@ mod tests {
         .unwrap();
         // A probe set with the same shard count gives the region→shard
         // map; pick a region that hashes away from region 0.
-        let probe = crate::deferred::DeferredSet::new(crate::deferred::DeferredConfig {
-            shards: 4,
-            watermark: 0,
-        });
+        let probe = crate::deferred::DeferredSet::new(
+            crate::deferred::DeferredConfig {
+                shards: 4,
+                watermark: 0,
+            },
+            CodewordAlgebraKind::XorFold,
+        );
         let other = (1..prot.geometry().num_regions())
             .find(|&r| probe.shard_of(r) != probe.shard_of(0))
             .expect("some region in another shard");
@@ -662,6 +687,7 @@ mod tests {
                 watermark: 0,
             },
             4,
+            CodewordAlgebraKind::XorFold,
         )
         .unwrap();
         assert_eq!(prot.audit_threads(), 4);
@@ -696,6 +722,7 @@ mod tests {
             1,
             DeferredConfig::default(),
             3,
+            CodewordAlgebraKind::XorFold,
         )
         .unwrap();
         for r in 0..serial.geometry().num_regions() {
@@ -740,6 +767,95 @@ mod tests {
         let (image, prot) = setup(ProtectionScheme::Baseline);
         assert!(prot.deferred_dirty_regions().is_empty());
         assert!(prot.audit_regions(&image, &[0, 1]).unwrap().clean());
+    }
+
+    fn setup_algebra(
+        scheme: ProtectionScheme,
+        kind: CodewordAlgebraKind,
+    ) -> (DbImage, CodewordProtection) {
+        let image = DbImage::new(4, 4096).unwrap();
+        let prot = CodewordProtection::with_config(
+            &image,
+            scheme,
+            64,
+            1,
+            DeferredConfig::default(),
+            1,
+            kind,
+        )
+        .unwrap();
+        (image, prot)
+    }
+
+    #[test]
+    fn residue_protection_maintains_and_audits() {
+        for scheme in [
+            ProtectionScheme::DataCodeword,
+            ProtectionScheme::DeferredMaintenance,
+            ProtectionScheme::ReadPrecheck,
+        ] {
+            let (image, prot) = setup_algebra(scheme, CodewordAlgebraKind::Residue);
+            assert_eq!(prot.kind(), CodewordAlgebraKind::Residue);
+            assert_eq!(prot.table().kind(), CodewordAlgebraKind::Residue);
+            prescribed_update(&image, &prot, DbAddr(101), &[1, 2, 3, 4, 5]);
+            prescribed_update(&image, &prot, DbAddr(60), &[9; 10]); // crosses regions
+            assert!(prot.audit(&image).unwrap().clean(), "{scheme:?}");
+            // A stray write is caught.
+            image.write(DbAddr(130), &[0xfe]).unwrap();
+            assert!(!prot.audit(&image).unwrap().clean(), "{scheme:?}");
+            prot.resync(&image).unwrap();
+            assert!(prot.audit(&image).unwrap().clean(), "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn residue_rollback_restores_codeword() {
+        // The directed-delta rollback path: unapply must invert the
+        // residue delta, not re-apply it (XOR's self-inverse shortcut
+        // does not hold here).
+        let (image, prot) =
+            setup_algebra(ProtectionScheme::DataCodeword, CodewordAlgebraKind::Residue);
+        let addr = DbAddr(256);
+        let (ws, wl) = dali_common::align::widen_to_words(addr.0, 6);
+        let mut old = vec![0u8; wl];
+        image.read(DbAddr(ws), &mut old).unwrap();
+        image.write(addr, &[1, 2, 3, 4, 5, 6]).unwrap();
+        prot.apply_update(&image, DbAddr(ws), &old).unwrap();
+        assert!(prot.audit(&image).unwrap().clean());
+        let mut cur = vec![0u8; wl];
+        image.read(DbAddr(ws), &mut cur).unwrap();
+        image.write(DbAddr(ws), &old).unwrap();
+        prot.unapply_update(&image, DbAddr(ws), &cur).unwrap();
+        assert!(prot.audit(&image).unwrap().clean());
+    }
+
+    #[test]
+    fn paired_same_column_flip_splits_the_algebras() {
+        // The acceptance-criterion kernel fact at the protection layer:
+        // the same wild write passes the XOR audit and fails the residue
+        // audit.
+        let (image_x, prot_x) =
+            setup_algebra(ProtectionScheme::DataCodeword, CodewordAlgebraKind::XorFold);
+        let (image_r, prot_r) =
+            setup_algebra(ProtectionScheme::DataCodeword, CodewordAlgebraKind::Residue);
+        for (image, prot) in [(&image_x, &prot_x), (&image_r, &prot_r)] {
+            prescribed_update(image, prot, DbAddr(128), &[0u8; 8]);
+            // Same-direction pair: set bit 3 of two words in one region.
+            for addr in [128usize, 136] {
+                let mut w = [0u8; 4];
+                image.read(DbAddr(addr), &mut w).unwrap();
+                w[0] |= 1 << 3;
+                image.write(DbAddr(addr), &w).unwrap();
+            }
+        }
+        assert!(
+            prot_x.audit(&image_x).unwrap().clean(),
+            "XOR parity cancels the pair"
+        );
+        assert!(
+            !prot_r.audit(&image_r).unwrap().clean(),
+            "residue detects the pair"
+        );
     }
 
     #[test]

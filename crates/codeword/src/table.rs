@@ -1,33 +1,41 @@
 //! The codeword table: one atomic `u32` per protection region.
 //!
-//! Codeword deltas XOR-commute, so updaters publish them with `fetch_xor`
-//! and need no mutual exclusion among themselves — this implements the
+//! Codeword deltas commute under their algebra's `combine` — XOR deltas
+//! publish with a single `fetch_xor`, residue deltas with a small
+//! compare-exchange loop performing the end-around-carry addition — so
+//! updaters need no mutual exclusion among themselves. This implements the
 //! paper's §3.2 refinement where a separate *codeword latch* lets updaters
 //! hold the protection latch in shared mode. Consistency between a region's
 //! *contents* and its codeword is only guaranteed to an observer holding
 //! the protection latch exclusively (an auditor or a prechecking reader).
 
 use crate::region::{RegionGeometry, RegionId};
-use dali_common::Result;
+use dali_common::{CodewordAlgebraKind, Result};
 use dali_mem::DbImage;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Maintained codewords for every protection region of an image.
 pub struct CodewordTable {
     words: Vec<AtomicU32>,
+    kind: CodewordAlgebraKind,
 }
 
 impl CodewordTable {
-    /// A table of `n` zero codewords (correct for a zeroed image).
-    pub fn new_zeroed(n: usize) -> CodewordTable {
+    /// A table of `n` identity codewords under `kind` (correct for a
+    /// zeroed image: both algebras fold zeros to 0).
+    pub fn new_zeroed(n: usize, kind: CodewordAlgebraKind) -> CodewordTable {
         let mut words = Vec::with_capacity(n);
-        words.resize_with(n, || AtomicU32::new(0));
-        CodewordTable { words }
+        words.resize_with(n, || AtomicU32::new(kind.identity()));
+        CodewordTable { words, kind }
     }
 
-    /// Build a table by folding every region of `image`.
-    pub fn from_image(image: &DbImage, geom: &RegionGeometry) -> Result<CodewordTable> {
-        CodewordTable::from_image_parallel(image, geom, 1)
+    /// Build a table by folding every region of `image` under `kind`.
+    pub fn from_image(
+        image: &DbImage,
+        geom: &RegionGeometry,
+        kind: CodewordAlgebraKind,
+    ) -> Result<CodewordTable> {
+        CodewordTable::from_image_parallel(image, geom, 1, kind)
     }
 
     /// Build a table by folding every region of `image` with `threads`
@@ -37,10 +45,17 @@ impl CodewordTable {
         image: &DbImage,
         geom: &RegionGeometry,
         threads: usize,
+        kind: CodewordAlgebraKind,
     ) -> Result<CodewordTable> {
-        let table = CodewordTable::new_zeroed(geom.num_regions());
+        let table = CodewordTable::new_zeroed(geom.num_regions(), kind);
         table.recompute_all_parallel(image, geom, threads)?;
         Ok(table)
+    }
+
+    /// The algebra this table's codewords and deltas live in.
+    #[inline]
+    pub fn kind(&self) -> CodewordAlgebraKind {
+        self.kind
     }
 
     /// Number of regions tracked.
@@ -67,12 +82,25 @@ impl CodewordTable {
         self.words[region].store(value, Ordering::Release);
     }
 
-    /// Publish an update delta for `region` (atomic XOR; commutes with
-    /// concurrent deltas).
+    /// Publish an update delta for `region`. XOR deltas use one atomic
+    /// `fetch_xor`; residue deltas run a compare-exchange loop around the
+    /// modular addition. Both commute, so concurrent publishers converge
+    /// to the same codeword in any interleaving.
     #[inline]
     pub fn apply_delta(&self, region: RegionId, delta: u32) {
-        if delta != 0 {
-            self.words[region].fetch_xor(delta, Ordering::AcqRel);
+        if delta == self.kind.identity() {
+            return;
+        }
+        match self.kind {
+            CodewordAlgebraKind::XorFold => {
+                self.words[region].fetch_xor(delta, Ordering::AcqRel);
+            }
+            kind => {
+                let _ =
+                    self.words[region].fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                        Some(kind.combine(cur, delta))
+                    });
+            }
         }
     }
 
@@ -98,7 +126,7 @@ impl CodewordTable {
         let threads = threads.clamp(1, n.max(1));
         if threads <= 1 {
             for r in 0..n {
-                let cw = image.xor_fold(geom.region_base(r), geom.region_size())?;
+                let cw = image.fold(self.kind, geom.region_base(r), geom.region_size())?;
                 self.set(r, cw);
             }
             return Ok(());
@@ -110,7 +138,8 @@ impl CodewordTable {
                     let (lo, hi) = (t * per, ((t + 1) * per).min(n));
                     s.spawn(move || -> Result<()> {
                         for r in lo..hi {
-                            let cw = image.xor_fold(geom.region_base(r), geom.region_size())?;
+                            let cw =
+                                image.fold(self.kind, geom.region_base(r), geom.region_size())?;
                             self.set(r, cw);
                         }
                         Ok(())
@@ -130,7 +159,7 @@ impl CodewordTable {
         geom: &RegionGeometry,
         region: RegionId,
     ) -> Result<()> {
-        let cw = image.xor_fold(geom.region_base(region), geom.region_size())?;
+        let cw = image.fold(self.kind, geom.region_base(region), geom.region_size())?;
         self.set(region, cw);
         Ok(())
     }
@@ -141,80 +170,104 @@ mod tests {
     use super::*;
     use dali_common::DbAddr;
 
-    fn setup() -> (DbImage, RegionGeometry, CodewordTable) {
+    fn setup_kind(kind: CodewordAlgebraKind) -> (DbImage, RegionGeometry, CodewordTable) {
         let image = DbImage::new(2, 4096).unwrap();
         let geom = RegionGeometry::new(image.len(), 64).unwrap();
-        let table = CodewordTable::from_image(&image, &geom).unwrap();
+        let table = CodewordTable::from_image(&image, &geom, kind).unwrap();
         (image, geom, table)
+    }
+
+    fn setup() -> (DbImage, RegionGeometry, CodewordTable) {
+        setup_kind(CodewordAlgebraKind::XorFold)
     }
 
     #[test]
     fn zeroed_image_zeroed_table() {
-        let (_i, geom, t) = setup();
-        assert_eq!(t.len(), geom.num_regions());
-        for r in 0..t.len() {
-            assert_eq!(t.get(r), 0);
+        for kind in CodewordAlgebraKind::ALL {
+            let (_i, geom, t) = setup_kind(kind);
+            assert_eq!(t.kind(), kind);
+            assert_eq!(t.len(), geom.num_regions());
+            for r in 0..t.len() {
+                assert_eq!(t.get(r), 0);
+            }
         }
     }
 
     #[test]
-    fn delta_maintenance_tracks_image() {
-        let (image, geom, t) = setup();
-        // Simulate a prescribed update: capture old, write new, publish delta.
-        let addr = DbAddr(128);
-        let old = [0u8; 8];
-        let new = [1u8, 2, 3, 4, 5, 6, 7, 8];
-        image.write(addr, &new).unwrap();
-        let d = crate::codeword::delta(&old, &new);
-        let region = geom.region_of(addr);
-        t.apply_delta(region, d);
-        let computed = image
-            .xor_fold(geom.region_base(region), geom.region_size())
-            .unwrap();
-        assert_eq!(t.get(region), computed);
+    fn delta_maintenance_tracks_image_both_algebras() {
+        for kind in CodewordAlgebraKind::ALL {
+            let (image, geom, t) = setup_kind(kind);
+            // Simulate a prescribed update: capture old, write new, publish delta.
+            let addr = DbAddr(128);
+            let old = [0u8; 8];
+            let new = [1u8, 2, 3, 4, 5, 6, 7, 8];
+            image.write(addr, &new).unwrap();
+            let d = crate::algebra::delta(kind, &old, &new);
+            let region = geom.region_of(addr);
+            t.apply_delta(region, d);
+            let computed = image
+                .fold(kind, geom.region_base(region), geom.region_size())
+                .unwrap();
+            assert_eq!(t.get(region), computed, "{kind:?}");
+        }
     }
 
     #[test]
     fn zero_delta_is_noop() {
-        let (_i, _g, t) = setup();
-        t.set(5, 0xabcd);
-        t.apply_delta(5, 0);
-        assert_eq!(t.get(5), 0xabcd);
+        for kind in CodewordAlgebraKind::ALL {
+            let (_i, _g, t) = setup_kind(kind);
+            t.set(5, 0xabcd);
+            t.apply_delta(5, 0);
+            assert_eq!(t.get(5), 0xabcd, "{kind:?}");
+        }
     }
 
     #[test]
     fn deltas_commute() {
-        let (_i, _g, t) = setup();
-        t.apply_delta(0, 0x1111);
-        t.apply_delta(0, 0x2222);
-        let a = t.get(0);
-        t.set(0, 0);
-        t.apply_delta(0, 0x2222);
-        t.apply_delta(0, 0x1111);
-        assert_eq!(t.get(0), a);
+        for kind in CodewordAlgebraKind::ALL {
+            let (_i, _g, t) = setup_kind(kind);
+            t.apply_delta(0, 0x1111);
+            t.apply_delta(0, 0x2222);
+            let a = t.get(0);
+            t.set(0, 0);
+            t.apply_delta(0, 0x2222);
+            t.apply_delta(0, 0x1111);
+            assert_eq!(t.get(0), a, "{kind:?}");
+        }
     }
 
     #[test]
     fn recompute_region_fixes_mismatch() {
-        let (image, geom, t) = setup();
-        image.write(DbAddr(0), &[0xff; 4]).unwrap(); // "wild write"
-        assert_ne!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
-        t.recompute_region(&image, &geom, 0).unwrap();
-        assert_eq!(t.get(0), image.xor_fold(geom.region_base(0), 64).unwrap());
+        for kind in CodewordAlgebraKind::ALL {
+            let (image, geom, t) = setup_kind(kind);
+            // Wild write; avoid 0xFFFF_FFFF, which the residue algebra
+            // canonicalizes to 0 (M ≡ 0 mod M) and so cannot distinguish
+            // from the zeroed region.
+            image.write(DbAddr(0), &[0xff, 0xff, 0xff, 0x7f]).unwrap();
+            assert_ne!(t.get(0), image.fold(kind, geom.region_base(0), 64).unwrap());
+            t.recompute_region(&image, &geom, 0).unwrap();
+            assert_eq!(t.get(0), image.fold(kind, geom.region_base(0), 64).unwrap());
+        }
     }
 
     #[test]
     fn parallel_recompute_matches_serial() {
-        let (image, geom, _t) = setup();
-        let noise: Vec<u8> = (0..image.len() as u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
-            .collect();
-        image.write(DbAddr(0), &noise).unwrap();
-        let serial = CodewordTable::from_image(&image, &geom).unwrap();
-        for threads in [2, 3, 8, geom.num_regions() + 1] {
-            let par = CodewordTable::from_image_parallel(&image, &geom, threads).unwrap();
-            for r in 0..geom.num_regions() {
-                assert_eq!(par.get(r), serial.get(r), "region {r}, {threads} threads");
+        for kind in CodewordAlgebraKind::ALL {
+            let (image, geom, _t) = setup_kind(kind);
+            let noise: Vec<u8> = (0..image.len() as u32)
+                .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+                .collect();
+            image.write(DbAddr(0), &noise).unwrap();
+            let serial = CodewordTable::from_image(&image, &geom, kind).unwrap();
+            for threads in [2, 3, 8, geom.num_regions() + 1] {
+                let par = CodewordTable::from_image_parallel(&image, &geom, threads, kind).unwrap();
+                for r in 0..geom.num_regions() {
+                    assert_eq!(
+                        par.get(r),
+                        serial.get(r),
+                        "{kind:?} region {r}, {threads} threads"
+                    );
+                }
             }
         }
     }
@@ -240,6 +293,35 @@ mod tests {
         for k in 0..8u32 {
             for j in 0..1000u32 {
                 expect ^= k.wrapping_mul(j) | 1;
+            }
+        }
+        assert_eq!(t.get(3), expect);
+    }
+
+    #[test]
+    fn concurrent_residue_deltas_from_threads() {
+        // The CAS loop publishes modular additions; commutativity means
+        // the final codeword is the mod-sum of every delta regardless of
+        // interleaving.
+        let (_i, _g, t) = setup_kind(CodewordAlgebraKind::Residue);
+        let t = std::sync::Arc::new(t);
+        let mut handles = vec![];
+        for k in 0..8u32 {
+            let t2 = std::sync::Arc::clone(&t);
+            handles.push(std::thread::spawn(move || {
+                for j in 0..1000u32 {
+                    t2.apply_delta(3, k.wrapping_mul(j) | 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = CodewordAlgebraKind::Residue;
+        let mut expect = 0u32;
+        for k in 0..8u32 {
+            for j in 0..1000u32 {
+                expect = r.combine(expect, k.wrapping_mul(j) | 1);
             }
         }
         assert_eq!(t.get(3), expect);

@@ -134,6 +134,117 @@ impl ProtectionScheme {
     }
 }
 
+/// The modulus of the residue codeword algebra: `2^32 - 1`.
+///
+/// Folding a region as a sum of its 32-bit words modulo `2^32 - 1`
+/// (one's-complement / end-around-carry arithmetic, the same family as the
+/// Internet checksum) detects every *same-direction* pair of identical
+/// bit-column flips that the XOR fold cancels: two `+2^k` perturbations sum
+/// to `2^(k+1) != 0 (mod 2^32 - 1)` — including `k = 31`, because
+/// `2^32 ≡ 1`, the end-around carry. See DESIGN.md for the algebra's laws
+/// and residual blind spots (opposite-direction pairs still cancel).
+pub const RESIDUE_MODULUS: u64 = 0xFFFF_FFFF;
+
+/// Which codeword *algebra* folds region contents into a `u32` codeword.
+///
+/// The paper fixes the algebra to a bitwise XOR of the region's words
+/// (§3); this enum makes it pluggable so the detection/overhead trade-off
+/// can be measured. Every algebra is a commutative group on `u32`
+/// codewords: `combine` is associative and commutative with `identity()`
+/// as neutral element and `neg` as inverse, which is exactly what the
+/// sharded deferred dirty set's delta coalescing and incremental
+/// maintenance rely on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub enum CodewordAlgebraKind {
+    /// Bitwise XOR of the region's 32-bit words (the paper's codeword).
+    /// Self-inverse deltas; blind to an even number of identical flips in
+    /// one bit column.
+    #[default]
+    XorFold,
+    /// Sum of the region's 32-bit words modulo `2^32 - 1`
+    /// ([`RESIDUE_MODULUS`]), canonicalized into `[0, 2^32 - 1)`.
+    /// Detects the same-direction paired-flip class XOR misses at
+    /// comparable fold cost.
+    Residue,
+}
+
+impl CodewordAlgebraKind {
+    /// Both algebras, XOR first (the paper's default).
+    pub const ALL: [CodewordAlgebraKind; 2] =
+        [CodewordAlgebraKind::XorFold, CodewordAlgebraKind::Residue];
+
+    /// The codeword of an empty (or all-zero) region.
+    #[inline]
+    pub fn identity(self) -> u32 {
+        0
+    }
+
+    /// Combine two codewords / deltas (the group operation). Associative
+    /// and commutative for both algebras.
+    #[inline]
+    pub fn combine(self, a: u32, b: u32) -> u32 {
+        match self {
+            CodewordAlgebraKind::XorFold => a ^ b,
+            CodewordAlgebraKind::Residue => ((a as u64 + b as u64) % RESIDUE_MODULUS) as u32,
+        }
+    }
+
+    /// The inverse of a codeword under [`combine`](Self::combine):
+    /// `combine(a, neg(a)) == identity()`. XOR is self-inverse; the
+    /// residue inverse is `M - a` (with `0` fixed, keeping the canonical
+    /// range `[0, M)`).
+    #[inline]
+    pub fn neg(self, a: u32) -> u32 {
+        match self {
+            CodewordAlgebraKind::XorFold => a,
+            CodewordAlgebraKind::Residue => {
+                if a == 0 {
+                    0
+                } else {
+                    (RESIDUE_MODULUS - a as u64) as u32
+                }
+            }
+        }
+    }
+
+    /// The *directed* delta taking fold(`old`) to fold(`new`):
+    /// `combine(fold(old), delta) == fold(new)`. For XOR this is the
+    /// symmetric difference (direction-free); for residue the direction
+    /// matters — rolling back applies `neg(delta)`, equivalently the delta
+    /// computed with the roles swapped.
+    #[inline]
+    pub fn delta_of_folds(self, old_fold: u32, new_fold: u32) -> u32 {
+        self.combine(new_fold, self.neg(old_fold))
+    }
+
+    /// On-disk tag byte for checkpoint metadata. Stable across versions.
+    #[inline]
+    pub fn tag(self) -> u8 {
+        match self {
+            CodewordAlgebraKind::XorFold => 1,
+            CodewordAlgebraKind::Residue => 2,
+        }
+    }
+
+    /// Inverse of [`tag`](Self::tag); `None` for unknown bytes.
+    #[inline]
+    pub fn from_tag(tag: u8) -> Option<CodewordAlgebraKind> {
+        match tag {
+            1 => Some(CodewordAlgebraKind::XorFold),
+            2 => Some(CodewordAlgebraKind::Residue),
+            _ => None,
+        }
+    }
+
+    /// Human-readable label for benches and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            CodewordAlgebraKind::XorFold => "xor-fold",
+            CodewordAlgebraKind::Residue => "residue-2^32-1",
+        }
+    }
+}
+
 /// Configuration for opening or creating a database.
 #[derive(Clone, Debug)]
 pub struct DaliConfig {
@@ -229,6 +340,13 @@ pub struct DaliConfig {
     /// writer latency proportional to `audit_latch_run` region folds.
     /// `0` is treated as `1`.
     pub audit_latch_run: usize,
+    /// Which algebra folds region contents into codewords — the paper's
+    /// XOR fold by default, or the mod-(2^32−1) residue code that also
+    /// detects same-direction paired bit-column flips. The algebra is
+    /// stamped into checkpoint metadata; recovery rejects an image
+    /// certified under a different algebra rather than resync a table
+    /// whose certification verdicts it cannot reproduce.
+    pub codeword_algebra: CodewordAlgebraKind,
     /// Lay allocation bitmaps out adjacent to their table's data instead
     /// of on separate pages. Dali keeps control information *off* the
     /// data pages (the default, `false`); colocating models a page-based
@@ -263,6 +381,7 @@ impl DaliConfig {
             audit_threads: 0,
             full_certify_every: 0,
             audit_latch_run: 64,
+            codeword_algebra: CodewordAlgebraKind::XorFold,
             colocate_control: false,
         }
     }
@@ -360,6 +479,12 @@ impl DaliConfig {
     /// with a full sweep every `n`-th checkpoint).
     pub fn with_full_certify_every(mut self, every: u32) -> Self {
         self.full_certify_every = every;
+        self
+    }
+
+    /// Builder-style codeword-algebra selection.
+    pub fn with_codeword_algebra(mut self, algebra: CodewordAlgebraKind) -> Self {
+        self.codeword_algebra = algebra;
         self
     }
 
@@ -581,6 +706,106 @@ mod tests {
                 .validate(),
             Ok(())
         );
+    }
+
+    #[test]
+    fn algebra_group_laws_hold_for_samples() {
+        let samples = [
+            0u32,
+            1,
+            2,
+            0x8000_0000,
+            0xFFFF_FFFE,
+            0xFFFF_FFFF, // M itself never appears canonically, but combine tolerates it
+            0xDEAD_BEEF,
+            0x0101_0101,
+        ];
+        for kind in CodewordAlgebraKind::ALL {
+            for &a in &samples {
+                // Identity and inverse laws (on canonical values < M for residue).
+                let a_c = kind.combine(a, kind.identity());
+                if kind == CodewordAlgebraKind::Residue && a as u64 == RESIDUE_MODULUS {
+                    assert_eq!(a_c, 0, "M is congruent to 0");
+                } else {
+                    assert_eq!(a_c, a, "{kind:?} identity");
+                }
+                assert_eq!(
+                    kind.combine(a_c, kind.neg(a_c)),
+                    kind.identity(),
+                    "{kind:?} inverse of {a_c:#x}"
+                );
+                for &b in &samples {
+                    assert_eq!(
+                        kind.combine(a, b),
+                        kind.combine(b, a),
+                        "{kind:?} commutativity"
+                    );
+                    for &c in &samples {
+                        assert_eq!(
+                            kind.combine(kind.combine(a, b), c),
+                            kind.combine(a, kind.combine(b, c)),
+                            "{kind:?} associativity"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn algebra_delta_is_directed() {
+        for kind in CodewordAlgebraKind::ALL {
+            let old = 0x1234_5678u32;
+            let new = 0x9ABC_DEF0u32;
+            let d = kind.delta_of_folds(old, new);
+            assert_eq!(kind.combine(old, d), new, "{kind:?} forward");
+            // Rolling back composes the reverse delta, which is neg(d).
+            let back = kind.delta_of_folds(new, old);
+            assert_eq!(back, kind.neg(d), "{kind:?} reverse = neg");
+            assert_eq!(kind.combine(new, back), old, "{kind:?} rollback");
+        }
+        // XOR deltas are self-inverse; residue deltas generally are not.
+        let k = CodewordAlgebraKind::XorFold;
+        assert_eq!(k.neg(0xABCD), 0xABCD);
+        let r = CodewordAlgebraKind::Residue;
+        assert_eq!(r.neg(5), (RESIDUE_MODULUS - 5) as u32);
+        assert_eq!(r.neg(0), 0);
+    }
+
+    #[test]
+    fn residue_combine_wraps_end_around() {
+        let r = CodewordAlgebraKind::Residue;
+        // (M - 1) + 2 = M + 1 ≡ 1 (mod M): the end-around carry.
+        assert_eq!(r.combine((RESIDUE_MODULUS - 1) as u32, 2), 1);
+        // Same-direction paired flip in one column is visible: +2^k twice.
+        let flip = 1u32 << 20;
+        let d = r.combine(flip, flip);
+        assert_ne!(d, 0, "residue sees the pair XOR cancels");
+        assert_eq!(CodewordAlgebraKind::XorFold.combine(flip, flip), 0);
+    }
+
+    #[test]
+    fn algebra_tags_round_trip() {
+        for kind in CodewordAlgebraKind::ALL {
+            assert_eq!(CodewordAlgebraKind::from_tag(kind.tag()), Some(kind));
+        }
+        assert_eq!(CodewordAlgebraKind::from_tag(0), None);
+        assert_eq!(CodewordAlgebraKind::from_tag(3), None);
+        assert_ne!(
+            CodewordAlgebraKind::XorFold.tag(),
+            CodewordAlgebraKind::Residue.tag()
+        );
+    }
+
+    #[test]
+    fn algebra_config_defaults_and_builder() {
+        let c = DaliConfig::small("/tmp/x");
+        assert_eq!(c.codeword_algebra, CodewordAlgebraKind::XorFold);
+        let c = c.with_codeword_algebra(CodewordAlgebraKind::Residue);
+        assert_eq!(c.codeword_algebra, CodewordAlgebraKind::Residue);
+        assert_eq!(c.validate(), Ok(()));
+        assert_eq!(CodewordAlgebraKind::XorFold.label(), "xor-fold");
+        assert_eq!(CodewordAlgebraKind::Residue.label(), "residue-2^32-1");
     }
 
     #[test]

@@ -85,6 +85,75 @@ pub fn is_armed(name: &str) -> bool {
         .is_some_and(|m| m.contains_key(name))
 }
 
+/// True if *any* crash point is armed. Tests assert this is false at
+/// their boundaries: the registry is process-global, so a point armed by
+/// one test and never tripped would fire in whichever test next reaches
+/// that name.
+pub fn any_armed() -> bool {
+    ARMED
+        .lock()
+        .unwrap()
+        .as_ref()
+        .is_some_and(|m| !m.is_empty())
+}
+
+/// Names currently armed (sorted), for leak diagnostics in tests.
+pub fn armed_names() -> Vec<String> {
+    let mut names: Vec<String> = ARMED
+        .lock()
+        .unwrap()
+        .as_ref()
+        .map(|m| m.keys().cloned().collect())
+        .unwrap_or_default();
+    names.sort_unstable();
+    names
+}
+
+/// Alias of [`disarm_all`] for test harnesses that reset the registry at
+/// a known boundary.
+pub fn reset() {
+    disarm_all();
+}
+
+/// RAII scope for crash-point tests: constructing it asserts the registry
+/// is clean (catching a leak from an *earlier* test), and dropping it
+/// disarms everything — even when the test body panics — so an armed
+/// point can never leak into the next test in the process.
+///
+/// ```
+/// let _guard = dali_common::crashpoint::ScopedCrashpoints::new();
+/// dali_common::crashpoint::arm("atomic_write.post_rename");
+/// // ... drive the operation; the guard cleans up on every exit path.
+/// ```
+pub struct ScopedCrashpoints {
+    _private: (),
+}
+
+impl ScopedCrashpoints {
+    /// Open a scope. Panics if a previous test leaked an armed point.
+    #[track_caller]
+    pub fn new() -> ScopedCrashpoints {
+        let leaked = armed_names();
+        assert!(
+            leaked.is_empty(),
+            "crash points leaked from a previous test: {leaked:?}"
+        );
+        ScopedCrashpoints { _private: () }
+    }
+}
+
+impl Default for ScopedCrashpoints {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for ScopedCrashpoints {
+    fn drop(&mut self) {
+        disarm_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,5 +179,29 @@ mod tests {
         arm("p");
         disarm_all();
         assert!(check("p").is_ok());
+
+        // Scoped guard: clean registry on entry, disarms on drop — even
+        // across a panic.
+        {
+            let _g = ScopedCrashpoints::new();
+            arm("p");
+            assert!(any_armed());
+            assert_eq!(armed_names(), vec!["p".to_string()]);
+        }
+        assert!(!any_armed(), "guard drop disarms");
+        assert!(check("p").is_ok());
+
+        let result = std::panic::catch_unwind(|| {
+            let _g = ScopedCrashpoints::new();
+            arm("p");
+            panic!("test body panics");
+        });
+        assert!(result.is_err());
+        assert!(!any_armed(), "guard disarms across a panic");
+
+        arm("p");
+        let leaked = std::panic::catch_unwind(ScopedCrashpoints::new);
+        assert!(leaked.is_err(), "guard entry catches leaked points");
+        reset();
     }
 }

@@ -20,6 +20,6 @@ pub mod crashpoint;
 pub mod error;
 pub mod ids;
 
-pub use config::{DaliConfig, ProtectionScheme};
+pub use config::{CodewordAlgebraKind, DaliConfig, ProtectionScheme, RESIDUE_MODULUS};
 pub use error::{DaliError, Result};
 pub use ids::{DbAddr, Lsn, OpSeq, PageId, RecId, SlotId, TableId, TxnId};

@@ -25,14 +25,17 @@ use crate::catalog::Catalog;
 use crate::db::{CkptState, Db, EngineStats};
 use bytes::{Buf, BufMut, BytesMut};
 use dali_codeword::AuditReport;
-use dali_common::{DaliError, Lsn, PageId, Result};
+use dali_common::{CodewordAlgebraKind, DaliError, Lsn, PageId, Result};
 use dali_wal::record::LogRecord;
 use std::fs::OpenOptions;
 use std::io::{Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::Arc;
 
-const META_MAGIC: u32 = 0xDA11_CB01;
+// CB01 had no algebra tag; CB02 appends the codeword-algebra byte right
+// after the magic so recovery can reject an image certified under a
+// different algebra than the one configured.
+const META_MAGIC: u32 = 0xDA11_CB02;
 const ANCHOR_MAGIC: u32 = 0xDA11_A0C1;
 
 /// Outcome of a checkpoint attempt.
@@ -63,6 +66,9 @@ pub struct CkptMeta {
     /// `Audit_SN`: LSN of the begin record of the last clean audit at the
     /// time the checkpoint was taken.
     pub audit_sn: Option<Lsn>,
+    /// The codeword algebra the certifying audit ran under. Recovery
+    /// refuses an image whose algebra differs from the configured one.
+    pub algebra: CodewordAlgebraKind,
     pub catalog: Catalog,
     /// Serialized ATT (decoded lazily by recovery).
     pub att_blob: Vec<u8>,
@@ -72,6 +78,7 @@ impl CkptMeta {
     fn encode(&self) -> Vec<u8> {
         let mut buf = BytesMut::new();
         buf.put_u32_le(META_MAGIC);
+        buf.put_u8(self.algebra.tag());
         buf.put_u64_le(self.serial);
         buf.put_u64_le(self.ck_end.0);
         buf.put_u64_le(self.next_txn);
@@ -103,6 +110,9 @@ impl CkptMeta {
         if buf.get_u32_le() != META_MAGIC {
             return Err(DaliError::RecoveryFailed("ckpt meta bad magic".into()));
         }
+        let algebra = CodewordAlgebraKind::from_tag(buf.get_u8()).ok_or_else(|| {
+            DaliError::RecoveryFailed("ckpt meta unknown codeword algebra tag".into())
+        })?;
         let serial = buf.get_u64_le();
         let ck_end = Lsn(buf.get_u64_le());
         let next_txn = buf.get_u64_le();
@@ -129,6 +139,7 @@ impl CkptMeta {
             next_txn,
             next_audit,
             audit_sn,
+            algebra,
             catalog,
             att_blob,
         })
@@ -403,6 +414,7 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
         next_txn: db.txn_counter.load(std::sync::atomic::Ordering::Relaxed),
         next_audit: db.audit_counter.load(std::sync::atomic::Ordering::Relaxed),
         audit_sn: *db.last_clean_audit.lock(),
+        algebra: db.prot.kind(),
         catalog,
         att_blob,
     };
@@ -474,6 +486,44 @@ pub fn initial_state() -> CkptState {
     }
 }
 
+/// Scrub the *anchored* checkpoint image file against the live codeword
+/// table: load the certified image from disk, fold each protection region
+/// with the table's algebra, and report every region whose on-disk fold
+/// disagrees with the maintained codeword.
+///
+/// The checkpoint holds the quiesce lock only across its snapshot, so no
+/// whole-image codeword is persisted with the image; this scrub is the
+/// offline complement — it detects bit rot (or fault injection) that hit
+/// the image *file* after certification. The caller must ensure no
+/// updates run during the scrub (the codewords must describe the bytes
+/// the image was written from); tests and offline verification tools
+/// satisfy this trivially.
+pub fn scrub_anchored_image(db: &Arc<Db>) -> Result<AuditReport> {
+    let dir = db.config.dir.clone();
+    let (image_idx, _serial) = read_anchor(&dir)?;
+    let bytes = load_image_bytes(&dir, image_idx, db.config.db_bytes())?;
+    let geom = db.prot.geometry();
+    let kind = db.prot.kind();
+    let mut report = AuditReport::default();
+    for r in 0..geom.num_regions() {
+        let base = geom.region_base(r);
+        let len = geom.region_size();
+        let actual = dali_codeword::algebra::fold(kind, &bytes[base.0..base.0 + len]);
+        let expected = db.prot.table().get(r);
+        if actual != expected {
+            report.corrupt.push(dali_codeword::CorruptRegion {
+                region: r,
+                addr: base,
+                len,
+                expected,
+                actual,
+            });
+        }
+        report.regions_checked += 1;
+    }
+    Ok(report)
+}
+
 /// Read selected pages straight from a checkpoint image file (cache
 /// recovery repairs regions from the certified checkpoint).
 pub fn read_ckpt_pages(
@@ -532,6 +582,7 @@ mod tests {
             next_txn: 8,
             next_audit: 2,
             audit_sn: Some(Lsn(900)),
+            algebra: CodewordAlgebraKind::XorFold,
             catalog,
             att_blob: att.encode_for_ckpt().unwrap(),
         };
@@ -554,6 +605,7 @@ mod tests {
             next_txn: 0,
             next_audit: 0,
             audit_sn: None,
+            algebra: CodewordAlgebraKind::Residue,
             catalog: Catalog::new(),
             att_blob: Att::new().encode_for_ckpt().unwrap(),
         };
@@ -570,6 +622,7 @@ mod tests {
             next_txn: 0,
             next_audit: 0,
             audit_sn: None,
+            algebra: CodewordAlgebraKind::XorFold,
             catalog: Catalog::new(),
             att_blob: vec![0, 0, 0, 0],
         };

@@ -39,7 +39,7 @@ use crate::heap::HeapRuntime;
 use crate::lock::LockManager;
 use crate::txn::rollback_direct;
 use dali_codeword::CodewordProtection;
-use dali_common::{DaliConfig, DaliError, DbAddr, Lsn, Result, TxnId};
+use dali_common::{CodewordAlgebraKind, DaliConfig, DaliError, DbAddr, Lsn, Result, TxnId};
 use dali_mem::{DbImage, PageProtector};
 use dali_wal::record::LogRecord;
 use dali_wal::SystemLog;
@@ -122,6 +122,7 @@ pub(crate) fn build_db(
             watermark: config.deferred_shard_watermark,
         },
         config.resolved_audit_threads(),
+        config.codeword_algebra,
     )?;
     prot.set_latch_run(config.resolved_audit_latch_run());
     let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
@@ -193,6 +194,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     let dir = config.dir.clone();
     let (image_idx, serial) = ckpt::read_anchor(&dir)?;
     let meta = ckpt::read_meta(&dir, image_idx)?;
+    check_ckpt_algebra(&meta, config.codeword_algebra)?;
     let marker = corruption::read_marker(&dir)?;
 
     // Decide the mode. The CW ReadLog scheme runs corruption recovery on
@@ -232,6 +234,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     // not wrap in operations.
     let mut ctt_undo_ranges = RangeSet::new();
     let region_size = config.region_size;
+    let algebra = config.codeword_algebra;
 
     // Where does the failing audit's range list enter the CDT? At
     // Audit_SN if it is inside the scan, otherwise right at the start.
@@ -348,7 +351,14 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
             } => {
                 if corruption_mode && !ctt.contains(&txn) {
                     let tainted = if !codewords.is_empty() {
-                        !codewords_match(&image, region_size, addr, len as usize, &codewords)?
+                        !codewords_match(
+                            &image,
+                            algebra,
+                            region_size,
+                            addr,
+                            len as usize,
+                            &codewords,
+                        )?
                     } else {
                         cdt.overlaps(addr, len as usize)
                     };
@@ -551,6 +561,7 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
         }
     };
     let (image_idx, meta) = meta;
+    check_ckpt_algebra(&meta, config.codeword_algebra)?;
 
     let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
     let bytes = ckpt::load_image_bytes(&dir, image_idx, config.db_bytes())?;
@@ -759,11 +770,29 @@ fn seed_marker_ranges(cdt: &mut RangeSet, marker: &Option<CorruptionMarker>) {
     }
 }
 
+/// Reject a checkpoint certified under a different codeword algebra: its
+/// image may hide exactly the corruption class the configured algebra
+/// exists to catch, so silently adopting it would launder an uncertified
+/// image into a certified one.
+fn check_ckpt_algebra(meta: &ckpt::CkptMeta, configured: CodewordAlgebraKind) -> Result<()> {
+    if meta.algebra != configured {
+        return Err(DaliError::RecoveryFailed(format!(
+            "checkpoint was certified under the {} algebra but the engine \
+             is configured for {}; re-certify with the original algebra \
+             before switching",
+            meta.algebra.label(),
+            configured.label()
+        )));
+    }
+    Ok(())
+}
+
 /// Compare logged read codewords against the recovering image: the read
 /// record covers `[addr, addr+len)` and carries one codeword per
 /// overlapped protection region.
 fn codewords_match(
     image: &DbImage,
+    algebra: CodewordAlgebraKind,
     region_size: usize,
     addr: DbAddr,
     len: usize,
@@ -780,7 +809,7 @@ fn codewords_match(
         return Ok(false);
     }
     for (i, r) in (first..=last).enumerate() {
-        let cw = image.xor_fold(DbAddr(r * region_size), region_size)?;
+        let cw = image.fold(algebra, DbAddr(r * region_size), region_size)?;
         if cw != logged[i] {
             return Ok(false);
         }

@@ -23,6 +23,13 @@ use rand::Rng;
 /// have cut it.
 pub use dali_common::crashpoint;
 
+pub mod campaign;
+pub use campaign::{
+    algebra_expected_detected, assert_matrix, campaign_payload, run_arena_round,
+    run_ckpt_image_round, run_matrix, run_wal_round, wal_expected_verdict, CampaignTarget,
+    CampaignVerdict, CorruptionPattern, WalScanOutcome,
+};
+
 /// What happened when a fault was injected.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum InjectionEffect {

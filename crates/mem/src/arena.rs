@@ -208,6 +208,110 @@ impl Arena {
         Ok(acc)
     }
 
+    /// Residue-fold the 32-bit words of `[offset, offset+len)`: their sum
+    /// modulo `2^32 - 1`, canonical in `[0, 2^32 - 1)`.
+    ///
+    /// `offset` and `len` must be 4-byte aligned, as for
+    /// [`xor_fold`](Arena::xor_fold). The kernel runs wide like the XOR
+    /// path — an optional one-word head 8-aligns the pointer, then 32-byte
+    /// blocks feed four independent `u64` accumulators — but addition
+    /// carries across bit columns, so each `u64` load is split into its
+    /// two 32-bit words (`v & MASK` + `v >> 32`) before accumulating.
+    /// The fold processes at most 1 GiB between modular reductions, so the
+    /// lane accumulators stay far from `u64` overflow at any arena size.
+    #[inline]
+    pub fn residue_fold(&self, offset: usize, len: usize) -> Result<u32> {
+        self.check(offset, len)?;
+        if !offset.is_multiple_of(4) || !len.is_multiple_of(4) {
+            return Err(DaliError::InvalidArg(format!(
+                "residue_fold range {offset}+{len} not word aligned"
+            )));
+        }
+        const M: u64 = dali_common::config::RESIDUE_MODULUS;
+        // 1 GiB = 2^25 32-byte blocks; each block adds < 2^34 per lane, so
+        // a lane stays < 2^59 within a chunk.
+        const CHUNK: usize = 1 << 30;
+        let mut acc: u64 = 0;
+        let mut off = offset;
+        let mut remaining = len;
+        loop {
+            let chunk = remaining.min(CHUNK);
+            // SAFETY: bounds checked above; reads raw words without
+            // forming a slice reference. Pointer advances stay within
+            // [off, off+chunk), tracked by `rem`.
+            let part = unsafe {
+                const MASK: u64 = 0xFFFF_FFFF;
+                let mut p = self.ptr.as_ptr().add(off);
+                let mut rem = chunk;
+                let mut sum: u64 = 0;
+                if !(p as usize).is_multiple_of(8) && rem >= 4 {
+                    sum += u32::from_le((p as *const u32).read()) as u64;
+                    p = p.add(4);
+                    rem -= 4;
+                }
+                let mut lanes = [0u64; 4];
+                while rem >= 32 {
+                    let q = p as *const u64;
+                    let v0 = u64::from_le(q.read());
+                    let v1 = u64::from_le(q.add(1).read());
+                    let v2 = u64::from_le(q.add(2).read());
+                    let v3 = u64::from_le(q.add(3).read());
+                    lanes[0] += (v0 & MASK) + (v0 >> 32);
+                    lanes[1] += (v1 & MASK) + (v1 >> 32);
+                    lanes[2] += (v2 & MASK) + (v2 >> 32);
+                    lanes[3] += (v3 & MASK) + (v3 >> 32);
+                    p = p.add(32);
+                    rem -= 32;
+                }
+                while rem >= 8 {
+                    let v = u64::from_le((p as *const u64).read());
+                    sum += (v & MASK) + (v >> 32);
+                    p = p.add(8);
+                    rem -= 8;
+                }
+                if rem >= 4 {
+                    sum += u32::from_le((p as *const u32).read()) as u64;
+                }
+                (sum + lanes[0] + lanes[1] + lanes[2] + lanes[3]) % M
+            };
+            acc = (acc + part) % M;
+            if remaining == chunk {
+                return Ok(acc as u32);
+            }
+            off += chunk;
+            remaining -= chunk;
+        }
+    }
+
+    /// One-word-at-a-time scalar reference for
+    /// [`residue_fold`](Arena::residue_fold): same contract and result,
+    /// kept for the `audit_scale` bench and the kernel equivalence suites.
+    #[inline]
+    pub fn residue_fold_scalar(&self, offset: usize, len: usize) -> Result<u32> {
+        self.check(offset, len)?;
+        if !offset.is_multiple_of(4) || !len.is_multiple_of(4) {
+            return Err(DaliError::InvalidArg(format!(
+                "residue_fold range {offset}+{len} not word aligned"
+            )));
+        }
+        const M: u64 = dali_common::config::RESIDUE_MODULUS;
+        let mut sum: u64 = 0;
+        // SAFETY: bounds checked above; reads raw words without forming a
+        // slice reference.
+        unsafe {
+            let mut p = self.ptr.as_ptr().add(offset) as *const u32;
+            let end = self.ptr.as_ptr().add(offset + len) as *const u32;
+            while p < end {
+                sum += u32::from_le(p.read()) as u64;
+                if sum >= u64::MAX - u32::MAX as u64 {
+                    sum %= M; // unreachable below ~16 GiB; keeps any size safe
+                }
+                p = p.add(1);
+            }
+        }
+        Ok((sum % M) as u32)
+    }
+
     /// One-word-at-a-time scalar reference for [`xor_fold`](Arena::xor_fold):
     /// the kernel the wide path replaced, kept for the `audit_scale` bench
     /// and the kernel equivalence suites. Same contract and result.
@@ -349,6 +453,74 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn residue_fold_matches_manual() {
+        let a = Arena::new(4096).unwrap();
+        a.write(0, &0xdead_beefu32.to_le_bytes()).unwrap();
+        a.write(4, &0x0101_0101u32.to_le_bytes()).unwrap();
+        a.write(8, &0xffff_fff0u32.to_le_bytes()).unwrap();
+        let m = 0xFFFF_FFFFu64;
+        let want = ((0xdead_beefu64 + 0x0101_0101 + 0xffff_fff0) % m) as u32;
+        assert_eq!(a.residue_fold(0, 12).unwrap(), want);
+        assert_eq!(a.residue_fold_scalar(0, 12).unwrap(), want);
+        assert_eq!(a.residue_fold(64, 64).unwrap(), 0);
+        assert_eq!(a.residue_fold(0, 0).unwrap(), 0);
+    }
+
+    #[test]
+    fn residue_fold_canonicalizes_all_ones() {
+        // A single 0xFFFF_FFFF word is congruent to 0 mod 2^32-1: the
+        // canonical fold is 0, never the modulus itself.
+        let a = Arena::new(4096).unwrap();
+        a.write(0, &0xffff_ffffu32.to_le_bytes()).unwrap();
+        assert_eq!(a.residue_fold(0, 4).unwrap(), 0);
+        assert_eq!(a.residue_fold_scalar(0, 4).unwrap(), 0);
+    }
+
+    #[test]
+    fn residue_fold_rejects_misalignment() {
+        let a = Arena::new(4096).unwrap();
+        assert!(a.residue_fold(2, 8).is_err());
+        assert!(a.residue_fold(0, 6).is_err());
+        assert!(a.residue_fold_scalar(2, 8).is_err());
+        assert!(a.residue_fold_scalar(0, 6).is_err());
+    }
+
+    /// Wide residue kernel == scalar reference for every word-aligned
+    /// offset mod 8 and every tail shape through a few 32-byte blocks.
+    #[test]
+    fn wide_residue_fold_matches_scalar_every_shape() {
+        let a = Arena::new(4096).unwrap();
+        let noise: Vec<u8> = (0..512u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 11) as u8)
+            .collect();
+        a.write(0, &noise).unwrap();
+        for off in [0usize, 4, 8, 12, 36] {
+            for len in (0..=3 * 32 + 4).step_by(4) {
+                assert_eq!(
+                    a.residue_fold(off, len).unwrap(),
+                    a.residue_fold_scalar(off, len).unwrap(),
+                    "offset {off} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn residue_fold_sees_paired_same_column_flip() {
+        // Two identical same-direction bit flips in one column cancel in
+        // the XOR fold but move the residue sum by 2^(k+1) != 0.
+        let a = Arena::new(4096).unwrap();
+        let before_x = a.xor_fold(0, 64).unwrap();
+        let before_r = a.residue_fold(0, 64).unwrap();
+        for addr in [8usize, 12] {
+            let w = a.read_u32(addr).unwrap();
+            a.write(addr, &(w ^ (1 << 9)).to_le_bytes()).unwrap();
+        }
+        assert_eq!(a.xor_fold(0, 64).unwrap(), before_x, "XOR blind");
+        assert_ne!(a.residue_fold(0, 64).unwrap(), before_r, "residue sees");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! contiguously, paper §2).
 
 use crate::arena::Arena;
-use dali_common::{DaliError, DbAddr, PageId, Result};
+use dali_common::{CodewordAlgebraKind, DaliError, DbAddr, PageId, Result};
 
 /// The in-memory database image.
 pub struct DbImage {
@@ -128,6 +128,41 @@ impl DbImage {
         self.arena.xor_fold_scalar(addr.0, len)
     }
 
+    /// Residue-fold the words of `[addr, addr+len)`: their sum modulo
+    /// `2^32 - 1`, canonical in `[0, 2^32 - 1)`. Same alignment contract
+    /// as [`xor_fold`](Self::xor_fold).
+    #[inline]
+    pub fn residue_fold(&self, addr: DbAddr, len: usize) -> Result<u32> {
+        self.check(addr, len)?;
+        self.arena.residue_fold(addr.0, len)
+    }
+
+    /// [`residue_fold`](Self::residue_fold) through the one-word-at-a-time
+    /// kernel — the baseline the wide kernel is benchmarked against.
+    #[inline]
+    pub fn residue_fold_scalar(&self, addr: DbAddr, len: usize) -> Result<u32> {
+        self.check(addr, len)?;
+        self.arena.residue_fold_scalar(addr.0, len)
+    }
+
+    /// Fold `[addr, addr+len)` under the given codeword algebra.
+    #[inline]
+    pub fn fold(&self, kind: CodewordAlgebraKind, addr: DbAddr, len: usize) -> Result<u32> {
+        match kind {
+            CodewordAlgebraKind::XorFold => self.xor_fold(addr, len),
+            CodewordAlgebraKind::Residue => self.residue_fold(addr, len),
+        }
+    }
+
+    /// [`fold`](Self::fold) through the one-word-at-a-time kernels.
+    #[inline]
+    pub fn fold_scalar(&self, kind: CodewordAlgebraKind, addr: DbAddr, len: usize) -> Result<u32> {
+        match kind {
+            CodewordAlgebraKind::XorFold => self.xor_fold_scalar(addr, len),
+            CodewordAlgebraKind::Residue => self.residue_fold_scalar(addr, len),
+        }
+    }
+
     /// The pages overlapped by `[addr, addr+len)`.
     pub fn pages_overlapping(&self, addr: DbAddr, len: usize) -> Vec<PageId> {
         dali_common::align::split_by_chunks(addr.0, len, self.page_size)
@@ -206,6 +241,26 @@ mod tests {
         let after = i.xor_fold(DbAddr(0), 64).unwrap();
         assert_ne!(before, after);
         assert_eq!(after, before ^ 1);
+    }
+
+    #[test]
+    fn fold_dispatches_by_algebra() {
+        let i = img();
+        i.write(DbAddr(8), &0x8000_0001u32.to_le_bytes()).unwrap();
+        i.write(DbAddr(12), &0x8000_0002u32.to_le_bytes()).unwrap();
+        for kind in CodewordAlgebraKind::ALL {
+            let direct = match kind {
+                CodewordAlgebraKind::XorFold => i.xor_fold(DbAddr(0), 64).unwrap(),
+                CodewordAlgebraKind::Residue => i.residue_fold(DbAddr(0), 64).unwrap(),
+            };
+            assert_eq!(i.fold(kind, DbAddr(0), 64).unwrap(), direct);
+            assert_eq!(i.fold_scalar(kind, DbAddr(0), 64).unwrap(), direct);
+        }
+        // The two algebras genuinely differ on this content.
+        assert_ne!(
+            i.fold(CodewordAlgebraKind::XorFold, DbAddr(0), 64).unwrap(),
+            i.fold(CodewordAlgebraKind::Residue, DbAddr(0), 64).unwrap()
+        );
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Variable-length-record workload with a secondary index.
+//!
+//! The engine's heaps hold fixed-size records; real applications store
+//! variable-length payloads by packing them into fixed slots with a
+//! length header — which also produces the *non-uniform* byte content
+//! that corruption-detection experiments need (uniform word-periodic
+//! data sits in the XOR algebra's blind spots far too easily).
+//!
+//! Slot layout: `[klen: u16 LE][vlen: u16 LE][key bytes][value bytes]`
+//! zero-padded to the slot size. A [`VarlenStore`] keeps a secondary
+//! index `key → RecId` (an in-memory BTree, rebuilt on attach by
+//! scanning allocated slots — the index is derived state, like the heap
+//! allocation bitmaps), so lookups go key → slot without scanning, and
+//! updates that change the value length stay in place.
+//!
+//! [`VarlenWorkload`] drives a deterministic seeded mix of inserts,
+//! point lookups, length-changing updates, and deletes against the
+//! store while maintaining a shadow map; [`VarlenWorkload::verify`]
+//! checks the database against the shadow record by record — the varlen
+//! analogue of the TPC-B balance invariant.
+
+use dali_common::{DaliError, RecId, Result, TableId};
+use dali_engine::{DaliEngine, TxnHandle};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Header bytes preceding the key/value payload in every slot.
+pub const VARLEN_HEADER: usize = 4;
+
+/// Sizing and shape of a varlen workload.
+#[derive(Clone, Debug)]
+pub struct VarlenConfig {
+    /// Fixed slot size; each record's `4 + klen + vlen` must fit.
+    pub slot_size: usize,
+    /// Heap capacity in slots.
+    pub capacity: usize,
+    /// Keys are 1..=max_key bytes.
+    pub max_key: usize,
+    /// Values are 0..=max_val bytes.
+    pub max_val: usize,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// RNG seed; runs are deterministic given the seed.
+    pub seed: u64,
+}
+
+impl VarlenConfig {
+    /// A small test configuration: 96-byte slots, short keys, values up
+    /// to 64 bytes.
+    pub fn small() -> VarlenConfig {
+        VarlenConfig {
+            slot_size: 96,
+            capacity: 512,
+            max_key: 12,
+            max_val: 64,
+            ops_per_txn: 25,
+            seed: 0x7A12,
+        }
+    }
+}
+
+/// Encode one key/value pair into a fixed `slot_size` buffer.
+pub fn encode_slot(slot_size: usize, key: &[u8], val: &[u8]) -> Result<Vec<u8>> {
+    if VARLEN_HEADER + key.len() + val.len() > slot_size {
+        return Err(DaliError::InvalidArg(format!(
+            "varlen record {}+{} exceeds slot size {}",
+            key.len(),
+            val.len(),
+            slot_size
+        )));
+    }
+    let mut buf = vec![0u8; slot_size];
+    buf[0..2].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    buf[2..4].copy_from_slice(&(val.len() as u16).to_le_bytes());
+    buf[VARLEN_HEADER..VARLEN_HEADER + key.len()].copy_from_slice(key);
+    buf[VARLEN_HEADER + key.len()..VARLEN_HEADER + key.len() + val.len()].copy_from_slice(val);
+    Ok(buf)
+}
+
+/// Decode a slot into `(key, value)`.
+pub fn decode_slot(slot: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+    if slot.len() < VARLEN_HEADER {
+        return Err(DaliError::InvalidArg("varlen slot too short".into()));
+    }
+    let klen = u16::from_le_bytes(slot[0..2].try_into().unwrap()) as usize;
+    let vlen = u16::from_le_bytes(slot[2..4].try_into().unwrap()) as usize;
+    if VARLEN_HEADER + klen + vlen > slot.len() {
+        return Err(DaliError::InvalidArg(format!(
+            "varlen slot header claims {klen}+{vlen} bytes in a {}-byte slot",
+            slot.len()
+        )));
+    }
+    Ok((
+        slot[VARLEN_HEADER..VARLEN_HEADER + klen].to_vec(),
+        slot[VARLEN_HEADER + klen..VARLEN_HEADER + klen + vlen].to_vec(),
+    ))
+}
+
+/// A keyed store of variable-length records in one fixed-slot table,
+/// with a secondary index from key to record id.
+pub struct VarlenStore {
+    engine: DaliEngine,
+    table: TableId,
+    slot_size: usize,
+    index: BTreeMap<Vec<u8>, RecId>,
+}
+
+impl VarlenStore {
+    /// Create the backing table and an empty index.
+    pub fn create(engine: &DaliEngine, name: &str, cfg: &VarlenConfig) -> Result<VarlenStore> {
+        let table = engine.create_table(name, cfg.slot_size, cfg.capacity)?;
+        Ok(VarlenStore {
+            engine: engine.clone(),
+            table,
+            slot_size: cfg.slot_size,
+            index: BTreeMap::new(),
+        })
+    }
+
+    /// The backing table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// True if no record is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The record id a key maps to, if present.
+    pub fn lookup(&self, key: &[u8]) -> Option<RecId> {
+        self.index.get(key).copied()
+    }
+
+    /// Iterate the indexed keys in order.
+    pub fn keys(&self) -> impl Iterator<Item = &Vec<u8>> {
+        self.index.keys()
+    }
+
+    /// Insert a new key/value pair. Fails if the key exists.
+    pub fn insert(&mut self, txn: &TxnHandle, key: &[u8], val: &[u8]) -> Result<RecId> {
+        if self.index.contains_key(key) {
+            return Err(DaliError::InvalidArg("duplicate varlen key".into()));
+        }
+        let rec = txn.insert(self.table, &encode_slot(self.slot_size, key, val)?)?;
+        self.index.insert(key.to_vec(), rec);
+        Ok(rec)
+    }
+
+    /// Read the value for `key` through the index, verifying that the
+    /// slot's stored key matches the index entry (an index pointing at a
+    /// slot whose key bytes disagree is itself a corruption signal).
+    pub fn get(&self, txn: &TxnHandle, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let Some(rec) = self.index.get(key) else {
+            return Ok(None);
+        };
+        let (stored_key, val) = decode_slot(&txn.read_vec(*rec)?)?;
+        if stored_key != key {
+            return Err(DaliError::InvalidArg(format!(
+                "index points record {rec:?} at a slot holding a different key"
+            )));
+        }
+        Ok(Some(val))
+    }
+
+    /// Replace the value for `key` (any length that fits). Returns false
+    /// if the key is absent.
+    pub fn update(&mut self, txn: &TxnHandle, key: &[u8], val: &[u8]) -> Result<bool> {
+        let Some(rec) = self.index.get(key) else {
+            return Ok(false);
+        };
+        txn.update(*rec, &encode_slot(self.slot_size, key, val)?)?;
+        Ok(true)
+    }
+
+    /// Delete `key`'s record. Returns false if the key is absent.
+    pub fn remove(&mut self, txn: &TxnHandle, key: &[u8]) -> Result<bool> {
+        let Some(rec) = self.index.remove(key) else {
+            return Ok(false);
+        };
+        txn.delete(rec)?;
+        Ok(true)
+    }
+
+    /// Rebuild the secondary index by decoding every indexed record
+    /// (after recovery, the heap bitmap is authoritative; the index is
+    /// derived). Existing entries are discarded.
+    pub fn rebuild_index(&mut self, txn: &TxnHandle, recs: &[RecId]) -> Result<()> {
+        self.index.clear();
+        for &rec in recs {
+            let (key, _val) = decode_slot(&txn.read_vec(rec)?)?;
+            self.index.insert(key, rec);
+        }
+        Ok(())
+    }
+}
+
+/// Statistics from a varlen run.
+#[derive(Clone, Debug, Default)]
+pub struct VarlenStats {
+    pub inserts: usize,
+    pub lookups: usize,
+    pub updates: usize,
+    pub deletes: usize,
+    pub txns: usize,
+}
+
+/// Deterministic mixed workload over a [`VarlenStore`] with a shadow
+/// map for verification.
+pub struct VarlenWorkload {
+    pub store: VarlenStore,
+    cfg: VarlenConfig,
+    rng: StdRng,
+    shadow: BTreeMap<Vec<u8>, Vec<u8>>,
+    counter: u64,
+}
+
+impl VarlenWorkload {
+    /// Create the table and an empty workload.
+    pub fn setup(engine: &DaliEngine, cfg: VarlenConfig) -> Result<VarlenWorkload> {
+        let store = VarlenStore::create(engine, "varlen", &cfg)?;
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        Ok(VarlenWorkload {
+            store,
+            cfg,
+            rng,
+            shadow: BTreeMap::new(),
+            counter: 0,
+        })
+    }
+
+    fn fresh_key(&mut self) -> Vec<u8> {
+        // Unique, variable length: a counter prefix plus noise tail.
+        self.counter += 1;
+        let mut key = self.counter.to_le_bytes()[..6].to_vec();
+        let extra = self
+            .rng
+            .gen_range(0..=self.cfg.max_key.saturating_sub(6).min(6));
+        for _ in 0..extra {
+            key.push(self.rng.gen_range(0u8..=255));
+        }
+        key
+    }
+
+    fn fresh_val(&mut self) -> Vec<u8> {
+        let len = self.rng.gen_range(0..=self.cfg.max_val);
+        let mut val = vec![0u8; len];
+        self.rng.fill(&mut val);
+        val
+    }
+
+    fn random_existing_key(&mut self) -> Option<Vec<u8>> {
+        if self.shadow.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.shadow.len());
+        self.shadow.keys().nth(i).cloned()
+    }
+
+    /// Run `n` operations (committing every `ops_per_txn`): ~40%
+    /// inserts, 30% lookups, 20% length-changing updates, 10% deletes.
+    pub fn run_ops(&mut self, n: usize) -> Result<VarlenStats> {
+        let mut stats = VarlenStats::default();
+        let mut done = 0;
+        while done < n {
+            let txn = self.store.engine.begin()?;
+            let batch = self.cfg.ops_per_txn.min(n - done);
+            for _ in 0..batch {
+                match self.rng.gen_range(0..10u32) {
+                    0..=3 => {
+                        if self.shadow.len() < self.cfg.capacity * 3 / 4 {
+                            let (key, val) = (self.fresh_key(), self.fresh_val());
+                            self.store.insert(&txn, &key, &val)?;
+                            self.shadow.insert(key, val);
+                            stats.inserts += 1;
+                        }
+                    }
+                    4..=6 => {
+                        if let Some(key) = self.random_existing_key() {
+                            let got = self.store.get(&txn, &key)?;
+                            if got.as_ref() != self.shadow.get(&key) {
+                                return Err(DaliError::InvalidArg(format!(
+                                    "lookup of {key:?} disagrees with the shadow"
+                                )));
+                            }
+                            stats.lookups += 1;
+                        }
+                    }
+                    7..=8 => {
+                        if let Some(key) = self.random_existing_key() {
+                            let val = self.fresh_val();
+                            self.store.update(&txn, &key, &val)?;
+                            self.shadow.insert(key, val);
+                            stats.updates += 1;
+                        }
+                    }
+                    _ => {
+                        if let Some(key) = self.random_existing_key() {
+                            self.store.remove(&txn, &key)?;
+                            self.shadow.remove(&key);
+                            stats.deletes += 1;
+                        }
+                    }
+                }
+                done += 1;
+            }
+            txn.commit()?;
+            stats.txns += 1;
+        }
+        Ok(stats)
+    }
+
+    /// Check every shadow entry against the database through the index,
+    /// and that the index holds nothing beyond the shadow.
+    pub fn verify(&self) -> Result<()> {
+        if self.store.len() != self.shadow.len() {
+            return Err(DaliError::InvalidArg(format!(
+                "index holds {} keys, shadow {}",
+                self.store.len(),
+                self.shadow.len()
+            )));
+        }
+        let txn = self.store.engine.begin()?;
+        for (key, val) in &self.shadow {
+            match self.store.get(&txn, key)? {
+                Some(got) if &got == val => {}
+                other => {
+                    return Err(DaliError::InvalidArg(format!(
+                        "key {key:?}: expected {} bytes, got {other:?}",
+                        val.len()
+                    )))
+                }
+            }
+        }
+        txn.commit()
+    }
+
+    /// A record id of some current key (for corruption targeting).
+    pub fn sample_rec(&mut self) -> Option<RecId> {
+        let key = self.random_existing_key()?;
+        self.store.lookup(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dali_common::{DaliConfig, ProtectionScheme};
+
+    fn engine(name: &str) -> (DaliEngine, dali_testutil::TempDir) {
+        let dir = dali_testutil::TempDir::new(&format!("varlen-{name}"));
+        let (db, _) = DaliEngine::create(
+            DaliConfig::small(dir.path()).with_scheme(ProtectionScheme::DataCodeword),
+        )
+        .unwrap();
+        (db, dir)
+    }
+
+    #[test]
+    fn slot_encoding_round_trips() {
+        for (k, v) in [(&b"k"[..], &b""[..]), (b"key-longer", b"value bytes")] {
+            let slot = encode_slot(64, k, v).unwrap();
+            assert_eq!(slot.len(), 64);
+            let (dk, dv) = decode_slot(&slot).unwrap();
+            assert_eq!((dk.as_slice(), dv.as_slice()), (k, v));
+        }
+        assert!(encode_slot(8, b"12345", b"67890").is_err());
+        assert!(decode_slot(&[255, 255, 0, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn store_insert_get_update_remove() {
+        let (db, _dir) = engine("store");
+        let mut store = VarlenStore::create(&db, "kv", &VarlenConfig::small()).unwrap();
+        let txn = db.begin().unwrap();
+        store.insert(&txn, b"alpha", b"1").unwrap();
+        store.insert(&txn, b"beta", b"a much longer value").unwrap();
+        assert_eq!(store.get(&txn, b"alpha").unwrap().unwrap(), b"1");
+        assert!(store
+            .update(&txn, b"alpha", b"now much longer than before")
+            .unwrap());
+        assert_eq!(
+            store.get(&txn, b"alpha").unwrap().unwrap(),
+            b"now much longer than before"
+        );
+        assert!(store.remove(&txn, b"beta").unwrap());
+        assert_eq!(store.get(&txn, b"beta").unwrap(), None);
+        assert!(!store.update(&txn, b"beta", b"x").unwrap());
+        txn.commit().unwrap();
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn workload_runs_and_verifies() {
+        let (db, _dir) = engine("run");
+        let mut wl = VarlenWorkload::setup(&db, VarlenConfig::small()).unwrap();
+        let stats = wl.run_ops(600).unwrap();
+        assert!(stats.inserts > 0 && stats.lookups > 0 && stats.updates > 0);
+        wl.verify().unwrap();
+        // And the database itself audits clean after the run.
+        assert!(db.audit().unwrap().clean());
+    }
+
+    #[test]
+    fn index_rebuild_matches() {
+        let (db, _dir) = engine("rebuild");
+        let mut wl = VarlenWorkload::setup(&db, VarlenConfig::small()).unwrap();
+        wl.run_ops(200).unwrap();
+        let recs: Vec<RecId> = wl.store.index.values().copied().collect();
+        let before = wl.store.index.clone();
+        let txn = db.begin().unwrap();
+        wl.store.rebuild_index(&txn, &recs).unwrap();
+        txn.commit().unwrap();
+        assert_eq!(wl.store.index, before);
+        wl.verify().unwrap();
+    }
+}

@@ -68,13 +68,17 @@ pub use dali_workload as workload;
 
 pub use dali_codeword::{AuditReport, DeferredStatsSnapshot};
 pub use dali_common::{
-    DaliConfig, DaliError, DbAddr, Lsn, PageId, ProtectionScheme, RecId, Result, SlotId, TableId,
-    TxnId,
+    CodewordAlgebraKind, DaliConfig, DaliError, DbAddr, Lsn, PageId, ProtectionScheme, RecId,
+    Result, SlotId, TableId, TxnId,
 };
 pub use dali_engine::{
     CheckpointOutcome, DaliEngine, LockManager, LockMode, RecoveryMode, RecoveryOutcome, TxnHandle,
 };
-pub use dali_faultinject::{FaultInjector, InjectionEffect};
+pub use dali_faultinject::{
+    CampaignTarget, CampaignVerdict, CorruptionPattern, FaultInjector, InjectionEffect,
+    WalScanOutcome,
+};
 pub use dali_net::{DaliClient, DaliServer, NetTpcbDriver, ServerStats, WireError};
 pub use dali_wal::SyncStats;
+pub use dali_workload::varlen::{VarlenConfig, VarlenStore, VarlenWorkload};
 pub use dali_workload::{RunStats, TpcbConfig, TpcbDriver};

@@ -56,6 +56,10 @@ fn assert_recovers(dir: &std::path::Path, expected: &[(RecId, Vec<u8>)]) {
 
 #[test]
 fn crash_between_anchor_rename_and_dir_sync_recovers_both_ways() {
+    // Guard the process-global registry: asserts no point leaked in from
+    // another test, and disarms everything on every exit path (including
+    // assertion failures below).
+    let _guard = crashpoint::ScopedCrashpoints::new();
     let dir = tmpdir("anchor");
     let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::DataCodeword);
     let (db, _) = DaliEngine::create(config).unwrap();
@@ -106,5 +110,8 @@ fn crash_between_anchor_rename_and_dir_sync_recovers_both_ways() {
     std::fs::write(reverted.join("cur_ckpt"), &old_anchor).unwrap();
     assert_recovers(&reverted, &expected);
 
-    crashpoint::disarm_all();
+    assert!(
+        !crashpoint::any_armed(),
+        "no crash point may outlive the test"
+    );
 }

@@ -59,17 +59,24 @@ proptest! {
         latch_run in 1..96usize,
         threads in 1..4usize,
         deferred in any::<bool>(),
+        residue in any::<bool>(),
     ) {
         let scheme = if deferred {
             ProtectionScheme::DeferredMaintenance
         } else {
             ProtectionScheme::DataCodeword
         };
+        let kind = if residue {
+            dali_common::CodewordAlgebraKind::Residue
+        } else {
+            dali_common::CodewordAlgebraKind::XorFold
+        };
         let image = DbImage::new(PAGES, PAGE).unwrap();
         let mut prot = CodewordProtection::with_config(
             &image, scheme, REGION, 1,
             DeferredConfig { shards: 4, watermark: 0 },
             threads,
+            kind,
         ).unwrap();
         prot.set_latch_run(latch_run);
 
