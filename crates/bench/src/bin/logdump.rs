@@ -6,16 +6,16 @@
 //! can follow exactly which transactions read and wrote what, where
 //! audits ran, and where checkpoints completed.
 //!
-//! Usage: cargo run -p dali-bench --bin logdump -- <db-dir> [--from LSN] [--txn N]
+//! Usage: cargo run -p dali-bench --bin logdump -- <db-dir> [--from LSN] [--txn N] [--residue]
 
-use dali_common::Lsn;
+use dali_common::{CodewordAlgebraKind, Lsn};
 use dali_wal::record::LogRecord;
 use dali_wal::SystemLog;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: logdump <db-dir> [--from LSN] [--txn N]");
+        eprintln!("usage: logdump <db-dir> [--from LSN] [--txn N] [--residue]");
         std::process::exit(2);
     };
     let get = |flag: &str| -> Option<u64> {
@@ -26,9 +26,16 @@ fn main() {
     };
     let from = Lsn(get("--from").unwrap_or(0));
     let txn_filter = get("--txn");
+    // Frame checksums follow the database's codeword algebra; a log
+    // written by a residue-configured engine needs --residue to verify.
+    let algebra = if args.iter().any(|a| a == "--residue") {
+        CodewordAlgebraKind::Residue
+    } else {
+        CodewordAlgebraKind::XorFold
+    };
 
     let path = std::path::Path::new(dir).join("system.log");
-    let records = SystemLog::scan_stable(&path, from).unwrap_or_else(|e| {
+    let records = SystemLog::scan_stable_with(&path, from, algebra).unwrap_or_else(|e| {
         eprintln!("cannot scan {}: {e}", path.display());
         std::process::exit(1);
     });

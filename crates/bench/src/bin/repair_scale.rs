@@ -1,0 +1,272 @@
+//! Online-repair scaling sweep: what self-healing costs and what it
+//! saves.
+//!
+//! 1. **Repair vs recovery latency** — wall-clock of an in-place parity
+//!    rebuild of one corrupt region against the log-based alternative
+//!    (certified checkpoint restore + WAL replay, forced by a double
+//!    fault in the same parity group), swept over parity group size and
+//!    post-checkpoint dirt (committed ops since the anchor, which is
+//!    what the log rung has to replay). In-place repair is flat; the
+//!    log rung grows with the dirt. At the default group size the
+//!    harness *asserts* repair is at least 10x below recovery.
+//! 2. **Parity write amplification** — TPC-B throughput with the stripe
+//!    off vs on, plus the stripe's own counters (drains, coalesced
+//!    deltas, delta bytes queued) so the overhead can be attributed.
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin repair_scale [-- options]
+//!
+//! Options:
+//!   --groups LIST   parity group sizes to sweep (default 4,8,16,32)
+//!   --dirty LIST    post-checkpoint committed ops (default 0,256,2048)
+//!   --reps N        repetitions per cell, best reported (default 5)
+//!   --ops N         TPC-B ops for the overhead leg (default 20000)
+//!   --quick         CI smoke mode: one cell each, seconds total
+
+use dali_bench::scratch_dir;
+use dali_common::{DaliConfig, DbAddr, ProtectionScheme};
+use dali_engine::repair::RepairOutcome;
+use dali_engine::{CheckpointOutcome, DaliEngine};
+use dali_faultinject::FaultInjector;
+use dali_workload::{TpcbConfig, TpcbDriver};
+use std::time::Instant;
+
+const USAGE: &str =
+    "usage: repair_scale [--groups LIST] [--dirty LIST] [--reps N] [--ops N] [--quick]";
+
+const REC: usize = 64;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} must be comma-separated numbers")))
+        })
+        .collect()
+}
+
+/// A populated engine with a certified anchor and `dirty_ops` committed
+/// updates since it — the state both repair rungs start from. Returns
+/// the engine plus the base addresses of two sibling regions in one
+/// parity group (record slots, so wild writes land on live data).
+fn arena(
+    group: usize,
+    dirty_ops: usize,
+    tag: &str,
+) -> (DaliEngine, DbAddr, DbAddr, std::path::PathBuf) {
+    let dir = scratch_dir(&format!("repairscale-{tag}-{group}-{dirty_ops}"));
+    let config = DaliConfig::small(&dir)
+        .with_scheme(ProtectionScheme::DataCodeword)
+        .with_parity_group_size(group);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let table = db.create_table("t", REC, 4096).unwrap();
+    let mut recs = Vec::new();
+    for i in 0..256u32 {
+        let txn = db.begin().unwrap();
+        recs.push(txn.insert(table, &[i as u8; REC]).unwrap());
+        txn.commit().unwrap();
+    }
+    match db.checkpoint().unwrap() {
+        CheckpointOutcome::Certified { .. } => {}
+        other => panic!("clean database must certify, got {other:?}"),
+    }
+    // Post-anchor dirt: this is what the log rung has to replay.
+    for i in 0..dirty_ops {
+        let txn = db.begin().unwrap();
+        txn.update(recs[i % recs.len()], &[(i as u8) ^ 0x55; REC])
+            .unwrap();
+        txn.commit().unwrap();
+    }
+    // Two sibling regions of one group: records are region-sized, so
+    // consecutive slots are consecutive regions.
+    let (base_a, base_b) = {
+        let geom = db.db().prot.geometry();
+        let stripe = db.db().prot.parity().expect("stripe enabled");
+        let a = db.record_addr(recs[0]).unwrap();
+        let ra = geom.region_of(a);
+        let rb = if stripe.group_of(ra + 1) == stripe.group_of(ra) {
+            ra + 1
+        } else {
+            ra - 1
+        };
+        (geom.region_base(ra), geom.region_base(rb))
+    };
+    (db, base_a, base_b, dir)
+}
+
+fn flip(db: &DaliEngine, inj: &FaultInjector, base: DbAddr) {
+    let mut b = [0u8; 1];
+    db.db().image.read(base, &mut b).unwrap();
+    b[0] ^= 0x08;
+    assert!(inj.wild_write_bytes(base, &b).unwrap().landed());
+}
+
+/// Best-of-`reps` latency of one repair rung, in seconds. `double`
+/// selects the rung: a second corrupt sibling forces the log path.
+fn rung_latency(group: usize, dirty_ops: usize, reps: usize, double: bool) -> f64 {
+    let tag = if double { "log" } else { "parity" };
+    let (db, base_a, base_b, dir) = arena(group, dirty_ops, tag);
+    let inj = FaultInjector::new(&db);
+    let region = db.db().prot.geometry().region_of(base_a);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        flip(&db, &inj, base_a);
+        if double {
+            flip(&db, &inj, base_b);
+        }
+        let start = Instant::now();
+        let outcome = db.repair(region).unwrap();
+        best = best.min(start.elapsed().as_secs_f64());
+        match (double, &outcome) {
+            (false, RepairOutcome::RepairedInPlace { .. }) => {}
+            (true, RepairOutcome::RecoveredViaLog { .. }) => {}
+            _ => panic!("wrong rung for double={double}: {outcome:?}"),
+        }
+    }
+    assert!(
+        db.audit().unwrap().clean(),
+        "post-repair audit must be clean"
+    );
+    drop(db);
+    let _ = std::fs::remove_dir_all(&dir);
+    best
+}
+
+fn latency_sweep(groups: &[usize], dirty: &[usize], reps: usize, default_group: usize) {
+    println!(
+        "### Repair vs recovery latency (best of {reps}): one corrupt region, in-place parity \
+         rebuild vs certified-checkpoint + WAL replay\n"
+    );
+    println!("| group size | post-ckpt ops | repair us | recovery us | recovery / repair |");
+    println!("|---|---|---|---|---|");
+    for &g in groups {
+        for &d in dirty {
+            let repair = rung_latency(g, d, reps, false);
+            let recover = rung_latency(g, d, reps, true);
+            let ratio = recover / repair;
+            println!(
+                "| {g} | {d} | {:.1} | {:.1} | {ratio:.0}x |",
+                repair * 1e6,
+                recover * 1e6,
+            );
+            if g == default_group {
+                assert!(
+                    ratio >= 10.0,
+                    "acceptance: at the default group size ({g}), in-place repair must be at \
+                     least 10x below log-based recovery, got {ratio:.1}x \
+                     ({:.1} us vs {:.1} us)",
+                    repair * 1e6,
+                    recover * 1e6,
+                );
+            }
+        }
+    }
+    println!();
+}
+
+fn overhead_leg(ops: usize, reps: usize, default_group: usize) {
+    println!(
+        "### Parity write amplification: TPC-B, {ops} ops, stripe off vs on (best of {reps})\n"
+    );
+    println!("| stripe | ops/s | overhead | drains | coalesced | delta bytes | bytes/op |");
+    println!("|---|---|---|---|---|---|---|");
+    let mut base_ops_s = 0.0;
+    for group in [0, default_group] {
+        let dir = scratch_dir(&format!("repairscale-tpcb-{group}"));
+        let config = DaliConfig::small(&dir)
+            .with_scheme(ProtectionScheme::DataCodeword)
+            .with_parity_group_size(group);
+        let (db, _) = DaliEngine::create(config).unwrap();
+        let mut driver = TpcbDriver::setup(&db, TpcbConfig::small()).unwrap();
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            driver.run_ops(ops).unwrap();
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        let ops_s = ops as f64 / best;
+        if group == 0 {
+            base_ops_s = ops_s;
+        }
+        let snap = db.parity_stats();
+        println!(
+            "| {} | {ops_s:.0} | {:+.1}% | {} | {} | {} | {:.1} |",
+            if group == 0 {
+                "off".to_string()
+            } else {
+                format!("on ({group})")
+            },
+            (base_ops_s / ops_s - 1.0) * 100.0,
+            snap.drains,
+            snap.coalesced_deltas,
+            snap.delta_bytes,
+            snap.delta_bytes as f64 / (ops * reps) as f64,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!();
+}
+
+fn main() {
+    let mut groups: Vec<usize> = vec![4, 8, 16, 32];
+    let mut dirty: Vec<usize> = vec![0, 256, 2048];
+    let mut reps: usize = 5;
+    let mut ops: usize = 20_000;
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--groups" => groups = parse_list(&value(&mut args, "--groups"), "--groups"),
+            "--dirty" => dirty = parse_list(&value(&mut args, "--dirty"), "--dirty"),
+            "--reps" => {
+                reps = value(&mut args, "--reps")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--reps must be a number"));
+            }
+            "--ops" => {
+                ops = value(&mut args, "--ops")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--ops must be a number"));
+            }
+            "--quick" => quick = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if quick {
+        // CI smoke: every rung once, including the 10x assertion.
+        groups = vec![8];
+        dirty = vec![64];
+        reps = 2;
+        ops = 2_000;
+    }
+    if groups.is_empty() || dirty.is_empty() || reps == 0 || ops == 0 {
+        fail("all arguments must be positive / non-empty");
+    }
+    if groups.iter().any(|&g| g < 2) {
+        fail("--groups entries must be at least 2 (a stripe needs siblings)");
+    }
+
+    let default_group = DaliConfig::small("unused").parity_group_size;
+    println!("Repair scaling: in-place parity rebuilds vs log-based recovery");
+    println!(
+        "(host CPUs: {}, default parity group size: {default_group})\n",
+        std::thread::available_parallelism().map_or(0, |n| n.get())
+    );
+    latency_sweep(&groups, &dirty, reps, default_group);
+    overhead_leg(ops, reps, default_group);
+}

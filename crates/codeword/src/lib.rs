@@ -26,15 +26,21 @@
 //!   striped across scoped worker threads
 //!   ([`audit_all_parallel`](audit::audit_all_parallel)) with reports
 //!   identical to the serial scan.
+//! * [`parity`] — the optional parity stripe: one XOR parity buffer per
+//!   group of protection regions, maintained through the same
+//!   enqueue/drain path as deferred codewords, from which a region that
+//!   fails its audit can be rebuilt *in place* without log replay.
 //! * [`protection`] — [`CodewordProtection`](protection::CodewordProtection),
 //!   the façade bundling geometry + table + latches and implementing the
-//!   per-scheme read/update protocols.
+//!   per-scheme read/update protocols, including
+//!   [`repair_region`](protection::CodewordProtection::repair_region).
 
 pub mod algebra;
 pub mod audit;
 pub mod codeword;
 pub mod deferred;
 pub mod latch;
+pub mod parity;
 pub mod protection;
 pub mod region;
 pub mod table;
@@ -43,7 +49,8 @@ pub use algebra::{algebra_for, CodewordAlgebra, ResidueAlgebra, XorFoldAlgebra};
 pub use audit::{AuditReport, CorruptRegion};
 pub use deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 pub use latch::{LatchMode, LatchTable};
-pub use protection::CodewordProtection;
+pub use parity::{ParityGroupId, ParityStatsSnapshot, ParityStripe};
+pub use protection::{CodewordProtection, RepairFallback};
 pub use region::{RegionGeometry, RegionId};
 pub use table::CodewordTable;
 

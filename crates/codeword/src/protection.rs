@@ -22,10 +22,40 @@ use crate::algebra;
 use crate::audit::{self, AuditReport};
 use crate::deferred::{DeferredConfig, DeferredSet, DeferredStatsSnapshot};
 use crate::latch::{LatchMode, LatchTable};
+use crate::parity::{ParityGroupId, ParityStatsSnapshot, ParityStripe};
 use crate::region::{RegionGeometry, RegionId};
 use crate::table::CodewordTable;
 use dali_common::{CodewordAlgebraKind, DaliError, DbAddr, ProtectionScheme, Result};
 use dali_mem::DbImage;
+
+/// Why a parity repair declined to rebuild and the caller must fall back
+/// to log-based recovery (the bottom rung of the repair ladder).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RepairFallback {
+    /// No parity stripe is configured for this protection.
+    NotEnabled,
+    /// The group's parity buffer no longer folds to its maintained
+    /// codeword: the stripe itself took a wild write (or a torn update),
+    /// so its bytes cannot be trusted for reconstruction.
+    StaleParity {
+        /// The stale group.
+        group: ParityGroupId,
+    },
+    /// Another member of the same parity group also fails its codeword
+    /// check — a double fault; one XOR accumulator cannot disentangle
+    /// two unknowns.
+    SiblingCorrupt {
+        /// The second corrupt region.
+        region: RegionId,
+    },
+    /// The reconstructed bytes still do not fold to the region's
+    /// maintained codeword (e.g. the corruption also reached the
+    /// codeword table, or a delta was lost); nothing was written.
+    VerifyFailed {
+        /// The region whose rebuild failed verification.
+        region: RegionId,
+    },
+}
 
 /// Codeword state and latches for one database image.
 pub struct CodewordProtection {
@@ -37,6 +67,11 @@ pub struct CodewordProtection {
     /// `region → accumulated XOR delta` awaiting application (only for
     /// [`ProtectionScheme::DeferredMaintenance`]).
     deferred: Option<DeferredSet>,
+    /// Parity stripe for online repair (see [`crate::parity`]); present
+    /// when the config enables a parity group size and the scheme
+    /// maintains codewords. Updaters enqueue byte deltas next to their
+    /// codeword deltas, under the same shared latch bracket.
+    parity: Option<ParityStripe>,
     /// Worker count for full-image scans (audits, resync, the initial
     /// table fold); ≥ 1. Per-region scans are unaffected.
     audit_threads: usize,
@@ -121,10 +156,65 @@ impl CodewordProtection {
             table,
             latches,
             deferred,
+            parity: None,
             audit_threads,
             latch_run: 1,
             kind,
         })
+    }
+
+    /// Attach a parity stripe of `group_size` regions per group (no-op
+    /// when `group_size == 0` or the scheme maintains no codewords —
+    /// parity rides the codeword update path). The stripe is built from
+    /// the image's current contents; the caller must be quiesced, as at
+    /// construction and recovery.
+    pub fn enable_parity(
+        &mut self,
+        image: &DbImage,
+        group_size: usize,
+        shards: usize,
+        watermark: usize,
+    ) -> Result<()> {
+        if group_size == 0 || !self.scheme.maintains_codewords() {
+            self.parity = None;
+            return Ok(());
+        }
+        let stripe = ParityStripe::new(&self.geom, group_size, shards, watermark, self.kind)?;
+        stripe.resync(image, &self.geom)?;
+        self.parity = Some(stripe);
+        Ok(())
+    }
+
+    /// The parity stripe, when online repair is enabled.
+    #[inline]
+    pub fn parity(&self) -> Option<&ParityStripe> {
+        self.parity.as_ref()
+    }
+
+    /// Rebuild one parity group from the image under the group's
+    /// exclusive latch bracket: drain its shards (pending deltas are
+    /// superseded by the fresh image read) and recompute buffer + parity
+    /// codeword. Used by checkpoint certification to heal a group whose
+    /// stripe memory took a wild write, after the member regions
+    /// themselves audited clean. No-op without a stripe.
+    pub fn resync_parity_group(&self, image: &DbImage, group: ParityGroupId) -> Result<()> {
+        let Some(stripe) = &self.parity else {
+            return Ok(());
+        };
+        let (first, last) = stripe.members(group);
+        self.latches
+            .with_span(first, last, LatchMode::Exclusive, || {
+                stripe.drain_group(group);
+                stripe.rebuild_group(image, &self.geom, group)
+            })
+    }
+
+    /// Parity-stripe gauges and lifetime counters (zeroed default when
+    /// no stripe is configured).
+    pub fn parity_stats(&self) -> ParityStatsSnapshot {
+        self.parity
+            .as_ref()
+            .map_or_else(ParityStatsSnapshot::default, |p| p.snapshot())
     }
 
     /// The codeword algebra this protection folds and maintains under.
@@ -209,6 +299,7 @@ impl CodewordProtection {
         if !self.scheme.maintains_codewords() || old_widened.is_empty() {
             return Ok(());
         }
+        let mut new_bytes = Vec::new();
         for (region, s, l) in self.geom.split(waddr, old_widened.len()) {
             let rel = s.0 - waddr.0;
             let old_fold = algebra::fold(self.kind, &old_widened[rel..rel + l]);
@@ -227,6 +318,18 @@ impl CodewordProtection {
                 }
                 None => self.table.apply_delta(region, delta),
             }
+            if let Some(stripe) = &self.parity {
+                // Parity byte delta, enqueued under the same latch
+                // bracket as the codeword delta: old ⊕ new of this
+                // region piece, positioned at its region-relative
+                // offset.
+                new_bytes.resize(l, 0);
+                image.read(s, &mut new_bytes)?;
+                let region_rel = s.0 - self.geom.region_base(region).0;
+                if stripe.record_delta(region, region_rel, &old_widened[rel..rel + l], &new_bytes) {
+                    stripe.drain_region(region);
+                }
+            }
         }
         Ok(())
     }
@@ -241,6 +344,9 @@ impl CodewordProtection {
         if let Some(set) = &self.deferred {
             set.drain_all(&self.table);
         }
+        if let Some(stripe) = &self.parity {
+            stripe.drain_all();
+        }
     }
 
     /// Drain the dirty-set shard holding `region`'s deltas (the
@@ -249,6 +355,9 @@ impl CodewordProtection {
     pub fn drain_region(&self, region: RegionId) {
         if let Some(set) = &self.deferred {
             set.drain_region(region, &self.table);
+        }
+        if let Some(stripe) = &self.parity {
+            stripe.drain_region(region);
         }
     }
 
@@ -437,7 +546,71 @@ impl CodewordProtection {
             self.table
                 .recompute_all_parallel(image, &self.geom, self.audit_threads)?;
         }
+        if let Some(stripe) = &self.parity {
+            stripe.resync(image, &self.geom)?;
+        }
         Ok(())
+    }
+
+    /// Attempt to rebuild `region` in place from its parity group.
+    ///
+    /// Takes the group's protection latches exclusively (quiescing
+    /// updaters for exactly that span), drains both the codeword and
+    /// parity shards covering the group, then walks the fallback ladder:
+    ///
+    /// 1. parity buffer must fold to its maintained parity codeword
+    ///    (else [`RepairFallback::StaleParity`]);
+    /// 2. every sibling region must pass its codeword check (else
+    ///    [`RepairFallback::SiblingCorrupt`] — a double fault);
+    /// 3. the reconstruction `parity ⊕ (⊕ siblings)` must fold to the
+    ///    region's *maintained* codeword (else
+    ///    [`RepairFallback::VerifyFailed`]).
+    ///
+    /// Only a rebuild passing all three is written back — the returned
+    /// `Ok(Ok(bytes))` means the region's bytes once again match the
+    /// codeword the prescribed-update history maintained, with no log
+    /// replay. `Ok(Err(reason))` leaves the image untouched; the caller
+    /// falls back to checkpoint + WAL recovery.
+    pub fn repair_region(
+        &self,
+        image: &DbImage,
+        region: RegionId,
+    ) -> Result<std::result::Result<usize, RepairFallback>> {
+        let Some(stripe) = &self.parity else {
+            return Ok(Err(RepairFallback::NotEnabled));
+        };
+        let group = stripe.group_of(region);
+        let (first, last) = stripe.members(group);
+        self.latches
+            .with_span(first, last, LatchMode::Exclusive, || {
+                if let Some(set) = &self.deferred {
+                    let mut shards: Vec<usize> = (first..=last).map(|r| set.shard_of(r)).collect();
+                    shards.sort_unstable();
+                    shards.dedup();
+                    for s in shards {
+                        set.drain_shard(s, &self.table);
+                    }
+                }
+                stripe.drain_group(group);
+                if !stripe.verify_group(group) {
+                    return Ok(Err(RepairFallback::StaleParity { group }));
+                }
+                for r in first..=last {
+                    if r == region {
+                        continue;
+                    }
+                    if audit::check_region(image, &self.geom, &self.table, r)?.is_some() {
+                        return Ok(Err(RepairFallback::SiblingCorrupt { region: r }));
+                    }
+                }
+                let mut rebuilt = vec![0u8; self.geom.region_size()];
+                stripe.reconstruct(image, &self.geom, region, &mut rebuilt)?;
+                if algebra::fold(self.kind, &rebuilt) != self.table.get(region) {
+                    return Ok(Err(RepairFallback::VerifyFailed { region }));
+                }
+                image.write(self.geom.region_base(region), &rebuilt)?;
+                Ok(Ok(rebuilt.len()))
+            })
     }
 
     /// Compute the codeword of the region containing `addr` directly from

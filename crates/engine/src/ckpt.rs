@@ -34,9 +34,12 @@ use std::sync::Arc;
 
 // CB01 had no algebra tag; CB02 appends the codeword-algebra byte right
 // after the magic so recovery can reject an image certified under a
-// different algebra than the one configured.
-const META_MAGIC: u32 = 0xDA11_CB02;
+// different algebra than the one configured. CB03 adds the parity-stripe
+// layout (`parity_group_size`, `0` = stripe off) so recovery can reject
+// an image whose parity geometry disagrees with the configured one.
+const META_MAGIC: u32 = 0xDA11_CB03;
 const ANCHOR_MAGIC: u32 = 0xDA11_A0C1;
+const PARITY_MAGIC: u32 = 0xDA11_9A81;
 
 /// Outcome of a checkpoint attempt.
 #[derive(Debug)]
@@ -52,6 +55,16 @@ pub enum CheckpointOutcome {
     /// toggled, a corruption marker was written, and the engine is
     /// poisoned. Reopen the database to run corruption recovery.
     CorruptionDetected(AuditReport),
+    /// The certification audit found corruption but the repair ladder
+    /// healed it online (parity rebuild, or checkpoint+WAL cache
+    /// recovery) and the damaged regions re-audited clean. The anchor was
+    /// *not* toggled and the engine stays up; the repaired pages are
+    /// re-noted dirty and the next certification sweeps everything, so a
+    /// retried checkpoint covers the healed state.
+    CorruptionRepaired {
+        report: AuditReport,
+        outcome: crate::repair::RepairOutcome,
+    },
 }
 
 /// Checkpoint metadata (one per image file).
@@ -69,6 +82,11 @@ pub struct CkptMeta {
     /// The codeword algebra the certifying audit ran under. Recovery
     /// refuses an image whose algebra differs from the configured one.
     pub algebra: CodewordAlgebraKind,
+    /// Parity-stripe layout at checkpoint time: regions per parity group,
+    /// `0` when the stripe is off. Recovery refuses a layout mismatch
+    /// (the persisted stripe and the repair ladder's assumptions would
+    /// silently disagree) and rebuilds the stripe from the replayed image.
+    pub parity_group_size: u64,
     pub catalog: Catalog,
     /// Serialized ATT (decoded lazily by recovery).
     pub att_blob: Vec<u8>,
@@ -79,6 +97,7 @@ impl CkptMeta {
         let mut buf = BytesMut::new();
         buf.put_u32_le(META_MAGIC);
         buf.put_u8(self.algebra.tag());
+        buf.put_u64_le(self.parity_group_size);
         buf.put_u64_le(self.serial);
         buf.put_u64_le(self.ck_end.0);
         buf.put_u64_le(self.next_txn);
@@ -113,6 +132,7 @@ impl CkptMeta {
         let algebra = CodewordAlgebraKind::from_tag(buf.get_u8()).ok_or_else(|| {
             DaliError::RecoveryFailed("ckpt meta unknown codeword algebra tag".into())
         })?;
+        let parity_group_size = buf.get_u64_le();
         let serial = buf.get_u64_le();
         let ck_end = Lsn(buf.get_u64_le());
         let next_txn = buf.get_u64_le();
@@ -140,6 +160,7 @@ impl CkptMeta {
             next_audit,
             audit_sn,
             algebra,
+            parity_group_size,
             catalog,
             att_blob,
         })
@@ -218,6 +239,93 @@ pub fn write_meta(dir: &Path, image: usize, meta: &CkptMeta) -> Result<()> {
 pub fn read_meta(dir: &Path, image: usize) -> Result<CkptMeta> {
     let bytes = std::fs::read(Db::meta_path(dir, image))?;
     CkptMeta::decode(&bytes)
+}
+
+/// A parity stripe as persisted beside a checkpoint image: per group,
+/// the maintained parity codeword and the parity buffer bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParityFile {
+    pub group_size: u64,
+    pub region_size: u64,
+    /// `(maintained codeword, parity buffer)` per group, in group order.
+    pub groups: Vec<(u32, Vec<u8>)>,
+}
+
+/// Persist the parity stripe beside checkpoint image `image` (or remove a
+/// stale stripe file when parity is off). The snapshot is taken group by
+/// group under each group's buffer mutex, concurrent with updaters: the
+/// persisted stripe is *advisory* — recovery always rebuilds the live
+/// stripe from the replayed image — but each persisted group is
+/// internally consistent (buffer matches word), so offline verification
+/// can fold-check it like any other codeworded data.
+fn write_parity(dir: &Path, image: usize, db: &Arc<Db>) -> Result<()> {
+    let path = Db::parity_path(dir, image);
+    let Some(stripe) = db.prot.parity() else {
+        match std::fs::remove_file(&path) {
+            Ok(()) => return sync_parent_dir(&path),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e.into()),
+        }
+    };
+    let region_size = db.prot.geometry().region_size();
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(PARITY_MAGIC);
+    buf.put_u64_le(stripe.group_size() as u64);
+    buf.put_u64_le(stripe.num_groups() as u64);
+    buf.put_u64_le(region_size as u64);
+    let mut group = vec![0u8; region_size];
+    for g in 0..stripe.num_groups() {
+        let word = stripe.export_group(g, &mut group);
+        buf.put_u32_le(word);
+        buf.extend_from_slice(&group);
+    }
+    let sum = dali_wal::record::checksum(&buf);
+    buf.put_u32_le(sum);
+    atomic_write(&path, &buf)
+}
+
+/// Load the parity stripe persisted beside checkpoint image `image`;
+/// `Ok(None)` when no stripe file exists (parity off at checkpoint time).
+pub fn read_parity(dir: &Path, image: usize) -> Result<Option<ParityFile>> {
+    let bytes = match std::fs::read(Db::parity_path(dir, image)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 32 {
+        return Err(DaliError::RecoveryFailed("parity file truncated".into()));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 4);
+    let stored = u32::from_le_bytes(sum_bytes.try_into().unwrap());
+    if dali_wal::record::checksum(body) != stored {
+        return Err(DaliError::RecoveryFailed(
+            "parity file checksum mismatch".into(),
+        ));
+    }
+    let mut buf = body;
+    if buf.get_u32_le() != PARITY_MAGIC {
+        return Err(DaliError::RecoveryFailed("parity file bad magic".into()));
+    }
+    let group_size = buf.get_u64_le();
+    let num_groups = buf.get_u64_le() as usize;
+    let region_size = buf.get_u64_le();
+    if buf.len() != num_groups * (4 + region_size as usize) {
+        return Err(DaliError::RecoveryFailed(
+            "parity file length disagrees with its header".into(),
+        ));
+    }
+    let mut groups = Vec::with_capacity(num_groups);
+    for _ in 0..num_groups {
+        let word = buf.get_u32_le();
+        let mut g = vec![0u8; region_size as usize];
+        buf.copy_to_slice(&mut g);
+        groups.push((word, g));
+    }
+    Ok(Some(ParityFile {
+        group_size,
+        region_size,
+        groups,
+    }))
 }
 
 /// Write `pages` of the in-memory snapshot into an image file (positioned
@@ -394,8 +502,34 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
             db.syslog
                 .dirty()
                 .note_all(dirty_pages.iter().map(|(p, _)| *p));
+            // Try to heal online before bringing the database down: the
+            // ckpt_state lock is held across the repair, so no competing
+            // checkpoint interleaves with the rebuild.
+            if let Some(outcome) = crate::repair::auto_repair(db, &report)? {
+                return Ok(CheckpointOutcome::CorruptionRepaired { report, outcome });
+            }
             crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
             return Ok(CheckpointOutcome::CorruptionDetected(report));
+        }
+        // Certify the parity stripe's dirty footprint: parity buffers are
+        // not backed by image pages, so the dirty-page → region mapping
+        // above cannot see them; the stripe's own dirty-group flags are
+        // their certification channel. A group failing verification means
+        // the stripe memory itself took a wild write — its members just
+        // audited clean, so rebuild the group from the image under its
+        // latch bracket rather than distrusting the data.
+        if let Some(stripe) = db.prot.parity() {
+            stripe.drain_all();
+            let dirty_groups = stripe.take_dirty_groups();
+            db.stats.certify_parity_groups.fetch_add(
+                dirty_groups.len() as u64,
+                std::sync::atomic::Ordering::Relaxed,
+            );
+            for g in dirty_groups {
+                if !stripe.verify_group(g) {
+                    db.prot.resync_parity_group(&db.image, g)?;
+                }
+            }
         }
         if full {
             state.ckpts_since_full = 0;
@@ -415,9 +549,11 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
         next_audit: db.audit_counter.load(std::sync::atomic::Ordering::Relaxed),
         audit_sn: *db.last_clean_audit.lock(),
         algebra: db.prot.kind(),
+        parity_group_size: db.config.resolved_parity_group_size() as u64,
         catalog,
         att_blob,
     };
+    write_parity(&dir, image, db)?;
     write_meta(&dir, image, &meta)?;
     write_anchor(&dir, image, state.serial)?;
     state.next_image = 1 - image;
@@ -455,7 +591,14 @@ pub fn audit(db: &Arc<Db>) -> Result<AuditReport> {
     if clean {
         *db.last_clean_audit.lock() = Some(begin_lsn);
     } else {
-        crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
+        // Self-healing hook: walk the repair ladder before bringing the
+        // database down. Only a clean re-audit of the damaged regions
+        // counts as healed; otherwise the legacy detect-and-crash path
+        // runs unchanged.
+        db.ckpt_state.lock().force_full = true;
+        if crate::repair::auto_repair(db, &report)?.is_none() {
+            crate::corruption::report_corruption(db, &report.corrupt_ranges())?;
+        }
     }
     Ok(report)
 }
@@ -583,6 +726,7 @@ mod tests {
             next_audit: 2,
             audit_sn: Some(Lsn(900)),
             algebra: CodewordAlgebraKind::XorFold,
+            parity_group_size: 8,
             catalog,
             att_blob: att.encode_for_ckpt().unwrap(),
         };
@@ -606,6 +750,7 @@ mod tests {
             next_audit: 0,
             audit_sn: None,
             algebra: CodewordAlgebraKind::Residue,
+            parity_group_size: 0,
             catalog: Catalog::new(),
             att_blob: Att::new().encode_for_ckpt().unwrap(),
         };
@@ -623,6 +768,7 @@ mod tests {
             next_audit: 0,
             audit_sn: None,
             algebra: CodewordAlgebraKind::XorFold,
+            parity_group_size: 0,
             catalog: Catalog::new(),
             att_blob: vec![0, 0, 0, 0],
         };

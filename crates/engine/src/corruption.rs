@@ -257,7 +257,8 @@ pub fn cache_repair(db: &std::sync::Arc<Db>, ranges: &[(DbAddr, usize)]) -> Resu
     // ...replay committed history onto them (physical redo is positional
     // and idempotent, so replaying every record touching these pages
     // repeats history exactly)...
-    let records = SystemLog::scan_stable(db.syslog.path(), meta.ck_end)?;
+    let records =
+        SystemLog::scan_stable_with(db.syslog.path(), meta.ck_end, db.config.codeword_algebra)?;
     let mut replayed = 0usize;
     for (_lsn, rec) in records {
         if let LogRecord::PhysicalRedo { addr, data, .. } = rec {
@@ -281,6 +282,24 @@ pub fn cache_repair(db: &std::sync::Arc<Db>, ranges: &[(DbAddr, usize)]) -> Resu
             let (first, last) = geom.region_span(base, db.config.page_size);
             for r in first..=last {
                 db.prot.table().recompute_region(&db.image, geom, r)?;
+            }
+        }
+        // The page rewrites above bypassed parity maintenance, so the
+        // stripe groups covering the repaired span are stale; rebuild
+        // them from the image so the next in-place repair can trust them.
+        if let Some(stripe) = db.prot.parity() {
+            let mut groups: Vec<_> = pages
+                .iter()
+                .flat_map(|&p| {
+                    let base = p.base(db.config.page_size);
+                    let (first, last) = geom.region_span(base, db.config.page_size);
+                    stripe.group_of(first)..=stripe.group_of(last)
+                })
+                .collect();
+            groups.sort_unstable();
+            groups.dedup();
+            for g in groups {
+                db.prot.resync_parity_group(&db.image, g)?;
             }
         }
     }

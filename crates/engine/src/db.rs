@@ -45,6 +45,22 @@ pub struct EngineStats {
     /// Exclusive latch brackets taken by audit and certification sweeps
     /// (one per region run; equals regions audited at latch run 1).
     pub audit_latch_brackets: AtomicU64,
+    /// Regions handed to the parity repair path (each corrupt region in a
+    /// failed audit counts once).
+    pub repair_attempted: AtomicU64,
+    /// Regions rebuilt in place from their parity group (no log replay).
+    pub repair_succeeded: AtomicU64,
+    /// Repair attempts that fell back to log-based recovery (stale
+    /// parity, double fault in a group, or failed re-verification).
+    pub repair_fell_back: AtomicU64,
+    /// Bytes written back by successful in-place rebuilds.
+    pub repair_bytes_rebuilt: AtomicU64,
+    /// Wall-clock nanoseconds spent inside repair attempts (parity path
+    /// only; a log-based fallback's replay time is not included).
+    pub repair_ns: AtomicU64,
+    /// Parity groups verified by checkpoint certification (the dirty
+    /// parity footprint — see `ckpt`'s certification step).
+    pub certify_parity_groups: AtomicU64,
 }
 
 impl EngineStats {
@@ -160,6 +176,14 @@ impl Db {
 
     pub fn anchor_path(dir: &std::path::Path) -> PathBuf {
         dir.join("cur_ckpt")
+    }
+
+    pub fn parity_path(dir: &std::path::Path, image: usize) -> PathBuf {
+        dir.join(if image == 0 {
+            "ckpt_a.parity"
+        } else {
+            "ckpt_b.parity"
+        })
     }
 
     pub fn marker_path(dir: &std::path::Path) -> PathBuf {

@@ -37,6 +37,7 @@ pub mod heap;
 pub mod lock;
 pub mod maintenance;
 pub mod recovery;
+pub mod repair;
 pub mod trace;
 pub mod txn;
 
@@ -44,6 +45,7 @@ pub use ckpt::CheckpointOutcome;
 pub use corruption::{CorruptionMarker, RangeSet};
 pub use lock::{LockManager, LockMode};
 pub use recovery::{RecoveryMode, RecoveryOutcome};
+pub use repair::RepairOutcome;
 pub use txn::TxnHandle;
 
 use dali_codeword::AuditReport;
@@ -122,6 +124,7 @@ impl DaliEngine {
             &Db::log_path(&self.db.config.dir),
             dali_common::Lsn::ZERO,
             seeds,
+            self.db.config.codeword_algebra,
         )
     }
 
@@ -198,6 +201,20 @@ impl DaliEngine {
     /// back. Returns the number of redo records replayed.
     pub fn cache_repair(&self, ranges: &[(DbAddr, usize)]) -> Result<usize> {
         corruption::cache_repair(&self.db, ranges)
+    }
+
+    /// Online parity repair of one protection region: rebuild it in place
+    /// from its parity group (no WAL replay, no transaction disturbed),
+    /// falling back to online cache recovery when the group's parity
+    /// cannot be trusted. See [`repair::RepairOutcome`].
+    pub fn repair(&self, region: dali_codeword::RegionId) -> Result<RepairOutcome> {
+        repair::repair_region(&self.db, region)
+    }
+
+    /// Parity-stripe gauges and counters (zeroed when the stripe is
+    /// disabled).
+    pub fn parity_stats(&self) -> dali_codeword::ParityStatsSnapshot {
+        self.db.prot.parity_stats()
     }
 
     /// Simulate a process crash: the in-memory image and any unflushed

@@ -19,12 +19,16 @@ use crate::db::Db;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Weak};
 
-/// Spawn the drainer for `db` if the scheme defers maintenance and a
-/// drain interval is configured. Detached: exits on its own when the
-/// database goes away.
+/// Spawn the drainer for `db` if a drain interval is configured and
+/// there is something to drain: the scheme defers codeword maintenance,
+/// or the parity stripe is enabled (parity deltas queue under *every*
+/// codeword scheme — eager schemes still need their stripe drained
+/// between audits). Detached: exits on its own when the database goes
+/// away.
 pub(crate) fn spawn_drainer(db: &Arc<Db>) {
+    let drains_something = db.config.scheme.defers_maintenance() || db.prot.parity().is_some();
     let interval = match db.config.deferred_drain_interval {
-        Some(i) if db.config.scheme.defers_maintenance() && !i.is_zero() => i,
+        Some(i) if drains_something && !i.is_zero() => i,
         _ => return,
     };
     let weak: Weak<Db> = Arc::downgrade(db);

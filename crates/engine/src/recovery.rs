@@ -125,6 +125,12 @@ pub(crate) fn build_db(
         config.codeword_algebra,
     )?;
     prot.set_latch_run(config.resolved_audit_latch_run());
+    prot.enable_parity(
+        &image,
+        config.resolved_parity_group_size(),
+        config.resolved_deferred_shards(),
+        config.deferred_shard_watermark,
+    )?;
     let protector = PageProtector::new(Arc::clone(&image), config.mprotect_real);
     let heaps: Vec<Arc<HeapRuntime>> = catalog
         .iter()
@@ -165,7 +171,11 @@ pub fn create(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     config.validate().map_err(DaliError::InvalidArg)?;
     std::fs::create_dir_all(&config.dir)?;
     let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
-    let syslog = SystemLog::create(Db::log_path(&config.dir), config.page_size)?;
+    let syslog = SystemLog::create_with(
+        Db::log_path(&config.dir),
+        config.page_size,
+        config.codeword_algebra,
+    )?;
     // The whole (zeroed) image is dirty with respect to both checkpoint
     // images.
     syslog.dirty().note_range(config.db_pages);
@@ -195,6 +205,7 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     let (image_idx, serial) = ckpt::read_anchor(&dir)?;
     let meta = ckpt::read_meta(&dir, image_idx)?;
     check_ckpt_algebra(&meta, config.codeword_algebra)?;
+    check_ckpt_parity(&meta, config.resolved_parity_group_size())?;
     let marker = corruption::read_marker(&dir)?;
 
     // Decide the mode. The CW ReadLog scheme runs corruption recovery on
@@ -245,7 +256,8 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         marker_ranges_pending = false;
     }
 
-    let records = SystemLog::scan_stable(Db::log_path(&dir), meta.ck_end)?;
+    let records =
+        SystemLog::scan_stable_with(Db::log_path(&dir), meta.ck_end, config.codeword_algebra)?;
     let records_scanned = records.len();
     let mut max_txn_seen = 0u64;
     let mut max_audit_seen = 0u64;
@@ -450,7 +462,11 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     }
 
     // ---- build the engine (heaps needed for logical undo) ----
-    let syslog = SystemLog::open(Db::log_path(&dir), config.page_size)?;
+    let syslog = SystemLog::open_with(
+        Db::log_path(&dir),
+        config.page_size,
+        config.codeword_algebra,
+    )?;
     let next_txn = meta.next_txn.max(max_txn_seen);
     let next_audit = meta.next_audit.max(max_audit_seen);
     let db = build_db(
@@ -562,6 +578,7 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
     };
     let (image_idx, meta) = meta;
     check_ckpt_algebra(&meta, config.codeword_algebra)?;
+    check_ckpt_parity(&meta, config.resolved_parity_group_size())?;
 
     let image = Arc::new(DbImage::new(config.db_pages, config.page_size)?);
     let bytes = ckpt::load_image_bytes(&dir, image_idx, config.db_bytes())?;
@@ -577,7 +594,8 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
     // Redo up to (not beyond) `upto`, buffering physical writes per
     // operation (see restart(): a prefix cut can split an operation's
     // batch, and unmatched physical records must be discarded).
-    let records = SystemLog::scan_stable(Db::log_path(&dir), meta.ck_end)?;
+    let records =
+        SystemLog::scan_stable_with(Db::log_path(&dir), meta.ck_end, config.codeword_algebra)?;
     let mut records_scanned = 0usize;
     let mut max_txn_seen = 0u64;
     let mut max_audit_seen = 0u64;
@@ -674,7 +692,11 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
         f.sync_data()?;
     }
 
-    let syslog = SystemLog::open(Db::log_path(&dir), config.page_size)?;
+    let syslog = SystemLog::open_with(
+        Db::log_path(&dir),
+        config.page_size,
+        config.codeword_algebra,
+    )?;
     let db = build_db(
         config,
         Arc::clone(&image),
@@ -782,6 +804,23 @@ fn check_ckpt_algebra(meta: &ckpt::CkptMeta, configured: CodewordAlgebraKind) ->
              before switching",
             meta.algebra.label(),
             configured.label()
+        )));
+    }
+    Ok(())
+}
+
+/// Reject a checkpoint whose parity-stripe layout differs from the
+/// configured one (`0` = stripe off). The persisted stripe file and the
+/// repair ladder's group geometry must agree with what certification ran
+/// under; the live stripe itself is rebuilt from the image after replay
+/// regardless, so only the *layout* is checked here.
+fn check_ckpt_parity(meta: &ckpt::CkptMeta, configured: usize) -> Result<()> {
+    if meta.parity_group_size != configured as u64 {
+        return Err(DaliError::RecoveryFailed(format!(
+            "checkpoint was taken with parity group size {} but the engine \
+             is configured for {}; re-checkpoint with the original layout \
+             before switching",
+            meta.parity_group_size, configured
         )));
     }
     Ok(())

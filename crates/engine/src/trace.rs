@@ -56,8 +56,13 @@ impl TaintReport {
 ///   transaction;
 /// * a tainted transaction's rollback (abort) *un*taints nothing — the
 ///   trace is conservative.
-pub fn trace_taint(log_path: &Path, from: Lsn, seeds: &[TxnId]) -> Result<TaintReport> {
-    let records = SystemLog::scan_stable(log_path, from)?;
+pub fn trace_taint(
+    log_path: &Path,
+    from: Lsn,
+    seeds: &[TxnId],
+    kind: dali_common::CodewordAlgebraKind,
+) -> Result<TaintReport> {
+    let records = SystemLog::scan_stable_with(log_path, from, kind)?;
     let mut tainted: HashSet<TxnId> = seeds.iter().copied().collect();
     let mut data = RangeSet::new();
     let mut read_records_seen = 0usize;
@@ -155,7 +160,13 @@ mod tests {
         t4.commit().unwrap();
 
         db.db().syslog.flush(false).unwrap();
-        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[t1_id]).unwrap();
+        let report = trace_taint(
+            &db.config().dir.join("system.log"),
+            Lsn::ZERO,
+            &[t1_id],
+            db.config().codeword_algebra,
+        )
+        .unwrap();
         assert!(report.contains(t1_id));
         assert!(report.contains(t2_id), "{report:?}");
         assert!(report.contains(t4_id), "{report:?}");
@@ -174,7 +185,13 @@ mod tests {
         txn.insert(t, &[1u8; 8]).unwrap();
         txn.commit().unwrap();
         db.db().syslog.flush(false).unwrap();
-        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[]).unwrap();
+        let report = trace_taint(
+            &db.config().dir.join("system.log"),
+            Lsn::ZERO,
+            &[],
+            db.config().codeword_algebra,
+        )
+        .unwrap();
         assert!(report.tainted_txns.is_empty());
         assert!(report.tainted_data.is_empty());
     }
@@ -193,7 +210,13 @@ mod tests {
         let _ = t2.read_vec(rec).unwrap(); // not logged under Baseline
         t2.commit().unwrap();
         db.db().syslog.flush(false).unwrap();
-        let report = trace_taint(&db.config().dir.join("system.log"), Lsn::ZERO, &[t1_id]).unwrap();
+        let report = trace_taint(
+            &db.config().dir.join("system.log"),
+            Lsn::ZERO,
+            &[t1_id],
+            db.config().codeword_algebra,
+        )
+        .unwrap();
         assert_eq!(
             report.read_records_seen, 0,
             "caller can tell the trace is blind"

@@ -42,8 +42,15 @@ struct Setup {
 }
 
 /// Common stage: table with four committed records, clean audit taken.
+///
+/// Parity repair is pinned off: every test here exercises the rungs
+/// *below* it (detect-and-crash, delete-transaction recovery, cache
+/// recovery), which only run when the stripe cannot heal the damage
+/// first. `tests/repair_model.rs` covers the parity rung.
 fn setup(name: &str, scheme: ProtectionScheme) -> Setup {
-    let config = DaliConfig::small(tmpdir(name)).with_scheme(scheme);
+    let config = DaliConfig::small(tmpdir(name))
+        .with_scheme(scheme)
+        .with_parity_group_size(0);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let t = db.create_table("t", REC, 64).unwrap();
     let txn = db.begin().unwrap();

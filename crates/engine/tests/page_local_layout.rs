@@ -98,7 +98,9 @@ fn ddl_replay_reconstructs_page_local_layout() {
 
 #[test]
 fn corruption_recovery_with_page_local_layout() {
-    let config = cfg("corr", ProtectionScheme::ReadLogging);
+    // Parity repair pinned off: this test exercises the delete-transaction
+    // rung, which only runs when the stripe cannot heal the damage first.
+    let config = cfg("corr", ProtectionScheme::ReadLogging).with_parity_group_size(0);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let t = db.create_table("t", 100, 200).unwrap();
     let txn = db.begin().unwrap();

@@ -31,8 +31,13 @@
 //! first hit; checkpoint-image verdicts from
 //! [`dali_engine::ckpt::scrub_anchored_image`]; WAL verdicts from
 //! re-scanning the stable log and comparing against the pre-corruption
-//! scan (the WAL frame checksum is XOR-based in every configuration —
-//! see [`wal_expected_verdict`] for the documented paired-flip residual).
+//! scan (the WAL frame checksum follows the configured codeword algebra
+//! — see [`wal_expected_verdict`] for the per-algebra paired-flip line).
+//! The *repair leg* ([`run_repair_round`] / [`run_repair_matrix`]) goes
+//! one step further: instead of writing the original bytes back, it lets
+//! the engine's parity-based online repair reconstruct them, and
+//! classifies each round as repaired-in-place, recovered-via-log, or
+//! missed ([`RepairVerdict`]).
 //!
 //! [`CodewordProtection::audit`]: dali_codeword::CodewordProtection::audit
 
@@ -178,14 +183,20 @@ pub fn algebra_expected_detected(algebra: CodewordAlgebraKind, pattern: Corrupti
     }
 }
 
-/// What the WAL's (XOR-based, algebra-independent) frame checksum does
-/// with `pattern` inside one frame: `Some(true)` = the scan must reject
-/// the frame, `Some(false)` = the pair cancels in the checksum and the
-/// corruption is a documented residual exposure, `None` = depends on
-/// where the bytes land (structural vs payload).
-pub fn wal_expected_verdict(pattern: CorruptionPattern) -> Option<bool> {
+/// What the WAL frame checksum — which now follows the configured
+/// codeword algebra — does with `pattern` inside one frame's payload:
+/// `Some(true)` = the scan must reject the frame, `Some(false)` = the
+/// pattern cancels in the checksum and the corruption is a documented
+/// residual exposure, `None` = depends on where the bytes land
+/// (structural vs payload). The paired same-direction flip cancels only
+/// in the XOR checksum; residue-framed logs catch it — the same blind
+/// spot / coverage split as the data image's algebras.
+pub fn wal_expected_verdict(
+    algebra: CodewordAlgebraKind,
+    pattern: CorruptionPattern,
+) -> Option<bool> {
     match pattern {
-        CorruptionPattern::PairedSameColumn => Some(false),
+        CorruptionPattern::PairedSameColumn => Some(algebra == CodewordAlgebraKind::Residue),
         CorruptionPattern::SingleFlip | CorruptionPattern::ThreeFlip => Some(true),
         _ => None,
     }
@@ -306,12 +317,11 @@ pub enum WalScanOutcome {
 /// with `pattern`, re-scan, repair the file, and classify. Returns
 /// `None` if the pattern cannot land on the current contents.
 ///
-/// The WAL's per-frame checksum is XOR-based regardless of the
-/// configured codeword algebra (the algebra protects the *data image*;
-/// the log has its own framing), so [`CorruptionPattern::PairedSameColumn`]
-/// landing inside one frame's checksummed span is a *documented residual
-/// exposure*: the scan accepts the altered frame. Campaign tests pin
-/// both sides of that line.
+/// The WAL's per-frame checksum follows the configured codeword algebra,
+/// so [`CorruptionPattern::PairedSameColumn`] landing inside one frame's
+/// checksummed span is a *documented residual exposure* only under the
+/// XOR algebra — residue-framed logs reject the altered frame. Campaign
+/// tests pin both sides of that line via [`wal_expected_verdict`].
 pub fn run_wal_round(
     db: &DaliEngine,
     pattern: CorruptionPattern,
@@ -320,9 +330,10 @@ pub fn run_wal_round(
 ) -> Result<Option<WalScanOutcome>> {
     use std::io::{Read, Seek, SeekFrom, Write};
     let inner: &Db = db.db();
+    let kind = inner.config.codeword_algebra;
     inner.syslog.flush(false)?;
     let path = Db::log_path(&inner.config.dir);
-    let baseline = dali_wal::SystemLog::scan_stable(&path, Lsn(0))?;
+    let baseline = dali_wal::SystemLog::scan_stable_with(&path, Lsn(0), kind)?;
 
     let mut f = std::fs::OpenOptions::new()
         .read(true)
@@ -338,7 +349,7 @@ pub fn run_wal_round(
     f.write_all(&corrupt)?;
     f.sync_data()?;
 
-    let outcome = match dali_wal::SystemLog::scan_stable(&path, Lsn(0)) {
+    let outcome = match dali_wal::SystemLog::scan_stable_with(&path, Lsn(0), kind) {
         Err(_) => WalScanOutcome::Rejected,
         Ok(scanned) if scanned.len() < baseline.len() => WalScanOutcome::Rejected,
         Ok(scanned) => {
@@ -359,6 +370,206 @@ pub fn run_wal_round(
     f.write_all(&original)?;
     f.sync_data()?;
     Ok(Some(outcome))
+}
+
+/// How a detected corruption was (or wasn't) healed by the self-healing
+/// layer — the repair leg of a campaign.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RepairVerdict {
+    /// The audit flagged it and the parity stripe rebuilt the damaged
+    /// regions in place; the post-repair audit came back clean.
+    RepairedInPlace,
+    /// The audit flagged it but the stripe could not certify the group
+    /// (double fault, stale parity); online log-based cache recovery
+    /// restored the bytes instead.
+    RecoveredViaLog,
+    /// The corruption slid under the configured algebra's audit — the
+    /// repair layer never saw it (the round restores the original bytes
+    /// so the campaign can continue).
+    Missed,
+}
+
+/// One repair-leg round: pattern, algebra, and how the damage was healed.
+#[derive(Clone, Debug)]
+pub struct RepairRound {
+    pub pattern: CorruptionPattern,
+    pub algebra: CodewordAlgebraKind,
+    pub verdict: RepairVerdict,
+    /// Bytes the repair path rebuilt (0 when missed).
+    pub bytes_rebuilt: usize,
+    /// The image matches its pre-corruption contents after the round.
+    pub image_restored: bool,
+}
+
+/// Corrupt `window_len` arena bytes at `addr` with `pattern`, audit, and
+/// let the engine's online repair heal whatever the audit flagged.
+/// Returns `None` if the pattern cannot land (or the write trapped).
+///
+/// Unlike [`run_arena_round`], the round does *not* write the original
+/// bytes back when the audit detects the damage — the parity stripe (or
+/// the log-based fallback) must reconstruct them, and `image_restored`
+/// reports whether it did, byte for byte.
+pub fn run_repair_round(
+    db: &DaliEngine,
+    inj: &FaultInjector,
+    pattern: CorruptionPattern,
+    addr: DbAddr,
+    window_len: usize,
+) -> Result<Option<RepairRound>> {
+    let inner = inner_arc(db);
+    let mut original = vec![0u8; window_len];
+    inner.image.read(addr, &mut original)?;
+    let Some(corrupt) = pattern.apply(&original) else {
+        return Ok(None);
+    };
+    let effect = inj.wild_write_bytes(addr, &corrupt)?;
+    if matches!(effect, InjectionEffect::Trapped { .. }) {
+        return Ok(None);
+    }
+    let report = inner.prot.audit(&inner.image)?;
+    if report.clean() {
+        // Undetected: restore by hand so later rounds start clean.
+        inner.image.write(addr, &original)?;
+        return Ok(Some(RepairRound {
+            pattern,
+            algebra: inner.prot.kind(),
+            verdict: RepairVerdict::Missed,
+            bytes_rebuilt: 0,
+            image_restored: true,
+        }));
+    }
+    let mut regions: Vec<_> = report.corrupt.iter().map(|c| c.region).collect();
+    regions.sort_unstable();
+    regions.dedup();
+    let outcome = dali_engine::repair::repair_regions(inner, &regions)?;
+    let (verdict, bytes_rebuilt) = match outcome {
+        dali_engine::RepairOutcome::RepairedInPlace { bytes_rebuilt, .. } => {
+            (RepairVerdict::RepairedInPlace, bytes_rebuilt)
+        }
+        dali_engine::RepairOutcome::RecoveredViaLog { bytes_rebuilt, .. } => {
+            (RepairVerdict::RecoveredViaLog, bytes_rebuilt)
+        }
+    };
+    // Post-repair: those regions must audit clean and the window must
+    // hold its pre-corruption bytes again.
+    let recheck = inner.prot.audit_regions(&inner.image, &regions)?;
+    if let Some(c) = recheck.corrupt.first() {
+        return Err(dali_common::DaliError::CorruptionDetected {
+            addr: c.addr,
+            len: c.len,
+            expected: c.expected,
+            actual: c.actual,
+        });
+    }
+    let mut now = vec![0u8; window_len];
+    inner.image.read(addr, &mut now)?;
+    Ok(Some(RepairRound {
+        pattern,
+        algebra: inner.prot.kind(),
+        verdict,
+        bytes_rebuilt,
+        image_restored: now == original,
+    }))
+}
+
+/// Corrupt *two* regions of one parity group (a double fault — more
+/// damage than one parity word can solve), then repair. The stripe must
+/// refuse and the engine must fall back to online log-based recovery;
+/// the round reports how the bytes came back.
+pub fn run_double_fault_round(
+    db: &DaliEngine,
+    inj: &FaultInjector,
+    addr: DbAddr,
+) -> Result<RepairRound> {
+    let inner = inner_arc(db);
+    let stripe = inner
+        .prot
+        .parity()
+        .expect("double-fault round needs the parity stripe enabled");
+    let geom = inner.prot.geometry();
+    let region = geom.region_of(addr);
+    let group = stripe.group_of(region);
+    let (first, last) = stripe.members(group);
+    assert!(last > first, "group too small for a double fault");
+    // Corrupt two sibling regions with single-bit flips (detected under
+    // both algebras).
+    let victims = [first, first + 1];
+    let mut originals = Vec::new();
+    for &r in &victims {
+        let base = geom.region_base(r);
+        let mut cur = [0u8];
+        inner.image.read(base, &mut cur)?;
+        originals.push((base, cur[0]));
+        let effect = inj.wild_write_bytes(base, &[cur[0] ^ 0x08])?;
+        assert!(effect.landed(), "double-fault flip must land");
+    }
+    let outcome = dali_engine::repair::repair_regions(inner, &victims)?;
+    let verdict = match &outcome {
+        dali_engine::RepairOutcome::RepairedInPlace { .. } => RepairVerdict::RepairedInPlace,
+        dali_engine::RepairOutcome::RecoveredViaLog { .. } => RepairVerdict::RecoveredViaLog,
+    };
+    let recheck = inner.prot.audit_regions(&inner.image, &victims)?;
+    let mut image_restored = recheck.clean();
+    for &(base, byte) in &originals {
+        let mut cur = [0u8];
+        inner.image.read(base, &mut cur)?;
+        image_restored &= cur[0] == byte;
+    }
+    Ok(RepairRound {
+        pattern: CorruptionPattern::SingleFlip,
+        algebra: inner.prot.kind(),
+        verdict,
+        bytes_rebuilt: match outcome {
+            dali_engine::RepairOutcome::RepairedInPlace { bytes_rebuilt, .. }
+            | dali_engine::RepairOutcome::RecoveredViaLog { bytes_rebuilt, .. } => bytes_rebuilt,
+        },
+        image_restored,
+    })
+}
+
+/// Run the repair leg across every pattern: corrupt, audit, heal,
+/// verify. `addr` should hold [`campaign_payload`]`(window_len)` so each
+/// pattern lands on its documented side of the detection table.
+pub fn run_repair_matrix(
+    db: &DaliEngine,
+    inj: &FaultInjector,
+    addr: DbAddr,
+    window_len: usize,
+) -> Result<Vec<RepairRound>> {
+    let mut rounds = Vec::new();
+    for pattern in CorruptionPattern::ALL {
+        if let Some(r) = run_repair_round(db, inj, pattern, addr, window_len)? {
+            rounds.push(r);
+        }
+    }
+    Ok(rounds)
+}
+
+/// Assert the repair-leg ground truth: every pattern the algebra detects
+/// is repaired *in place* with the image byte-identical afterwards; the
+/// XOR paired-flip blind spot is the only permissible miss.
+pub fn assert_repair_matrix(rounds: &[RepairRound]) {
+    for r in rounds {
+        let detected = algebra_expected_detected(r.algebra, r.pattern);
+        let expected = if detected {
+            RepairVerdict::RepairedInPlace
+        } else {
+            RepairVerdict::Missed
+        };
+        assert_eq!(
+            r.verdict, expected,
+            "{:?} under {:?}: got {:?}",
+            r.pattern, r.algebra, r.verdict
+        );
+        assert!(
+            r.image_restored,
+            "{:?} under {:?}: image not byte-identical after repair",
+            r.pattern, r.algebra
+        );
+        if detected {
+            assert!(r.bytes_rebuilt > 0, "{:?}: nothing rebuilt", r.pattern);
+        }
+    }
 }
 
 /// Run the full pattern matrix against the arena and the checkpoint
@@ -502,7 +713,12 @@ mod tests {
         assert!(!algebra_expected_detected(XorFold, PairedSameColumn));
         assert!(algebra_expected_detected(XorFold, SingleFlip));
         assert!(algebra_expected_detected(XorFold, ThreeFlip));
-        assert_eq!(wal_expected_verdict(PairedSameColumn), Some(false));
-        assert_eq!(wal_expected_verdict(SingleFlip), Some(true));
+        assert_eq!(wal_expected_verdict(XorFold, PairedSameColumn), Some(false));
+        assert_eq!(wal_expected_verdict(Residue, PairedSameColumn), Some(true));
+        for kind in CodewordAlgebraKind::ALL {
+            assert_eq!(wal_expected_verdict(kind, SingleFlip), Some(true));
+            assert_eq!(wal_expected_verdict(kind, ThreeFlip), Some(true));
+            assert_eq!(wal_expected_verdict(kind, Burst), None);
+        }
     }
 }

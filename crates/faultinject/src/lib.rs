@@ -25,9 +25,10 @@ pub use dali_common::crashpoint;
 
 pub mod campaign;
 pub use campaign::{
-    algebra_expected_detected, assert_matrix, campaign_payload, run_arena_round,
-    run_ckpt_image_round, run_matrix, run_wal_round, wal_expected_verdict, CampaignTarget,
-    CampaignVerdict, CorruptionPattern, WalScanOutcome,
+    algebra_expected_detected, assert_matrix, assert_repair_matrix, campaign_payload,
+    run_arena_round, run_ckpt_image_round, run_double_fault_round, run_matrix, run_repair_matrix,
+    run_repair_round, run_wal_round, wal_expected_verdict, CampaignTarget, CampaignVerdict,
+    CorruptionPattern, RepairRound, RepairVerdict, WalScanOutcome,
 };
 
 /// What happened when a fault was injected.

@@ -8,7 +8,9 @@
 //!
 //! [`TxnHandle`]: dali_engine::TxnHandle
 
-use crate::protocol::{encode_request, read_frame, write_frame, Request, Response, ServerStats};
+use crate::protocol::{
+    encode_request, read_frame, write_frame, RepairSummary, Request, Response, ServerStats,
+};
 use dali_common::{DaliError, RecId, Result, TableId, TxnId};
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -175,6 +177,17 @@ impl DaliClient {
                 clean,
                 regions_checked,
             } => Ok((clean, regions_checked)),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Online parity repair of one protection region (admin verb):
+    /// rebuild it in place from its parity group, falling back to
+    /// log-based cache recovery server-side when the group cannot be
+    /// trusted. The summary says which rung of the ladder repaired it.
+    pub fn repair(&mut self, region: u64) -> Result<RepairSummary> {
+        match self.call_ok(&Request::Repair { region })? {
+            Response::Repaired(summary) => Ok(summary),
             resp => Err(Self::unexpected(resp)),
         }
     }

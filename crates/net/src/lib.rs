@@ -31,6 +31,6 @@ pub mod server;
 pub mod tpcb;
 
 pub use client::DaliClient;
-pub use protocol::{Request, Response, ServerStats, WireError, MAX_FRAME};
+pub use protocol::{RepairSummary, Request, Response, ServerStats, WireError, MAX_FRAME};
 pub use server::DaliServer;
 pub use tpcb::{NetRunStats, NetTpcbDriver};

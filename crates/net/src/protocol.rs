@@ -59,6 +59,10 @@ pub enum Request {
     Stats,
     /// Liveness probe.
     Ping,
+    /// Admin: online parity repair of one protection region — rebuild it
+    /// in place from its parity group, falling back to log-based cache
+    /// recovery when the group cannot be trusted.
+    Repair { region: u64 },
 }
 
 /// Server statistics returned by [`Request::Stats`]: the engine's
@@ -108,6 +112,31 @@ pub struct ServerStats {
     pub certify_regions_skipped: u64,
     /// Exclusive latch brackets taken by audit/certification sweeps.
     pub audit_latch_brackets: u64,
+    /// Regions handed to the parity repair path.
+    pub repair_attempted: u64,
+    /// Regions rebuilt in place from their parity group.
+    pub repair_succeeded: u64,
+    /// Repair attempts that fell back to log-based recovery.
+    pub repair_fell_back: u64,
+    /// Bytes written back by successful in-place rebuilds.
+    pub repair_bytes_rebuilt: u64,
+    /// Parity groups verified by checkpoint certification.
+    pub certify_parity_groups: u64,
+}
+
+/// Outcome of a [`Request::Repair`] — a wire mirror of the engine's
+/// `RepairOutcome`, flattened to counters so the protocol stays free of
+/// engine types.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairSummary {
+    /// Whole batch stayed on the parity rung (no WAL replay).
+    pub in_place: bool,
+    /// Regions rebuilt from parity before any fallback.
+    pub regions_rebuilt: u64,
+    /// Bytes written back by parity rebuilds.
+    pub bytes_rebuilt: u64,
+    /// Stable-log records replayed by a fallback (0 when in place).
+    pub records_replayed: u64,
 }
 
 /// A server response.
@@ -130,6 +159,8 @@ pub enum Response {
     Audited { clean: bool, regions_checked: u64 },
     /// Statistics snapshot.
     Stats(ServerStats),
+    /// Repair outcome: how the region was brought back.
+    Repaired(RepairSummary),
     /// The request failed; the error is structured so client retry loops
     /// can match on it exactly like in-process code.
     Err(WireError),
@@ -292,6 +323,10 @@ impl Request {
             Request::Audit => buf.put_u8(11),
             Request::Stats => buf.put_u8(12),
             Request::Ping => buf.put_u8(13),
+            Request::Repair { region } => {
+                buf.put_u8(14);
+                buf.put_u64_le(*region);
+            }
         }
     }
 
@@ -336,6 +371,9 @@ impl Request {
             11 => Request::Audit,
             12 => Request::Stats,
             13 => Request::Ping,
+            14 => Request::Repair {
+                region: get_u64(buf)?,
+            },
             _ => return Err(bad(format!("unknown request tag {tag}"))),
         })
     }
@@ -397,6 +435,11 @@ impl Response {
                     s.certify_regions_certified,
                     s.certify_regions_skipped,
                     s.audit_latch_brackets,
+                    s.repair_attempted,
+                    s.repair_succeeded,
+                    s.repair_fell_back,
+                    s.repair_bytes_rebuilt,
+                    s.certify_parity_groups,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -404,6 +447,13 @@ impl Response {
             Response::Err(e) => {
                 buf.put_u8(8);
                 e.encode(buf);
+            }
+            Response::Repaired(r) => {
+                buf.put_u8(9);
+                buf.put_u8(r.in_place as u8);
+                buf.put_u64_le(r.regions_rebuilt);
+                buf.put_u64_le(r.bytes_rebuilt);
+                buf.put_u64_le(r.records_replayed);
             }
         }
     }
@@ -455,8 +505,19 @@ impl Response {
                 certify_regions_certified: get_u64(buf)?,
                 certify_regions_skipped: get_u64(buf)?,
                 audit_latch_brackets: get_u64(buf)?,
+                repair_attempted: get_u64(buf)?,
+                repair_succeeded: get_u64(buf)?,
+                repair_fell_back: get_u64(buf)?,
+                repair_bytes_rebuilt: get_u64(buf)?,
+                certify_parity_groups: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
+            9 => Response::Repaired(RepairSummary {
+                in_place: get_u8(buf)? != 0,
+                regions_rebuilt: get_u64(buf)?,
+                bytes_rebuilt: get_u64(buf)?,
+                records_replayed: get_u64(buf)?,
+            }),
             _ => return Err(bad(format!("unknown response tag {tag}"))),
         })
     }
@@ -715,6 +776,7 @@ mod tests {
             Request::Audit,
             Request::Stats,
             Request::Ping,
+            Request::Repair { region: 12345 },
         ];
         for req in samples {
             let mut buf = BytesMut::new();
@@ -759,6 +821,23 @@ mod tests {
                 certify_regions_certified: 18,
                 certify_regions_skipped: 19,
                 audit_latch_brackets: 20,
+                repair_attempted: 21,
+                repair_succeeded: 22,
+                repair_fell_back: 23,
+                repair_bytes_rebuilt: 24,
+                certify_parity_groups: 25,
+            }),
+            Response::Repaired(RepairSummary {
+                in_place: true,
+                regions_rebuilt: 1,
+                bytes_rebuilt: 64,
+                records_replayed: 0,
+            }),
+            Response::Repaired(RepairSummary {
+                in_place: false,
+                regions_rebuilt: 0,
+                bytes_rebuilt: 0,
+                records_replayed: 42,
             }),
             Response::Err(WireError::LockDenied {
                 txn: TxnId(5),

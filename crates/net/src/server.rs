@@ -24,7 +24,8 @@
 //! suspect there is no trustworthy boundary to resume parsing at.
 
 use crate::protocol::{
-    encode_response, read_frame, write_frame, Request, Response, ServerStats, WireError,
+    encode_response, read_frame, write_frame, RepairSummary, Request, Response, ServerStats,
+    WireError,
 };
 use dali_common::Result;
 use dali_engine::{DaliEngine, TxnHandle};
@@ -299,6 +300,31 @@ impl<'a> Session<'a> {
             }
             Request::Stats => Response::Stats(self.stats()),
             Request::Ping => Response::Ok,
+            Request::Repair { region } => {
+                use dali_engine::repair::RepairOutcome;
+                match engine.repair(region as usize)? {
+                    RepairOutcome::RepairedInPlace {
+                        regions_rebuilt,
+                        bytes_rebuilt,
+                    } => Response::Repaired(RepairSummary {
+                        in_place: true,
+                        regions_rebuilt: regions_rebuilt as u64,
+                        bytes_rebuilt: bytes_rebuilt as u64,
+                        records_replayed: 0,
+                    }),
+                    RepairOutcome::RecoveredViaLog {
+                        regions_rebuilt,
+                        bytes_rebuilt,
+                        records_replayed,
+                        ..
+                    } => Response::Repaired(RepairSummary {
+                        in_place: false,
+                        regions_rebuilt: regions_rebuilt as u64,
+                        bytes_rebuilt: bytes_rebuilt as u64,
+                        records_replayed: records_replayed as u64,
+                    }),
+                }
+            }
         })
     }
 
@@ -342,6 +368,11 @@ impl<'a> Session<'a> {
                 .certify_regions_skipped
                 .load(Ordering::Relaxed),
             audit_latch_brackets: engine.stats().audit_latch_brackets.load(Ordering::Relaxed),
+            repair_attempted: engine.stats().repair_attempted.load(Ordering::Relaxed),
+            repair_succeeded: engine.stats().repair_succeeded.load(Ordering::Relaxed),
+            repair_fell_back: engine.stats().repair_fell_back.load(Ordering::Relaxed),
+            repair_bytes_rebuilt: engine.stats().repair_bytes_rebuilt.load(Ordering::Relaxed),
+            certify_parity_groups: engine.stats().certify_parity_groups.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,12 +1,19 @@
 //! Log record types and their checksummed binary encoding.
 //!
 //! Framing on the system log is `[len: u32][checksum: u32][payload]` where
-//! `checksum` is an XOR fold of the payload (in the same spirit as the
-//! paper's codewords — cheap parity that catches torn or overwritten log
-//! frames). An LSN is the byte offset of a frame's first byte.
+//! `checksum` folds the payload under the *configured codeword algebra*
+//! (in the same spirit as the paper's codewords — cheap parity that
+//! catches torn or overwritten log frames). Historically the frame
+//! checksum was hardwired to the XOR fold even when the data image used
+//! the residue algebra, which left paired same-direction bit-column flips
+//! inside one frame as a silent residual; [`checksum_with`] closes that
+//! gap by giving residue configurations residue-checked frames. An LSN is
+//! the byte offset of a frame's first byte.
 
 use bytes::{Buf, BufMut, BytesMut};
-use dali_common::{DaliError, DbAddr, Lsn, OpSeq, RecId, Result, SlotId, TableId, TxnId};
+use dali_common::{
+    CodewordAlgebraKind, DaliError, DbAddr, Lsn, OpSeq, RecId, Result, SlotId, TableId, TxnId,
+};
 
 /// Kinds of level-1 (heap) operations, recorded in `OpBegin` so that
 /// delete-transaction recovery can test operation conflicts (§4.3: a begin
@@ -382,19 +389,69 @@ pub fn checksum(payload: &[u8]) -> u32 {
     acc
 }
 
+/// Payload checksum under the configured codeword algebra: the XOR wide
+/// kernel for [`CodewordAlgebraKind::XorFold`], a mod-(2^32-1) residue
+/// sum of the zero-padded little-endian words for
+/// [`CodewordAlgebraKind::Residue`]. The residue variant is what lets a
+/// residue-configured database catch a paired same-direction bit-column
+/// flip *inside a log frame* — the XOR checksum's blind spot.
+pub fn checksum_with(kind: CodewordAlgebraKind, payload: &[u8]) -> u32 {
+    match kind {
+        CodewordAlgebraKind::XorFold => checksum(payload),
+        CodewordAlgebraKind::Residue => {
+            // Defer end-around carries: sum words into a u64 and fold the
+            // high half back with `2^32 ≡ 1 (mod 2^32-1)` once per 2^32
+            // additions' worth of headroom (frames are far smaller).
+            let mut acc = 0u64;
+            let mut words = payload.chunks_exact(4);
+            for w in &mut words {
+                acc += u64::from(u32::from_le_bytes(w.try_into().unwrap()));
+            }
+            let rem = words.remainder();
+            if !rem.is_empty() {
+                let mut w = [0u8; 4];
+                w[..rem.len()].copy_from_slice(rem);
+                acc += u64::from(u32::from_le_bytes(w));
+            }
+            while acc >> 32 != 0 {
+                acc = (acc & 0xFFFF_FFFF) + (acc >> 32);
+            }
+            // Canonicalize the double representation of zero.
+            if acc == 0xFFFF_FFFF {
+                0
+            } else {
+                acc as u32
+            }
+        }
+    }
+}
+
 /// Frame a record: `[len][checksum][payload]`. Returns bytes appended.
+/// XOR-checksummed — the historical default, kept for callers without an
+/// algebra in hand; algebra-aware paths use [`frame_with`].
 pub fn frame(rec: &LogRecord, out: &mut BytesMut) -> usize {
+    frame_with(CodewordAlgebraKind::XorFold, rec, out)
+}
+
+/// Frame a record with the payload checksummed under `kind`.
+pub fn frame_with(kind: CodewordAlgebraKind, rec: &LogRecord, out: &mut BytesMut) -> usize {
     let mut payload = BytesMut::with_capacity(64);
     rec.encode(&mut payload);
     out.put_u32_le(payload.len() as u32);
-    out.put_u32_le(checksum(&payload));
+    out.put_u32_le(checksum_with(kind, &payload));
     out.extend_from_slice(&payload);
     8 + payload.len()
 }
 
-/// Parse one frame starting at `buf[0]`; returns the record and the frame
-/// length. Errors on truncation or checksum mismatch.
+/// Parse one XOR-checksummed frame starting at `buf[0]`; returns the
+/// record and the frame length. Errors on truncation or checksum
+/// mismatch. Algebra-aware paths use [`unframe_with`].
 pub fn unframe(buf: &[u8]) -> Result<(LogRecord, usize)> {
+    unframe_with(CodewordAlgebraKind::XorFold, buf)
+}
+
+/// Parse one frame whose checksum was computed under `kind`.
+pub fn unframe_with(kind: CodewordAlgebraKind, buf: &[u8]) -> Result<(LogRecord, usize)> {
     if buf.len() < 8 {
         return Err(bad("truncated frame header".into()));
     }
@@ -408,7 +465,7 @@ pub fn unframe(buf: &[u8]) -> Result<(LogRecord, usize)> {
         )));
     }
     let payload = &buf[8..8 + len];
-    if checksum(payload) != sum {
+    if checksum_with(kind, payload) != sum {
         return Err(bad("log frame checksum mismatch".into()));
     }
     Ok((LogRecord::decode(payload)?, 8 + len))
@@ -592,6 +649,89 @@ mod tests {
             let p = &backing[..len];
             assert_eq!(checksum(p), reference(p), "len {len}");
         }
+    }
+
+    /// The residue frame checksum must agree with `dali-common`'s residue
+    /// `combine` folded word-at-a-time over the zero-padded payload.
+    #[test]
+    fn residue_checksum_matches_combine_reference_every_length() {
+        let r = CodewordAlgebraKind::Residue;
+        let reference = |payload: &[u8]| -> u32 {
+            let mut acc = 0u32;
+            let mut chunks = payload.chunks_exact(4);
+            for w in &mut chunks {
+                acc = r.combine(acc, u32::from_le_bytes(w.try_into().unwrap()));
+            }
+            let rem = chunks.remainder();
+            if !rem.is_empty() {
+                let mut w = [0u8; 4];
+                w[..rem.len()].copy_from_slice(rem);
+                acc = r.combine(acc, u32::from_le_bytes(w));
+            }
+            acc
+        };
+        let backing: Vec<u8> = (0..130u32)
+            .map(|i| (i.wrapping_mul(251).wrapping_add(7)) as u8)
+            .collect();
+        for len in 0..=backing.len() {
+            let p = &backing[..len];
+            assert_eq!(checksum_with(r, p), reference(p), "len {len}");
+        }
+        // All-ones payloads walk the end-around carry / canonical-zero path.
+        for len in [4usize, 8, 32, 36] {
+            let p = vec![0xFFu8; len];
+            assert_eq!(checksum_with(r, &p), reference(&p), "ones len {len}");
+        }
+    }
+
+    /// A paired same-direction bit-column flip cancels in the XOR frame
+    /// checksum but moves the residue one — the exact gap the algebra
+    /// threading closes.
+    #[test]
+    fn paired_same_column_flip_slides_under_xor_but_not_residue() {
+        let payload: Vec<u8> = (0..32u8).collect();
+        let mut flipped = payload.clone();
+        flipped[0] ^= 0x08; // same bit column, two words apart,
+        flipped[4] ^= 0x08; // both 0 -> 1: same direction
+        assert_eq!(
+            checksum_with(CodewordAlgebraKind::XorFold, &payload),
+            checksum_with(CodewordAlgebraKind::XorFold, &flipped),
+            "XOR blind spot"
+        );
+        assert_ne!(
+            checksum_with(CodewordAlgebraKind::Residue, &payload),
+            checksum_with(CodewordAlgebraKind::Residue, &flipped),
+            "residue sees it"
+        );
+    }
+
+    #[test]
+    fn residue_frames_round_trip_and_reject_cross_kind() {
+        for kind in CodewordAlgebraKind::ALL {
+            let mut out = BytesMut::new();
+            let recs = rec_samples();
+            for r in &recs {
+                frame_with(kind, r, &mut out);
+            }
+            let mut cursor = &out[..];
+            let mut got = vec![];
+            while !cursor.is_empty() {
+                let (r, n) = unframe_with(kind, cursor).unwrap();
+                got.push(r);
+                cursor = &cursor[n..];
+            }
+            assert_eq!(got, recs, "{kind:?}");
+        }
+        // A frame whose payload folds differently under the two algebras
+        // must not verify under the wrong one. The folds coincide when no
+        // addition carries fire (disjoint bit columns), so pick a txn id
+        // whose words overlap in every column.
+        let rec = LogRecord::TxnCommit {
+            txn: TxnId(0x0000_FFFF_FFFF_FFFF),
+        };
+        let mut out = BytesMut::new();
+        frame_with(CodewordAlgebraKind::Residue, &rec, &mut out);
+        assert!(unframe_with(CodewordAlgebraKind::XorFold, &out).is_err());
     }
 
     #[test]

@@ -14,9 +14,9 @@
 //! resuming appends.
 
 use crate::dpt::DualDirtySet;
-use crate::record::{frame, unframe, LogRecord};
+use crate::record::{frame_with, unframe_with, LogRecord};
 use bytes::BytesMut;
-use dali_common::{DaliError, Lsn, PageId, Result};
+use dali_common::{CodewordAlgebraKind, DaliError, Lsn, PageId, Result};
 use parking_lot::{Condvar, Mutex};
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
@@ -80,6 +80,10 @@ struct Counters {
 pub struct SystemLog {
     path: PathBuf,
     page_size: usize,
+    /// Algebra used for frame checksums — must match between writer and
+    /// scanner (the engine derives both from `DaliConfig::codeword_algebra`
+    /// and the checkpoint meta pins it across restarts).
+    kind: CodewordAlgebraKind,
     inner: Mutex<Inner>,
     sync: Mutex<SyncState>,
     /// Signalled whenever `durable` advances, a leader steps down, or a
@@ -94,8 +98,18 @@ pub struct SystemLog {
 }
 
 impl SystemLog {
-    /// Create a fresh, empty log at `path` (truncating any existing file).
+    /// Create a fresh, empty log at `path` (truncating any existing
+    /// file), with XOR-checksummed frames.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
+        Self::create_with(path, page_size, CodewordAlgebraKind::XorFold)
+    }
+
+    /// Create a fresh, empty log whose frame checksums use `kind`.
+    pub fn create_with(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        kind: CodewordAlgebraKind,
+    ) -> Result<SystemLog> {
         let path = path.as_ref().to_path_buf();
         let file = OpenOptions::new()
             .create(true)
@@ -106,6 +120,7 @@ impl SystemLog {
         Ok(SystemLog {
             path,
             page_size,
+            kind,
             inner: Mutex::new(Inner {
                 tail: BytesMut::with_capacity(1 << 20),
                 tail_base: Lsn::ZERO,
@@ -124,13 +139,23 @@ impl SystemLog {
         })
     }
 
-    /// Open an existing log for appending. Scans the file to find the end
-    /// of the last intact frame and truncates anything after it.
+    /// Open an existing XOR-checksummed log for appending. Scans the file
+    /// to find the end of the last intact frame and truncates anything
+    /// after it.
     pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
+        Self::open_with(path, page_size, CodewordAlgebraKind::XorFold)
+    }
+
+    /// Open an existing log whose frame checksums use `kind`.
+    pub fn open_with(
+        path: impl AsRef<Path>,
+        page_size: usize,
+        kind: CodewordAlgebraKind,
+    ) -> Result<SystemLog> {
         let path = path.as_ref().to_path_buf();
         let valid_end = {
             let bytes = std::fs::read(&path)?;
-            valid_prefix_len(&bytes)
+            valid_prefix_len(kind, &bytes)
         };
         let file = OpenOptions::new().write(true).open(&path)?;
         file.set_len(valid_end as u64)?;
@@ -140,6 +165,7 @@ impl SystemLog {
         Ok(SystemLog {
             path,
             page_size,
+            kind,
             inner: Mutex::new(Inner {
                 tail: BytesMut::with_capacity(1 << 20),
                 tail_base: Lsn(valid_end as u64),
@@ -190,7 +216,7 @@ impl SystemLog {
 
     fn append_locked(&self, inner: &mut Inner, rec: &LogRecord) -> Lsn {
         let lsn = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
-        frame(rec, &mut inner.tail);
+        frame_with(self.kind, rec, &mut inner.tail);
         if let LogRecord::PhysicalRedo { addr, data, .. } = rec {
             let pages = dali_common::align::split_by_chunks(addr.0, data.len(), self.page_size)
                 .map(|(ci, _, _)| PageId(ci as u32));
@@ -379,9 +405,19 @@ impl SystemLog {
         }
     }
 
-    /// Scan every intact record in the stable file from `from` onward.
-    /// (The in-memory tail is *not* visible: after a crash it is gone.)
+    /// Scan every intact record in an XOR-checksummed stable file from
+    /// `from` onward. (The in-memory tail is *not* visible: after a crash
+    /// it is gone.)
     pub fn scan_stable(path: impl AsRef<Path>, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
+        Self::scan_stable_with(path, from, CodewordAlgebraKind::XorFold)
+    }
+
+    /// Scan a stable file whose frame checksums use `kind`.
+    pub fn scan_stable_with(
+        path: impl AsRef<Path>,
+        from: Lsn,
+        kind: CodewordAlgebraKind,
+    ) -> Result<Vec<(Lsn, LogRecord)>> {
         let bytes = std::fs::read(path.as_ref())?;
         if from.0 as usize > bytes.len() {
             return Err(DaliError::RecoveryFailed(format!(
@@ -392,7 +428,7 @@ impl SystemLog {
         let mut out = Vec::new();
         let mut pos = from.0 as usize;
         while pos < bytes.len() {
-            match unframe(&bytes[pos..]) {
+            match unframe_with(kind, &bytes[pos..]) {
                 Ok((rec, n)) => {
                     out.push((Lsn(pos as u64), rec));
                     pos += n;
@@ -405,10 +441,10 @@ impl SystemLog {
 }
 
 /// Length of the longest prefix of `bytes` consisting of intact frames.
-fn valid_prefix_len(bytes: &[u8]) -> usize {
+fn valid_prefix_len(kind: CodewordAlgebraKind, bytes: &[u8]) -> usize {
     let mut pos = 0;
     while pos < bytes.len() {
-        match unframe(&bytes[pos..]) {
+        match unframe_with(kind, &bytes[pos..]) {
             Ok((_, n)) => pos += n,
             Err(_) => break,
         }
@@ -621,6 +657,42 @@ mod tests {
         assert_eq!(stats.fsyncs, 1);
         assert_eq!(stats.durable_commits, 2);
         assert_eq!(stats.piggybacked, 1);
+    }
+
+    #[test]
+    fn residue_framed_log_round_trips_and_rejects_wrong_kind() {
+        use dali_common::CodewordAlgebraKind;
+        let path = tmp("residue");
+        let r = CodewordAlgebraKind::Residue;
+        {
+            let log = SystemLog::create_with(&path, 4096, r).unwrap();
+            // Overlapping bit columns so the XOR and residue folds differ.
+            log.append(&LogRecord::TxnBegin {
+                txn: TxnId(0x0000_FFFF_FFFF_FFFF),
+            });
+            log.append(&LogRecord::TxnCommit {
+                txn: TxnId(0x0000_FFFF_FFFF_FFFF),
+            });
+            log.flush(false).unwrap();
+        }
+        let recs = SystemLog::scan_stable_with(&path, Lsn::ZERO, r).unwrap();
+        assert_eq!(recs.len(), 2);
+        // Scanned under the wrong algebra, the first frame fails its
+        // checksum and the scan stops at LSN 0 — a mismatched scanner
+        // sees a torn log, never silently different records.
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 0);
+        // Reopening with the right kind resumes after the intact frames.
+        let log = SystemLog::open_with(&path, 4096, r).unwrap();
+        assert!(log.current_lsn() > Lsn::ZERO);
+        log.append(&LogRecord::TxnAbort { txn: TxnId(3) });
+        log.flush(false).unwrap();
+        assert_eq!(
+            SystemLog::scan_stable_with(&path, Lsn::ZERO, r)
+                .unwrap()
+                .len(),
+            3
+        );
     }
 
     #[test]

@@ -66,19 +66,20 @@ pub use dali_net as net;
 pub use dali_wal as wal;
 pub use dali_workload as workload;
 
-pub use dali_codeword::{AuditReport, DeferredStatsSnapshot};
+pub use dali_codeword::{AuditReport, DeferredStatsSnapshot, ParityStatsSnapshot, RepairFallback};
 pub use dali_common::{
     CodewordAlgebraKind, DaliConfig, DaliError, DbAddr, Lsn, PageId, ProtectionScheme, RecId,
     Result, SlotId, TableId, TxnId,
 };
 pub use dali_engine::{
-    CheckpointOutcome, DaliEngine, LockManager, LockMode, RecoveryMode, RecoveryOutcome, TxnHandle,
+    CheckpointOutcome, DaliEngine, LockManager, LockMode, RecoveryMode, RecoveryOutcome,
+    RepairOutcome, TxnHandle,
 };
 pub use dali_faultinject::{
     CampaignTarget, CampaignVerdict, CorruptionPattern, FaultInjector, InjectionEffect,
-    WalScanOutcome,
+    RepairRound, RepairVerdict, WalScanOutcome,
 };
-pub use dali_net::{DaliClient, DaliServer, NetTpcbDriver, ServerStats, WireError};
+pub use dali_net::{DaliClient, DaliServer, NetTpcbDriver, RepairSummary, ServerStats, WireError};
 pub use dali_wal::SyncStats;
 pub use dali_workload::varlen::{VarlenConfig, VarlenStore, VarlenWorkload};
 pub use dali_workload::{RunStats, TpcbConfig, TpcbDriver};

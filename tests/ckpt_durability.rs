@@ -9,9 +9,10 @@
 //! transaction — the older anchor simply replays a longer log tail.
 //!
 //! The `atomic_write.post_rename` crash point is armed to trip on its
-//! second occurrence within the checkpoint (the first is the meta write,
-//! the second the anchor write). The crash-point registry is
-//! process-global, so this test lives alone in its own binary.
+//! third occurrence within the checkpoint (the first is the parity-stripe
+//! write, the second the meta write, the third the anchor write). The
+//! crash-point registry is process-global, so this test lives alone in
+//! its own binary.
 
 use dali_common::{DaliConfig, ProtectionScheme, RecId};
 use dali_engine::DaliEngine;
@@ -79,10 +80,10 @@ fn crash_between_anchor_rename_and_dir_sync_recovers_both_ways() {
     let r2 = txn.insert(t, &[0x22; 32]).unwrap();
     txn.commit().unwrap();
 
-    // Arm the second atomic_write of the checkpoint: the meta write
-    // passes, the anchor write trips *after* its rename, *before* the
-    // directory sync.
-    crashpoint::arm_after("atomic_write.post_rename", 1);
+    // Arm the third atomic_write of the checkpoint: the parity-stripe and
+    // meta writes pass, the anchor write trips *after* its rename,
+    // *before* the directory sync.
+    crashpoint::arm_after("atomic_write.post_rename", 2);
     let err = db.checkpoint().unwrap_err();
     assert!(
         err.to_string().contains("crash point tripped"),

@@ -150,9 +150,14 @@ fn tmpdir(name: &str) -> std::path::PathBuf {
 #[test]
 fn delta_certification_catches_corruption_inside_footprint() {
     let dir = tmpdir("inside");
+    // Parity repair pinned off: this test pins down the *detection*
+    // cadence one rung below the self-healing layer (with the stripe on,
+    // the same wild write would be repaired in place and the checkpoint
+    // would certify — see `tests/repair_model.rs` for that path).
     let config = DaliConfig::small(&dir)
         .with_scheme(ProtectionScheme::DataCodeword)
-        .with_full_certify_every(8);
+        .with_full_certify_every(8)
+        .with_parity_group_size(0);
     let (db, _) = DaliEngine::create(config).unwrap();
     let t = db.create_table("t", 32, 64).unwrap();
     // Flush the all-pages initial dirty sets out of both images so the
@@ -188,9 +193,12 @@ fn delta_certification_catches_corruption_inside_footprint() {
 #[test]
 fn out_of_footprint_corruption_is_caught_by_the_scheduled_full_sweep() {
     let dir = tmpdir("outside");
+    // Parity pinned off, as above: the subject is the cadence bound and
+    // the keep-prior-checkpoint / recover path, not the repair layer.
     let config = DaliConfig::small(&dir)
         .with_scheme(ProtectionScheme::DataCodeword)
-        .with_full_certify_every(3);
+        .with_full_certify_every(3)
+        .with_parity_group_size(0);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let t = db.create_table("t", 32, 64).unwrap();
     // create() ran the mandatory full checkpoint (image A). This one
@@ -236,5 +244,69 @@ fn out_of_footprint_corruption_is_caught_by_the_scheduled_full_sweep() {
     // reopening runs corruption recovery and comes back audit-clean.
     db.crash();
     let (db, _) = DaliEngine::open(config).unwrap();
+    assert!(db.audit().unwrap().clean());
+}
+
+/// The certification footprint must include the parity stripe: parity
+/// buffers live outside the image, so the dirty-page → region mapping
+/// can never cover them — the groups dirtied by drains are certified
+/// through the stripe's own dirty-group channel, and a delta checkpoint
+/// consumes that channel completely.
+#[test]
+fn delta_certification_covers_parity_groups_dirtied_by_drains() {
+    let dir = tmpdir("parity-footprint");
+    let config = DaliConfig::small(&dir)
+        .with_scheme(ProtectionScheme::DataCodeword)
+        .with_full_certify_every(8);
+    assert!(
+        config.resolved_parity_group_size() > 0,
+        "stripe on by default"
+    );
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let t = db.create_table("t", 32, 64).unwrap();
+    db.checkpoint().unwrap(); // flush the initial all-pages footprints
+
+    // One committed insert dirties at least the record's parity group
+    // (plus allocator metadata) via the stripe's deferred-delta path.
+    let txn = db.begin().unwrap();
+    let rec = txn.insert(t, &[0x77; 32]).unwrap();
+    txn.commit().unwrap();
+    let addr = db.record_addr(rec).unwrap();
+    let stripe = db.db().prot.parity().expect("stripe enabled");
+    let geom = db.db().prot.geometry();
+    let rec_group = stripe.group_of(geom.region_of(addr));
+
+    let before = db.stats().certify_parity_groups.load(Ordering::Relaxed);
+    match db.checkpoint().unwrap() {
+        CheckpointOutcome::Certified { .. } => {}
+        other => panic!("clean workload must certify: {other:?}"),
+    }
+    // This was a delta sweep, and it still certified the drained groups.
+    assert!(db.stats().certify_delta.load(Ordering::Relaxed) >= 1);
+    let certified = db.stats().certify_parity_groups.load(Ordering::Relaxed) - before;
+    assert!(certified >= 1, "drain-dirtied groups are in the footprint");
+    // The channel is fully consumed: nothing queued, nothing still dirty,
+    // and the record's group verifies against its own codeword.
+    let snap = db.parity_stats();
+    assert_eq!(snap.pending_deltas, 0);
+    assert_eq!(snap.dirty_groups, 0);
+    assert!(stripe.verify_group(rec_group));
+
+    // A wild write to a *drain-dirtied* parity buffer (not the image) is
+    // healed by the next certification: the members just audited clean,
+    // so the checkpoint rebuilds the group instead of distrusting data.
+    let txn = db.begin().unwrap();
+    txn.update(rec, &[0x78; 32]).unwrap();
+    txn.commit().unwrap();
+    db.db().prot.drain_deferred(); // flush the stripe delta → group dirty
+    stripe.wild_xor_group(rec_group, 0, &[0xA5, 0x5A]);
+    match db.checkpoint().unwrap() {
+        CheckpointOutcome::Certified { .. } => {}
+        other => panic!("stripe damage must not fail data certification: {other:?}"),
+    }
+    assert!(
+        stripe.verify_group(rec_group),
+        "checkpoint healed the group"
+    );
     assert!(db.audit().unwrap().clean());
 }

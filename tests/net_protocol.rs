@@ -15,8 +15,8 @@
 //! suite.
 
 use dali::net::protocol::{
-    encode_request, encode_response, read_frame, write_frame, Request, Response, ServerStats,
-    WireError, MAX_FRAME,
+    encode_request, encode_response, read_frame, write_frame, RepairSummary, Request, Response,
+    ServerStats, WireError, MAX_FRAME,
 };
 use dali::{DbAddr, RecId, SlotId, TableId, TxnId};
 use proptest::prelude::*;
@@ -60,6 +60,7 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Audit),
         Just(Request::Stats),
         Just(Request::Ping),
+        any::<u64>().prop_map(|region| Request::Repair { region }),
     ]
 }
 
@@ -119,6 +120,11 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             certify_regions_certified: a ^ d,
             certify_regions_skipped: b ^ e,
             audit_latch_brackets: c.wrapping_add(f),
+            repair_attempted: d ^ e,
+            repair_succeeded: a.wrapping_add(b),
+            repair_fell_back: c ^ d ^ e,
+            repair_bytes_rebuilt: a.wrapping_mul(3),
+            certify_parity_groups: f.wrapping_add(1),
         })
 }
 
@@ -136,6 +142,16 @@ fn arb_response() -> impl Strategy<Value = Response> {
         }),
         arb_stats().prop_map(Response::Stats),
         arb_wire_error().prop_map(Response::Err),
+        (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+            |(in_place, regions_rebuilt, bytes_rebuilt, records_replayed)| {
+                Response::Repaired(RepairSummary {
+                    in_place,
+                    regions_rebuilt,
+                    bytes_rebuilt,
+                    records_replayed,
+                })
+            }
+        ),
     ]
 }
 

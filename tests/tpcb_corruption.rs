@@ -103,9 +103,11 @@ fn repeated_corruption_recovery_cycles() {
 
 /// Checkpoint certification striped across 4 audit workers must still
 /// find a wild write — and report exactly what a serial certification
-/// pass reports. The engine is poisoned after the failed certification,
-/// so the serial reference report comes from a second engine opened on
-/// an identically-corrupted database.
+/// pass reports. With the parity stripe on (the default) the detection
+/// now resolves into an online in-place repair
+/// (`CorruptionRepaired`), which carries the same certification report
+/// the old poison path surfaced; the serial reference report comes from
+/// a second engine running the identical scenario.
 #[test]
 fn parallel_certification_detects_corruption() {
     let run = |name: &str, audit_threads: usize| {
@@ -124,8 +126,11 @@ fn parallel_certification_detects_corruption() {
             .wild_write(db.record_addr(victim).unwrap().add(8), 0xEE, 4)
             .unwrap();
         match db.checkpoint().unwrap() {
-            dali::CheckpointOutcome::CorruptionDetected(report) => report,
-            other => panic!("certification must fail: {other:?}"),
+            dali::CheckpointOutcome::CorruptionRepaired { report, outcome } => {
+                assert!(outcome.in_place(), "single fault must rebuild in place");
+                report
+            }
+            other => panic!("certification must detect the fault: {other:?}"),
         }
     };
     let parallel = run("parcert-4", 4);
