@@ -25,9 +25,10 @@
 //!   --reps N        repetitions per cell, best reported (default 5)
 //!   --ops N         TPC-B ops before each certification (default 500)
 //!   --algebra A     xor | residue | both (default both)
+//!   --json PATH     also write every row as machine-readable JSON
 //!   --quick         CI smoke mode: tiny sizes, seconds total
 
-use dali_bench::scratch_dir;
+use dali_bench::{scratch_dir, Json};
 use dali_codeword::algebra;
 use dali_codeword::{CodewordProtection, DeferredConfig};
 use dali_common::{CodewordAlgebraKind, DaliConfig, DbAddr, PageId, ProtectionScheme};
@@ -38,7 +39,7 @@ use std::hint::black_box;
 use std::time::Instant;
 
 const USAGE: &str = "usage: audit_scale [--sizes LIST] [--threads LIST] [--image-mib N] \
-                     [--reps N] [--ops N] [--algebra xor|residue|both] [--quick]";
+                     [--reps N] [--ops N] [--algebra xor|residue|both] [--json PATH] [--quick]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -101,6 +102,7 @@ fn fold_bandwidth(
     sizes_kib: &[usize],
     reps: usize,
     target_bytes: usize,
+    rows: &mut Vec<Json>,
 ) {
     println!(
         "### Fold kernel bandwidth, {} algebra (GB/s, best of {reps})\n",
@@ -131,11 +133,26 @@ fn fold_bandwidth(
             wide / scalar,
             img_wide / img_scalar,
         );
+        rows.push(Json::Obj(vec![
+            ("sweep", Json::Str("fold_bandwidth".into())),
+            ("algebra", Json::Str(kind.label().into())),
+            ("buffer_bytes", Json::UInt(len as u64)),
+            ("scalar_slice_gbs", Json::Num(scalar)),
+            ("wide_slice_gbs", Json::Num(wide)),
+            ("scalar_image_gbs", Json::Num(img_scalar)),
+            ("wide_image_gbs", Json::Num(img_wide)),
+        ]));
     }
     println!();
 }
 
-fn audit_sweep(kind: CodewordAlgebraKind, threads: &[usize], image_mib: usize, reps: usize) {
+fn audit_sweep(
+    kind: CodewordAlgebraKind,
+    threads: &[usize],
+    image_mib: usize,
+    reps: usize,
+    rows: &mut Vec<Json>,
+) {
     println!(
         "### Full-database audit, {} algebra: {image_mib} MiB image, wall-clock vs workers \
          (best of {reps})\n",
@@ -178,6 +195,15 @@ fn audit_sweep(kind: CodewordAlgebraKind, threads: &[usize], image_mib: usize, r
             base_ms / ms,
             image.len() as f64 / best / 1e9
         );
+        rows.push(Json::Obj(vec![
+            ("sweep", Json::Str("audit".into())),
+            ("algebra", Json::Str(kind.label().into())),
+            ("image_mib", Json::UInt(image_mib as u64)),
+            ("workers", Json::UInt(t as u64)),
+            ("audit_ms", Json::Num(ms)),
+            ("speedup", Json::Num(base_ms / ms)),
+            ("scan_gbs", Json::Num(image.len() as f64 / best / 1e9)),
+        ]));
     }
     println!();
 }
@@ -197,6 +223,7 @@ fn delta_sweep(
     reps: usize,
     audit_threads: usize,
     latch_run: usize,
+    rows: &mut Vec<Json>,
 ) {
     const PAGE: usize = 8192;
     const REGION: usize = 4096;
@@ -262,6 +289,19 @@ fn delta_sweep(
             full_ms / ms,
             report.regions_checked as f64 / report.latch_brackets.max(1) as f64,
         );
+        rows.push(Json::Obj(vec![
+            ("sweep", Json::Str("delta_certification".into())),
+            ("algebra", Json::Str(kind.label().into())),
+            ("image_mib", Json::UInt(image_mib as u64)),
+            ("dirty_permille", Json::UInt(permille as u64)),
+            ("regions_audited", Json::UInt(regions as u64)),
+            ("certify_ms", Json::Num(ms)),
+            ("vs_full", Json::Num(full_ms / ms)),
+            (
+                "regions_per_bracket",
+                Json::Num(report.regions_checked as f64 / report.latch_brackets.max(1) as f64),
+            ),
+        ]));
     }
     println!();
 }
@@ -272,6 +312,7 @@ fn certification_sweep(
     image_mib: usize,
     ops: usize,
     reps: usize,
+    rows: &mut Vec<Json>,
 ) {
     println!(
         "### Checkpoint certification, {} algebra: {image_mib} MiB database, {ops} TPC-B \
@@ -318,6 +359,21 @@ fn certification_sweep(
             load(&stats.bytes_folded) as f64 / (1u64 << 30) as f64,
             load(&stats.audit_ns) as f64 / 1e6,
         );
+        rows.push(Json::Obj(vec![
+            ("sweep", Json::Str("certification".into())),
+            ("algebra", Json::Str(kind.label().into())),
+            ("image_mib", Json::UInt(image_mib as u64)),
+            ("audit_threads", Json::UInt(t as u64)),
+            ("checkpoint_ms", Json::Num(ms)),
+            ("speedup", Json::Num(base_ms / ms)),
+            ("audits", Json::UInt(load(&stats.audits))),
+            ("regions_audited", Json::UInt(load(&stats.regions_audited))),
+            ("bytes_folded", Json::UInt(load(&stats.bytes_folded))),
+            (
+                "audit_ms_total",
+                Json::Num(load(&stats.audit_ns) as f64 / 1e6),
+            ),
+        ]));
     }
     println!();
 }
@@ -329,6 +385,7 @@ fn main() {
     let mut reps: usize = 5;
     let mut ops: usize = 500;
     let mut kinds: Vec<CodewordAlgebraKind> = CodewordAlgebraKind::ALL.to_vec();
+    let mut json_path: Option<String> = None;
     let mut quick = false;
 
     let mut args = std::env::args().skip(1);
@@ -363,6 +420,7 @@ fn main() {
                     _ => fail("--algebra must be xor, residue, or both"),
                 };
             }
+            "--json" => json_path = Some(value(&mut args, "--json")),
             "--quick" => quick = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -394,16 +452,32 @@ fn main() {
         "(host CPUs: {})\n",
         std::thread::available_parallelism().map_or(0, |n| n.get())
     );
+    let mut rows: Vec<Json> = Vec::new();
     for &kind in &kinds {
-        fold_bandwidth(kind, &sizes_kib, reps, target_bytes);
-        audit_sweep(kind, &threads, image_mib, reps);
+        fold_bandwidth(kind, &sizes_kib, reps, target_bytes, &mut rows);
+        audit_sweep(kind, &threads, image_mib, reps, &mut rows);
         delta_sweep(
             kind,
             image_mib,
             reps,
             threads.iter().copied().max().unwrap(),
             DaliConfig::small("unused").audit_latch_run,
+            &mut rows,
         );
-        certification_sweep(kind, &threads, image_mib, ops, reps);
+        certification_sweep(kind, &threads, image_mib, ops, reps, &mut rows);
+    }
+    if let Some(path) = json_path {
+        let body = Json::Obj(vec![
+            ("bench", Json::Str("audit_scale".into())),
+            (
+                "host_cpus",
+                Json::UInt(std::thread::available_parallelism().map_or(0, |n| n.get() as u64)),
+            ),
+            ("rows", Json::Arr(rows)),
+        ])
+        .render()
+            + "\n";
+        std::fs::write(&path, body).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+        eprintln!("wrote {path}");
     }
 }

@@ -1,33 +1,77 @@
-//! Network scaling: N client connections of contended TPC-B against one
-//! server, swept over the group-commit window.
+//! Network scaling: connection-count sweeps of the event-driven server
+//! against the `legacy-threaded` thread-per-connection baseline, plus
+//! the original group-commit window sweep (`--group-commit`).
 //!
-//! Every cell runs with durable commits (`sync_commit`), which is the
-//! regime group commit exists for: without a window every commit pays
-//! its own fsync; with one, concurrent committers from different
-//! connections share a single fsync, so fsyncs/txn drops as the client
-//! count grows. Throughput and fsyncs/txn per cell come from the
-//! server's `Stats` verb (the `SystemLog` flush/fsync counters).
+//! ## Connection scaling (default mode)
+//!
+//! Each cell opens `conns` concurrent loopback connections against a
+//! fresh server and drives `frames` pipelined `Ping` frames per
+//! connection at pipeline depth `depth`, using a nonblocking
+//! multiplexed client harness (a handful of driver threads `poll(2)`ing
+//! hundreds of sockets each — the client side must not be
+//! thread-per-connection either, or it would hit the same wall the
+//! bench exists to demonstrate). Per cell we report:
+//!
+//! * completion: did every connection get every response before the
+//!   deadline (a hung accept loop or dead server shows up here);
+//! * aggregate frames/sec over the drive wall-time;
+//! * server-side `Ping` p50/p99 from the `Metrics` verb (decode →
+//!   response, so queue wait is included);
+//! * process RSS delta for the cell (threads cost stacks; event loops
+//!   cost buffers — this is the column that separates the two models).
+//!
+//! Arrival is closed-loop by default (each connection keeps `depth`
+//! frames in flight); `--rate R` switches to open-loop arrivals at R
+//! frames/sec spread across all connections, with the pipeline depth
+//! acting as each connection's queue bound.
+//!
+//! Results are also written as machine-readable JSON (`BENCH_net.json`
+//! by default, `--json PATH` to move it).
+//!
+//! ## Quick smoke (`--quick`, used by CI)
+//!
+//! Runs the threaded baseline at 64 connections and the event server at
+//! 256 (4x), both at depth 8, and asserts the event server finishes
+//! every frame while staying within the threaded server's memory
+//! envelope (1.5x + 8 MiB measurement slack): "4x the connections at
+//! equal memory" is the tentpole claim, so CI holds it.
 //!
 //! Usage:
 //!   cargo run -p dali-bench --release --bin net_scale [-- options]
 //!
 //! Options:
-//!   --ops N          TPC-B operations per cell (default 2000)
-//!   --reps N         repetitions per cell, median reported (default 3)
-//!   --clients LIST   comma-separated client counts (default 1,2,4,8)
-//!   --windows LIST   comma-separated commit windows in ms (default 0,0.5,2)
-//!   --ops-per-txn N  operations per transaction (default 4: commit-heavy)
-//!   --quick          one rep, smaller cells (CI smoke)
+//!   --conns LIST     connection counts (default 64,256,1024,4096)
+//!   --depths LIST    pipeline depths (default 1,16)
+//!   --frames N       frames per connection (default 100)
+//!   --rate R         open-loop arrivals/sec across all conns (0 = closed loop)
+//!   --modes LIST     event,threaded (default both)
+//!   --deadline SECS  per-cell drive deadline (default 120)
+//!   --json PATH      result file (default BENCH_net.json)
+//!   --quick          CI smoke: threaded@64 vs event@256 + assertions
+//!   --group-commit   run the durable-commit window sweep instead
+//!   --ops N          [group-commit] TPC-B ops per cell (default 2000)
+//!   --reps N         [group-commit] repetitions, median (default 3)
+//!   --clients LIST   [group-commit] client counts (default 1,2,4,8)
+//!   --windows LIST   [group-commit] commit windows ms (default 0,0.5,2)
+//!   --ops-per-txn N  [group-commit] ops per txn (default 4)
 
-use dali_bench::scratch_dir;
+use dali_bench::{scratch_dir, vm_rss_kib, Json};
 use dali_common::{DaliConfig, ProtectionScheme};
 use dali_engine::DaliEngine;
-use dali_net::{DaliClient, DaliServer, NetTpcbDriver};
+use dali_net::legacy::ThreadedServer;
+use dali_net::protocol::{encode_request, frame, parse_frame};
+use dali_net::{DaliClient, DaliServer, NetTpcbDriver, Request};
 use dali_workload::TpcbConfig;
-use std::time::Duration;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
-const USAGE: &str = "usage: net_scale [--ops N] [--reps N] [--clients LIST] \
-                     [--windows LIST] [--ops-per-txn N] [--quick]";
+const USAGE: &str = "usage: net_scale [--conns LIST] [--depths LIST] [--frames N] [--rate R] \
+                     [--modes event,threaded] [--deadline SECS] [--json PATH] [--quick] \
+                     [--group-commit [--ops N] [--reps N] [--clients LIST] [--windows LIST] \
+                     [--ops-per-txn N]]";
 
 fn fail(msg: &str) -> ! {
     eprintln!("error: {msg}\n{USAGE}");
@@ -48,6 +92,501 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
     xs[xs.len() / 2]
 }
+
+// -------------------------------------------------------------------
+// Connection-scaling sweep
+// -------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Event,
+    Threaded,
+}
+
+impl Mode {
+    fn label(self) -> &'static str {
+        match self {
+            Mode::Event => "event",
+            Mode::Threaded => "threaded",
+        }
+    }
+}
+
+/// Either server behind one start/addr/shutdown surface.
+enum AnyServer {
+    Event(DaliServer),
+    Threaded(ThreadedServer),
+}
+
+impl AnyServer {
+    fn start(mode: Mode, engine: DaliEngine) -> AnyServer {
+        match mode {
+            Mode::Event => {
+                AnyServer::Event(DaliServer::start(engine, "127.0.0.1:0").expect("bind"))
+            }
+            Mode::Threaded => {
+                AnyServer::Threaded(ThreadedServer::start(engine, "127.0.0.1:0").expect("bind"))
+            }
+        }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        match self {
+            AnyServer::Event(s) => s.addr(),
+            AnyServer::Threaded(s) => s.addr(),
+        }
+    }
+
+    fn shutdown(self) {
+        match self {
+            AnyServer::Event(s) => s.shutdown(),
+            AnyServer::Threaded(s) => s.shutdown(),
+        }
+    }
+}
+
+/// One connection owned by a driver thread: a nonblocking socket plus
+/// the bookkeeping to keep `depth` frames in flight.
+struct Conn {
+    stream: TcpStream,
+    /// Encoded-but-unwritten bytes (bounded by depth x frame size).
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Partial inbound bytes awaiting a frame boundary.
+    inbuf: Vec<u8>,
+    sent: usize,
+    recv: usize,
+    /// Next open-loop arrival for this connection (unused closed-loop).
+    next_due: Instant,
+    dead: bool,
+}
+
+impl Conn {
+    fn in_flight(&self) -> usize {
+        self.sent - self.recv
+    }
+    fn done(&self, target: usize) -> bool {
+        self.dead || self.recv >= target
+    }
+}
+
+/// Outcome of one (mode, conns, depth) cell.
+struct ScaleCellResult {
+    mode: Mode,
+    conns: usize,
+    depth: usize,
+    conns_established: usize,
+    frames_target: u64,
+    frames_done: u64,
+    completed: bool,
+    wall_secs: f64,
+    frames_per_sec: f64,
+    ping_p50_ns: Option<u64>,
+    ping_p99_ns: Option<u64>,
+    rss_delta_kib: u64,
+}
+
+/// Drive the connections assigned to one thread until every one is done
+/// (or the deadline passes). Closed loop when `interval` is None;
+/// otherwise each connection enqueues a frame when its arrival comes due,
+/// still bounded by `depth` in flight.
+fn drive_conns(
+    conns: &mut [Conn],
+    target: usize,
+    depth: usize,
+    interval: Option<Duration>,
+    ping_frame: &[u8],
+    deadline: Instant,
+) -> u64 {
+    let mut pfds: Vec<libc::pollfd> = conns
+        .iter()
+        .map(|c| libc::pollfd {
+            fd: c.stream.as_raw_fd(),
+            events: 0,
+            revents: 0,
+        })
+        .collect();
+    let mut scratch = [0u8; 64 * 1024];
+    loop {
+        let now = Instant::now();
+        if now >= deadline || conns.iter().all(|c| c.done(target)) {
+            break;
+        }
+        // Top up each connection's pipeline.
+        for c in conns.iter_mut() {
+            if c.dead {
+                continue;
+            }
+            while c.sent < target && c.in_flight() < depth {
+                if let Some(iv) = interval {
+                    if now < c.next_due {
+                        break;
+                    }
+                    c.next_due += iv;
+                }
+                c.out.extend_from_slice(ping_frame);
+                c.sent += 1;
+            }
+        }
+        // Arm poll: always read interest; write interest only with
+        // buffered output (POLLOUT on an idle socket spins).
+        for (c, pfd) in conns.iter().zip(pfds.iter_mut()) {
+            if c.done(target) {
+                pfd.fd = -1; // ignored by poll(2)
+                continue;
+            }
+            pfd.fd = c.stream.as_raw_fd();
+            pfd.events = libc::POLLIN;
+            if c.out_pos < c.out.len() {
+                pfd.events |= libc::POLLOUT;
+            }
+            pfd.revents = 0;
+        }
+        let wait_ms = match interval {
+            Some(_) => 5,
+            None => 100,
+        };
+        // SAFETY: pfds points at a live array of pfds.len() pollfds.
+        let rc = unsafe { libc::poll(pfds.as_mut_ptr(), pfds.len() as libc::nfds_t, wait_ms) };
+        if rc < 0 {
+            let err = std::io::Error::last_os_error();
+            if err.kind() == std::io::ErrorKind::Interrupted {
+                continue;
+            }
+            panic!("poll failed: {err}");
+        }
+        for (c, pfd) in conns.iter_mut().zip(pfds.iter()) {
+            if pfd.fd < 0 || pfd.revents == 0 {
+                continue;
+            }
+            if pfd.revents & libc::POLLOUT != 0 {
+                while c.out_pos < c.out.len() {
+                    match c.stream.write(&c.out[c.out_pos..]) {
+                        Ok(0) => {
+                            c.dead = true;
+                            break;
+                        }
+                        Ok(n) => c.out_pos += n,
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+                if c.out_pos == c.out.len() {
+                    c.out.clear();
+                    c.out_pos = 0;
+                }
+            }
+            if pfd.revents & (libc::POLLIN | libc::POLLERR | libc::POLLHUP) != 0 {
+                loop {
+                    match c.stream.read(&mut scratch) {
+                        Ok(0) => {
+                            c.dead = true;
+                            break;
+                        }
+                        Ok(n) => {
+                            c.inbuf.extend_from_slice(&scratch[..n]);
+                            if n < scratch.len() {
+                                break;
+                            }
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                        Err(_) => {
+                            c.dead = true;
+                            break;
+                        }
+                    }
+                }
+                // Count complete response frames (the harness measures
+                // delivery; correctness of payloads is the test suite's
+                // job, not the bench's).
+                let mut consumed = 0usize;
+                while let Ok(Some((_, used))) = parse_frame(&c.inbuf[consumed..]) {
+                    consumed += used;
+                    c.recv += 1;
+                }
+                if consumed > 0 {
+                    c.inbuf.drain(..consumed);
+                }
+            }
+        }
+    }
+    conns.iter().map(|c| c.recv as u64).sum()
+}
+
+/// Run one connection-scaling cell: fresh engine + server in `mode`,
+/// `n_conns` connections x `frames` pings at pipeline depth `depth`.
+fn run_scale_cell(
+    mode: Mode,
+    n_conns: usize,
+    depth: usize,
+    frames: usize,
+    rate: f64,
+    deadline_secs: u64,
+) -> ScaleCellResult {
+    let rss_before = vm_rss_kib();
+    let config = DaliConfig::small(scratch_dir(&format!(
+        "netconns-{}-{n_conns}c",
+        mode.label()
+    )))
+    .with_scheme(ProtectionScheme::Baseline);
+    let (engine, _) = DaliEngine::create(config).expect("create db");
+    let dir = engine.config().dir.clone();
+    let server = AnyServer::start(mode, engine);
+    let addr = server.addr();
+
+    // Serial connect phase: the listen backlog is finite (128), so a
+    // thundering herd of connect()s can overflow it before the server
+    // accepts — which would measure the kernel's SYN queue, not the
+    // server. Connecting serially, each connect waits for the previous
+    // ones to be draining.
+    let mut streams = Vec::with_capacity(n_conns);
+    for _ in 0..n_conns {
+        match TcpStream::connect_timeout(&addr, Duration::from_secs(5)) {
+            Ok(s) => {
+                s.set_nodelay(true).expect("nodelay");
+                s.set_nonblocking(true).expect("nonblocking");
+                streams.push(s);
+            }
+            // A server that stopped accepting (dead accept thread, fd
+            // exhaustion) surfaces here; record how far it got.
+            Err(_) => break,
+        }
+    }
+    let conns_established = streams.len();
+
+    let ping_frame = frame(&encode_request(&Request::Ping));
+    let n_drivers = 8.min(conns_established.max(1));
+    let interval = if rate > 0.0 {
+        // Per-connection arrival spacing for an aggregate of `rate`/sec.
+        Some(Duration::from_secs_f64(
+            conns_established.max(1) as f64 / rate,
+        ))
+    } else {
+        None
+    };
+    let start = Instant::now();
+    let mut conns: Vec<Conn> = streams
+        .into_iter()
+        .map(|stream| Conn {
+            stream,
+            out: Vec::new(),
+            out_pos: 0,
+            inbuf: Vec::new(),
+            sent: 0,
+            recv: 0,
+            next_due: start,
+            dead: false,
+        })
+        .collect();
+
+    // Partition connections across driver threads; the main thread
+    // samples RSS while they run (thread stacks and per-connection
+    // buffers only count while alive).
+    let deadline = start + Duration::from_secs(deadline_secs);
+    let finished = AtomicUsize::new(0);
+    let mut chunks: Vec<&mut [Conn]> = Vec::new();
+    let per = conns.len().div_ceil(n_drivers).max(1);
+    let mut rest = conns.as_mut_slice();
+    while !rest.is_empty() {
+        let take = per.min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push(head);
+        rest = tail;
+    }
+    let mut rss_peak = rss_before;
+    let frames_done: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let (ping_frame, finished) = (&ping_frame, &finished);
+                s.spawn(move || {
+                    let done = drive_conns(chunk, frames, depth, interval, ping_frame, deadline);
+                    finished.fetch_add(1, Ordering::Release);
+                    done
+                })
+            })
+            .collect();
+        while finished.load(Ordering::Acquire) < handles.len() {
+            rss_peak = rss_peak.max(vm_rss_kib());
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    // Server-side latency, from the Metrics verb over a fresh admin
+    // connection (the server may itself be wedged — tolerate failure).
+    let (ping_p50_ns, ping_p99_ns) = match DaliClient::connect(addr) {
+        Ok(mut admin) => match admin.metrics() {
+            Ok(m) => match m.verb(Request::Ping.tag()) {
+                Some(v) => (Some(v.quantile(0.50)), Some(v.quantile(0.99))),
+                None => (None, None),
+            },
+            Err(_) => (None, None),
+        },
+        Err(_) => (None, None),
+    };
+
+    drop(conns);
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(dir);
+
+    let frames_target = (n_conns * frames) as u64;
+    ScaleCellResult {
+        mode,
+        conns: n_conns,
+        depth,
+        conns_established,
+        frames_target,
+        frames_done,
+        completed: conns_established == n_conns && frames_done == frames_target,
+        wall_secs,
+        frames_per_sec: frames_done as f64 / wall_secs.max(1e-9),
+        ping_p50_ns,
+        ping_p99_ns,
+        rss_delta_kib: rss_peak.saturating_sub(rss_before),
+    }
+}
+
+fn fmt_us(ns: Option<u64>) -> String {
+    match ns {
+        Some(ns) => format!("{:.1}", ns as f64 / 1e3),
+        None => "-".into(),
+    }
+}
+
+fn print_scale_row(r: &ScaleCellResult) {
+    let status = if r.completed {
+        "ok".to_string()
+    } else if r.conns_established < r.conns {
+        format!("FAILED ({} connected)", r.conns_established)
+    } else {
+        format!("DEGRADED ({}/{} frames)", r.frames_done, r.frames_target)
+    };
+    println!(
+        "| {} | {} | {} | {status} | {:.0} | {} | {} | {:.1} |",
+        r.mode.label(),
+        r.conns,
+        r.depth,
+        r.frames_per_sec,
+        fmt_us(r.ping_p50_ns),
+        fmt_us(r.ping_p99_ns),
+        r.rss_delta_kib as f64 / 1024.0
+    );
+}
+
+fn scale_cell_json(r: &ScaleCellResult) -> Json {
+    Json::Obj(vec![
+        ("mode", Json::Str(r.mode.label().into())),
+        ("conns", Json::UInt(r.conns as u64)),
+        ("depth", Json::UInt(r.depth as u64)),
+        ("conns_established", Json::UInt(r.conns_established as u64)),
+        ("frames_target", Json::UInt(r.frames_target)),
+        ("frames_done", Json::UInt(r.frames_done)),
+        ("completed", Json::Bool(r.completed)),
+        ("wall_secs", Json::Num(r.wall_secs)),
+        ("frames_per_sec", Json::Num(r.frames_per_sec)),
+        (
+            "ping_p50_ns",
+            r.ping_p50_ns.map_or(Json::Num(f64::NAN), Json::UInt),
+        ),
+        (
+            "ping_p99_ns",
+            r.ping_p99_ns.map_or(Json::Num(f64::NAN), Json::UInt),
+        ),
+        ("rss_delta_kib", Json::UInt(r.rss_delta_kib)),
+    ])
+}
+
+fn scale_table_header() {
+    println!(
+        "| Server | Conns | Depth | Status | Frames/s | p50 µs | p99 µs | RSS Δ MiB |\n\
+         |:--|--:|--:|:--|--:|--:|--:|--:|"
+    );
+}
+
+/// The CI smoke: the event server must sustain 4x the connections of the
+/// threaded baseline without exceeding its memory envelope.
+fn run_quick(json_path: Option<&str>) {
+    const THREADED_CONNS: usize = 64;
+    const EVENT_CONNS: usize = 256;
+    const DEPTH: usize = 8;
+    const FRAMES: usize = 50;
+    println!(
+        "### Connection-scaling smoke: threaded@{THREADED_CONNS} vs event@{EVENT_CONNS} \
+         (depth {DEPTH}, {FRAMES} frames/conn)\n"
+    );
+    scale_table_header();
+    let threaded = run_scale_cell(Mode::Threaded, THREADED_CONNS, DEPTH, FRAMES, 0.0, 120);
+    print_scale_row(&threaded);
+    let event = run_scale_cell(Mode::Event, EVENT_CONNS, DEPTH, FRAMES, 0.0, 120);
+    print_scale_row(&event);
+    println!();
+
+    if let Some(path) = json_path {
+        write_json(
+            path,
+            vec![scale_cell_json(&threaded), scale_cell_json(&event)],
+            None,
+        );
+    }
+
+    assert!(
+        event.completed,
+        "event server failed to complete {EVENT_CONNS} connections x {FRAMES} frames \
+         ({}/{} frames, {} connected)",
+        event.frames_done, event.frames_target, event.conns_established
+    );
+    assert!(
+        threaded.frames_done > 0,
+        "threaded baseline served nothing; smoke cannot compare"
+    );
+    // "4x the connections at equal memory": allow 1.5x + 8 MiB of
+    // measurement slack (RSS sampling races allocator behavior).
+    let budget = threaded.rss_delta_kib + threaded.rss_delta_kib / 2 + 8 * 1024;
+    assert!(
+        event.rss_delta_kib <= budget,
+        "event server at {EVENT_CONNS} conns used {} KiB, over the threaded@{THREADED_CONNS} \
+         envelope of {} KiB",
+        event.rss_delta_kib,
+        budget
+    );
+    println!(
+        "smoke OK: event@{EVENT_CONNS} completed in {} KiB RSS vs threaded@{THREADED_CONNS} \
+         envelope {} KiB",
+        event.rss_delta_kib, budget
+    );
+}
+
+fn write_json(path: &str, cells: Vec<Json>, group_commit: Option<Json>) {
+    let mut top = vec![
+        ("bench", Json::Str("net_scale".into())),
+        (
+            "host_cpus",
+            Json::UInt(
+                std::thread::available_parallelism()
+                    .map(|n| n.get() as u64)
+                    .unwrap_or(1),
+            ),
+        ),
+        ("cells", Json::Arr(cells)),
+    ];
+    if let Some(gc) = group_commit {
+        top.push(("group_commit", gc));
+    }
+    let body = Json::Obj(top).render() + "\n";
+    std::fs::write(path, body).unwrap_or_else(|e| fail(&format!("writing {path}: {e}")));
+    eprintln!("wrote {path}");
+}
+
+// -------------------------------------------------------------------
+// Group-commit window sweep (the original net_scale)
+// -------------------------------------------------------------------
 
 /// One cell's outcome.
 struct NetCell {
@@ -95,12 +634,77 @@ fn run_net_cell(wl: &TpcbConfig, clients: usize, ops: usize, window: Duration) -
     }
 }
 
+struct GroupCommitOpts {
+    ops: usize,
+    reps: usize,
+    clients: Vec<usize>,
+    windows_ms: Vec<f64>,
+    ops_per_txn: usize,
+}
+
+fn run_group_commit(opts: &GroupCommitOpts, json_path: Option<&str>) {
+    let mut wl = TpcbConfig::scale();
+    wl.ops_per_txn = opts.ops_per_txn;
+    println!(
+        "### Networked TPC-B over loopback TCP (durable commits)\n\n\
+         {} accounts / {} tellers / {} branches, {} ops/txn, {} ops per cell x {} reps, \
+         contended mode; cells report median ops/s (fsyncs per durable commit, retries)\n",
+        wl.accounts, wl.tellers, wl.branches, wl.ops_per_txn, opts.ops, opts.reps
+    );
+    let mut head = String::from("| Commit window |");
+    for c in &opts.clients {
+        head.push_str(&format!(" {c} client{} |", if *c == 1 { "" } else { "s" }));
+    }
+    println!("{head}\n|:--|{}", "--:|".repeat(opts.clients.len()));
+    let mut rows = Vec::new();
+    for &w in &opts.windows_ms {
+        let window = Duration::from_secs_f64(w / 1e3);
+        let mut row = format!("| {w} ms |");
+        for &c in &opts.clients {
+            let cells: Vec<NetCell> = (0..opts.reps)
+                .map(|_| run_net_cell(&wl, c, opts.ops, window))
+                .collect();
+            let v = median(cells.iter().map(|x| x.ops_per_sec).collect());
+            let f = median(cells.iter().map(|x| x.fsyncs_per_txn).collect());
+            let r = median(cells.iter().map(|x| x.retries as f64).collect());
+            row.push_str(&format!(" {v:.0} ({f:.2} fs/txn, {r:.0} rtry) |"));
+            rows.push(Json::Obj(vec![
+                ("window_ms", Json::Num(w)),
+                ("clients", Json::UInt(c as u64)),
+                ("ops_per_sec", Json::Num(v)),
+                ("fsyncs_per_txn", Json::Num(f)),
+                ("retries", Json::Num(r)),
+            ]));
+        }
+        println!("{row}");
+    }
+    println!();
+    if let Some(path) = json_path {
+        write_json(path, Vec::new(), Some(Json::Arr(rows)));
+    }
+}
+
+// -------------------------------------------------------------------
+
 fn main() {
-    let mut ops: usize = 2_000;
-    let mut reps: usize = 3;
-    let mut clients: Vec<usize> = vec![1, 2, 4, 8];
-    let mut windows_ms: Vec<f64> = vec![0.0, 0.5, 2.0];
-    let mut ops_per_txn: usize = 4;
+    // Connection-scaling defaults.
+    let mut conns: Vec<usize> = vec![64, 256, 1024, 4096];
+    let mut depths: Vec<usize> = vec![1, 16];
+    let mut frames: usize = 100;
+    let mut rate: f64 = 0.0;
+    let mut modes: Vec<Mode> = vec![Mode::Event, Mode::Threaded];
+    let mut deadline_secs: u64 = 120;
+    let mut json_path: String = "BENCH_net.json".into();
+    let mut quick = false;
+    let mut group_commit = false;
+    // Group-commit defaults.
+    let mut gc = GroupCommitOpts {
+        ops: 2_000,
+        reps: 3,
+        clients: vec![1, 2, 4, 8],
+        windows_ms: vec![0.0, 0.5, 2.0],
+        ops_per_txn: 4,
+    };
 
     let mut args = std::env::args().skip(1);
     let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
@@ -109,27 +713,52 @@ fn main() {
     };
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--conns" => conns = parse_list(&value(&mut args, "--conns"), "--conns"),
+            "--depths" => depths = parse_list(&value(&mut args, "--depths"), "--depths"),
+            "--frames" => {
+                frames = value(&mut args, "--frames")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--frames must be a number"));
+            }
+            "--rate" => {
+                rate = value(&mut args, "--rate")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--rate must be a number"));
+            }
+            "--modes" => {
+                modes = value(&mut args, "--modes")
+                    .split(',')
+                    .map(|m| match m.trim() {
+                        "event" => Mode::Event,
+                        "threaded" => Mode::Threaded,
+                        other => fail(&format!("unknown mode '{other}'")),
+                    })
+                    .collect();
+            }
+            "--deadline" => {
+                deadline_secs = value(&mut args, "--deadline")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--deadline must be a number"));
+            }
+            "--json" => json_path = value(&mut args, "--json"),
+            "--quick" => quick = true,
+            "--group-commit" => group_commit = true,
             "--ops" => {
-                ops = value(&mut args, "--ops")
+                gc.ops = value(&mut args, "--ops")
                     .parse()
                     .unwrap_or_else(|_| fail("--ops must be a number"));
             }
             "--reps" => {
-                reps = value(&mut args, "--reps")
+                gc.reps = value(&mut args, "--reps")
                     .parse()
                     .unwrap_or_else(|_| fail("--reps must be a number"));
             }
-            "--clients" => clients = parse_list(&value(&mut args, "--clients"), "--clients"),
-            "--windows" => windows_ms = parse_list(&value(&mut args, "--windows"), "--windows"),
+            "--clients" => gc.clients = parse_list(&value(&mut args, "--clients"), "--clients"),
+            "--windows" => gc.windows_ms = parse_list(&value(&mut args, "--windows"), "--windows"),
             "--ops-per-txn" => {
-                ops_per_txn = value(&mut args, "--ops-per-txn")
+                gc.ops_per_txn = value(&mut args, "--ops-per-txn")
                     .parse()
                     .unwrap_or_else(|_| fail("--ops-per-txn must be a number"));
-            }
-            "--quick" => {
-                ops = 400;
-                reps = 1;
-                clients = vec![1, 2, 4];
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -138,39 +767,62 @@ fn main() {
             other => fail(&format!("unknown argument '{other}'")),
         }
     }
-    if ops == 0 || reps == 0 || ops_per_txn == 0 || clients.is_empty() || windows_ms.is_empty() {
-        fail("--ops/--reps/--ops-per-txn must be positive, lists non-empty");
-    }
-    if windows_ms.iter().any(|&w| w < 0.0) {
-        fail("--windows entries must be >= 0");
+
+    if group_commit {
+        if gc.ops == 0
+            || gc.reps == 0
+            || gc.ops_per_txn == 0
+            || gc.clients.is_empty()
+            || gc.windows_ms.is_empty()
+        {
+            fail("--ops/--reps/--ops-per-txn must be positive, lists non-empty");
+        }
+        if gc.windows_ms.iter().any(|&w| w < 0.0) {
+            fail("--windows entries must be >= 0");
+        }
+        gc.quick_adjust(quick);
+        run_group_commit(&gc, Some(&json_path));
+        return;
     }
 
-    let mut wl = TpcbConfig::scale();
-    wl.ops_per_txn = ops_per_txn;
-    println!(
-        "### Networked TPC-B over loopback TCP (durable commits)\n\n\
-         {} accounts / {} tellers / {} branches, {} ops/txn, {ops} ops per cell x {reps} reps, \
-         contended mode; cells report median ops/s (fsyncs per durable commit, retries)\n",
-        wl.accounts, wl.tellers, wl.branches, wl.ops_per_txn
-    );
-    let mut head = String::from("| Commit window |");
-    for c in &clients {
-        head.push_str(&format!(" {c} client{} |", if *c == 1 { "" } else { "s" }));
+    if quick {
+        run_quick(None);
+        return;
     }
-    println!("{head}\n|:--|{}", "--:|".repeat(clients.len()));
-    for &w in &windows_ms {
-        let window = Duration::from_secs_f64(w / 1e3);
-        let mut row = format!("| {w} ms |");
-        for &c in &clients {
-            let cells: Vec<NetCell> = (0..reps)
-                .map(|_| run_net_cell(&wl, c, ops, window))
-                .collect();
-            let v = median(cells.iter().map(|x| x.ops_per_sec).collect());
-            let f = median(cells.iter().map(|x| x.fsyncs_per_txn).collect());
-            let r = median(cells.iter().map(|x| x.retries as f64).collect());
-            row.push_str(&format!(" {v:.0} ({f:.2} fs/txn, {r:.0} rtry) |"));
+
+    if frames == 0 || conns.is_empty() || depths.is_empty() || modes.is_empty() {
+        fail("--frames must be positive, lists non-empty");
+    }
+    println!(
+        "### Connection scaling over loopback TCP ({frames} Ping frames/conn, {} arrival)\n",
+        if rate > 0.0 {
+            format!("open-loop {rate}/s")
+        } else {
+            "closed-loop".to_string()
         }
-        println!("{row}");
+    );
+    scale_table_header();
+    let mut cells = Vec::new();
+    for &mode in &modes {
+        for &n in &conns {
+            for &d in &depths {
+                let r = run_scale_cell(mode, n, d, frames, rate, deadline_secs);
+                print_scale_row(&r);
+                cells.push(scale_cell_json(&r));
+            }
+        }
     }
     println!();
+    write_json(&json_path, cells, None);
+}
+
+impl GroupCommitOpts {
+    /// Shrink to smoke sizes when `--quick` accompanies `--group-commit`.
+    fn quick_adjust(&mut self, quick: bool) {
+        if quick {
+            self.ops = 400;
+            self.reps = 1;
+            self.clients = vec![1, 2, 4];
+        }
+    }
 }

@@ -807,6 +807,108 @@ pub fn format_deferred_markdown(
     out
 }
 
+// -------------------------------------------------------------------
+// Minimal JSON rendering (machine-readable bench output)
+// -------------------------------------------------------------------
+
+/// A JSON value, hand-rendered: the bench binaries emit machine-readable
+/// result files (`BENCH_net.json`, `audit_scale --json`) without pulling
+/// in a serialization dependency.
+#[derive(Clone, Debug)]
+pub enum Json {
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(&'static str, Json)>),
+}
+
+impl Json {
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(n) => out.push_str(&n.to_string()),
+            Json::UInt(n) => out.push_str(&n.to_string()),
+            Json::Num(x) => {
+                // JSON has no NaN/Inf; benches use null for "not measured".
+                if x.is_finite() {
+                    out.push_str(&format!("{x}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        '\r' => out.push_str("\\r"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push_str(&format!("\"{k}\": "));
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Resident set size of this process (VmRSS), in KiB.
+pub fn vm_rss_kib() -> u64 {
+    let status = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmRSS:") {
+            return rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse()
+                .unwrap_or(0);
+        }
+    }
+    0
+}
+
 /// Paper Table 1 reference rows: platform, pairs/second (1998 hardware).
 pub fn table1_paper_rows() -> Vec<(&'static str, f64)> {
     vec![
@@ -917,6 +1019,34 @@ mod tests {
         let m = run_row(&spec, &wl, 60, false);
         let p = m.pages_per_op.unwrap();
         assert!(p > 1.0, "{p}");
+    }
+
+    #[test]
+    fn json_renders_nested_and_escaped() {
+        let v = Json::Obj(vec![
+            ("name", Json::Str("a\"b\\c\nd".into())),
+            ("n", Json::UInt(7)),
+            ("x", Json::Num(1.5)),
+            ("nan", Json::Num(f64::NAN)),
+            ("ok", Json::Bool(true)),
+            ("rows", Json::Arr(vec![Json::Int(-1), Json::Obj(vec![])])),
+        ]);
+        let s = v.render();
+        assert!(s.contains("\"a\\\"b\\\\c\\nd\""), "{s}");
+        assert!(s.contains("\"n\": 7"));
+        assert!(s.contains("\"x\": 1.5"));
+        assert!(s.contains("\"nan\": null"));
+        assert!(s.contains("\"ok\": true"));
+        assert!(s.contains("-1"));
+        assert!(s.contains("{}"));
+        // Balanced braces/brackets (cheap well-formedness proxy).
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn vm_rss_is_positive_on_linux() {
+        assert!(vm_rss_kib() > 0);
     }
 
     #[test]

@@ -364,6 +364,36 @@ pub struct DaliConfig {
     /// [`DaliConfig::resolved_parity_group_size`]). Space overhead is
     /// `1/parity_group_size` of the image.
     pub parity_group_size: usize,
+    /// Number of network event-loop (readiness-loop) workers in the
+    /// dali-net server. Each worker owns a slice of nonblocking sessions
+    /// and multiplexes them through epoll (or `poll(2)` as the portable
+    /// fallback). `0` = auto: one per available CPU, capped at four —
+    /// event loops do no blocking work, so a handful saturates the NIC
+    /// long before the execution pool does.
+    pub net_event_workers: usize,
+    /// Number of execution-pool workers in the dali-net server. Decoded
+    /// requests are executed here so a slow verb (lock wait, audit,
+    /// fsync) never stalls an event loop. `0` = auto:
+    /// `max(8, 2 × CPUs)` — the floor matters on small hosts, where a
+    /// lock holder's commit must always find a free worker even when
+    /// every other session is blocked waiting on its locks.
+    pub net_exec_workers: usize,
+    /// Admission control: maximum concurrently open connections. At the
+    /// cap the listener's read interest is parked (accept-pause) after
+    /// rejecting the connections already in the backlog with a
+    /// structured error; rejects are counted in
+    /// `ServerStats::conns_rejected`. `0` = unlimited.
+    pub net_max_conns: usize,
+    /// Per-connection pipelining budget: maximum decoded-but-unanswered
+    /// frames in flight. When a session reaches the budget its socket's
+    /// read interest is parked until responses drain — backpressure, not
+    /// disconnect. Minimum 1 (a zero is treated as 1).
+    pub net_pipeline_depth: usize,
+    /// Per-connection outbound-byte budget: when a session's queued
+    /// response bytes exceed this, its read interest is parked until the
+    /// peer drains below the watermark. Bounds server memory under slow
+    /// consumers. `0` = unbounded.
+    pub net_outbound_budget: usize,
 }
 
 impl DaliConfig {
@@ -394,6 +424,11 @@ impl DaliConfig {
             codeword_algebra: CodewordAlgebraKind::XorFold,
             colocate_control: false,
             parity_group_size: 8,
+            net_event_workers: 0,
+            net_exec_workers: 0,
+            net_max_conns: 16384,
+            net_pipeline_depth: 64,
+            net_outbound_budget: 1 << 20,
         }
     }
 
@@ -525,6 +560,71 @@ impl DaliConfig {
         }
     }
 
+    /// Builder-style event-loop worker count (`0` = auto).
+    pub fn with_net_event_workers(mut self, n: usize) -> Self {
+        self.net_event_workers = n;
+        self
+    }
+
+    /// Builder-style execution-pool worker count (`0` = auto).
+    pub fn with_net_exec_workers(mut self, n: usize) -> Self {
+        self.net_exec_workers = n;
+        self
+    }
+
+    /// Builder-style connection cap (`0` = unlimited).
+    pub fn with_net_max_conns(mut self, n: usize) -> Self {
+        self.net_max_conns = n;
+        self
+    }
+
+    /// Builder-style pipelining budget (`0` is treated as `1`).
+    pub fn with_net_pipeline_depth(mut self, n: usize) -> Self {
+        self.net_pipeline_depth = n;
+        self
+    }
+
+    /// Builder-style outbound-byte budget (`0` = unbounded).
+    pub fn with_net_outbound_budget(mut self, n: usize) -> Self {
+        self.net_outbound_budget = n;
+        self
+    }
+
+    /// The effective event-loop worker count: `net_event_workers`, or
+    /// (when `0`) one per available CPU capped at four.
+    pub fn resolved_net_event_workers(&self) -> usize {
+        if self.net_event_workers == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(4)
+        } else {
+            self.net_event_workers
+        }
+    }
+
+    /// The effective execution-pool worker count: `net_exec_workers`, or
+    /// (when `0`) `max(8, 2 × CPUs)`. The floor of eight guarantees a
+    /// lock holder's commit always finds a free worker on small test
+    /// hosts even when every other session blocks on its locks.
+    pub fn resolved_net_exec_workers(&self) -> usize {
+        if self.net_exec_workers == 0 {
+            let cpus = std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1);
+            (2 * cpus).max(8)
+        } else {
+            self.net_exec_workers
+        }
+    }
+
+    /// The effective pipelining budget: `net_pipeline_depth` with `0`
+    /// treated as `1` (strict request/response).
+    #[inline]
+    pub fn resolved_net_pipeline_depth(&self) -> usize {
+        self.net_pipeline_depth.max(1)
+    }
+
     /// The effective latch-run bound: `audit_latch_run` with `0` treated
     /// as `1` (latch-per-region).
     #[inline]
@@ -575,6 +675,18 @@ impl DaliConfig {
             // `0` but ambiguous at call sites; reject it so the two
             // spellings of always-full cannot drift apart.
             return Err("full_certify_every must be 0 (always full) or >= 2".into());
+        }
+        if self.net_event_workers > 1024 {
+            return Err(format!(
+                "net_event_workers {} is absurd (max 1024)",
+                self.net_event_workers
+            ));
+        }
+        if self.net_exec_workers > 65536 {
+            return Err(format!(
+                "net_exec_workers {} is absurd (max 65536)",
+                self.net_exec_workers
+            ));
         }
         Ok(())
     }
@@ -852,6 +964,42 @@ mod tests {
         let c = c.with_parity_group_size(0);
         assert_eq!(c.resolved_parity_group_size(), 0, "0 disables");
         assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn net_knobs_default_and_resolve() {
+        let c = DaliConfig::small("/tmp/x");
+        assert_eq!(c.net_event_workers, 0, "auto by default");
+        assert_eq!(c.net_exec_workers, 0, "auto by default");
+        assert_eq!(c.net_max_conns, 16384);
+        assert_eq!(c.net_pipeline_depth, 64);
+        assert_eq!(c.net_outbound_budget, 1 << 20);
+
+        let ev = c.resolved_net_event_workers();
+        assert!((1..=4).contains(&ev), "auto event workers {ev}");
+        let ex = c.resolved_net_exec_workers();
+        assert!(ex >= 8, "exec floor of 8, got {ex}");
+
+        let c = c
+            .with_net_event_workers(2)
+            .with_net_exec_workers(3)
+            .with_net_max_conns(100)
+            .with_net_pipeline_depth(0)
+            .with_net_outbound_budget(4096);
+        assert_eq!(c.resolved_net_event_workers(), 2);
+        assert_eq!(c.resolved_net_exec_workers(), 3);
+        assert_eq!(c.net_max_conns, 100);
+        assert_eq!(c.resolved_net_pipeline_depth(), 1, "0 means strict RPC");
+        assert_eq!(c.net_outbound_budget, 4096);
+        assert_eq!(c.validate(), Ok(()));
+    }
+
+    #[test]
+    fn net_knob_validation_rejects_absurd_counts() {
+        let c = DaliConfig::small("/tmp/x").with_net_event_workers(2000);
+        assert!(c.validate().is_err());
+        let c = DaliConfig::small("/tmp/x").with_net_exec_workers(100_000);
+        assert!(c.validate().is_err());
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub enum DaliError {
     /// The engine is shut down or has simulated a crash; no further
     /// operations are accepted until restart.
     Crashed,
+    /// The network peer closed the connection (cleanly or mid-request).
+    /// Surfaced by `dali-net` so clients can distinguish "server went
+    /// away" from a local I/O fault and retry against a replica.
+    ConnectionClosed,
 }
 
 impl fmt::Display for DaliError {
@@ -72,6 +76,7 @@ impl fmt::Display for DaliError {
             DaliError::InvalidArg(s) => write!(f, "invalid argument: {s}"),
             DaliError::RecoveryFailed(s) => write!(f, "recovery failed: {s}"),
             DaliError::Crashed => write!(f, "database has crashed; restart required"),
+            DaliError::ConnectionClosed => write!(f, "connection closed by peer"),
         }
     }
 }
@@ -115,6 +120,14 @@ mod tests {
         assert!(matches!(e, DaliError::Io(_)));
         use std::error::Error;
         assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn connection_closed_display() {
+        assert_eq!(
+            DaliError::ConnectionClosed.to_string(),
+            "connection closed by peer"
+        );
     }
 
     #[test]

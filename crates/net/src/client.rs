@@ -9,11 +9,29 @@
 //! [`TxnHandle`]: dali_engine::TxnHandle
 
 use crate::protocol::{
-    encode_request, read_frame, write_frame, RepairSummary, Request, Response, ServerStats,
+    encode_request, read_frame, write_frame, HealthReport, MetricsReport, RepairSummary, Request,
+    Response, ServerStats,
 };
 use dali_common::{DaliError, RecId, Result, TableId, TxnId};
 use std::io::BufWriter;
 use std::net::{TcpStream, ToSocketAddrs};
+
+/// Fold transport-level "the peer went away" errors into the structured
+/// [`DaliError::ConnectionClosed`], so callers can distinguish a server
+/// shutdown (retry elsewhere / surface cleanly) from a torn frame or a
+/// local I/O fault.
+fn map_closed(e: DaliError) -> DaliError {
+    match &e {
+        DaliError::Io(io) => match io.kind() {
+            std::io::ErrorKind::UnexpectedEof
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe => DaliError::ConnectionClosed,
+            _ => e,
+        },
+        _ => e,
+    }
+}
 
 /// A connection to a [`DaliServer`](crate::DaliServer).
 pub struct DaliClient {
@@ -33,16 +51,35 @@ impl DaliClient {
         })
     }
 
-    /// Send one request and wait for its response.
+    /// Send one request and wait for its response. A connection the
+    /// server closed — mid-request or between requests — surfaces as
+    /// [`DaliError::ConnectionClosed`], not a raw I/O error.
     fn call(&mut self, req: &Request) -> Result<Response> {
-        write_frame(&mut self.writer, &encode_request(req))?;
-        match read_frame(&mut self.reader)? {
+        write_frame(&mut self.writer, &encode_request(req)).map_err(map_closed)?;
+        match read_frame(&mut self.reader).map_err(map_closed)? {
             Some(payload) => Response::decode(&payload),
-            None => Err(DaliError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection",
-            ))),
+            None => Err(DaliError::ConnectionClosed),
         }
+    }
+
+    /// Send a batch of requests back-to-back, then collect the
+    /// responses, which the server returns in receive order. With the
+    /// event-driven server the frames overlap in the execution pool up
+    /// to the connection's pipeline budget, amortizing round trips.
+    pub fn pipeline(&mut self, reqs: &[Request]) -> Result<Vec<Response>> {
+        use std::io::Write;
+        for req in reqs {
+            write_frame(&mut self.writer, &encode_request(req)).map_err(map_closed)?;
+        }
+        self.writer.flush().map_err(|e| map_closed(e.into()))?;
+        let mut resps = Vec::with_capacity(reqs.len());
+        for _ in reqs {
+            match read_frame(&mut self.reader).map_err(map_closed)? {
+                Some(payload) => resps.push(Response::decode(&payload)?),
+                None => return Err(DaliError::ConnectionClosed),
+            }
+        }
+        Ok(resps)
     }
 
     /// Send a request and translate a structured error response back
@@ -204,6 +241,24 @@ impl DaliClient {
     pub fn ping(&mut self) -> Result<()> {
         match self.call_ok(&Request::Ping)? {
             Response::Ok => Ok(()),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Cheap health probe: server liveness, open connections, and the
+    /// execution-queue depth — answered from server state without
+    /// touching a table.
+    pub fn health(&mut self) -> Result<HealthReport> {
+        match self.call_ok(&Request::Health)? {
+            Response::Health(h) => Ok(h),
+            resp => Err(Self::unexpected(resp)),
+        }
+    }
+
+    /// Per-verb latency histograms (log₂-ns buckets) since server start.
+    pub fn metrics(&mut self) -> Result<MetricsReport> {
+        match self.call_ok(&Request::Metrics)? {
+            Response::Metrics(m) => Ok(m),
             resp => Err(Self::unexpected(resp)),
         }
     }

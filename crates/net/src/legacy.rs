@@ -1,0 +1,250 @@
+//! The pre-event-loop thread-per-connection server, kept behind the
+//! `legacy-threaded` feature as the scaling baseline `net_scale`
+//! measures the readiness-loop server against.
+//!
+//! Semantics match [`crate::DaliServer`]: same session lifecycle (one
+//! txn per connection, `NoTxn`/`TxnAlreadyOpen` misuse errors, errors
+//! leave the txn open), same orphan rollback on disconnect, same
+//! `Stats`/`Health`/`Metrics` answers (via the shared executor and
+//! stats builder). What differs is the execution model: one OS thread
+//! per connection, blocking reads, no pipelining overlap (frames are
+//! still answered in order — serially), no admission control, no
+//! backpressure budgets.
+
+use crate::histogram::LatencyHistograms;
+use crate::protocol::{
+    encode_response, read_frame, write_frame, HealthReport, Request, Response, WireError,
+};
+use crate::server::{build_server_stats, execute_engine_request, ServerCounters};
+use dali_common::Result;
+use dali_engine::{DaliEngine, TxnHandle};
+use std::collections::HashMap;
+use std::io::BufWriter;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+struct Shared {
+    engine: DaliEngine,
+    counters: ServerCounters,
+    histograms: LatencyHistograms,
+    start: Instant,
+    stop: AtomicBool,
+    /// Live connections, by id: a clone of each session's stream, kept so
+    /// shutdown can `Shutdown::Both` sessions parked in `read_frame`
+    /// waiting for a client that will never send (an idle client would
+    /// otherwise hang the accept thread's session join forever). Sessions
+    /// deregister themselves when they finish.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn_id: AtomicU64,
+}
+
+/// A running thread-per-connection server. Dropping (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop; in-flight
+/// sessions are asked to wind down and joined.
+pub struct ThreadedServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral loopback port)
+    /// and start accepting connections, one service thread each.
+    pub fn start(engine: DaliEngine, addr: impl ToSocketAddrs) -> Result<ThreadedServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            engine,
+            counters: ServerCounters::default(),
+            histograms: LatencyHistograms::new(),
+            start: Instant::now(),
+            stop: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = std::thread::spawn(move || {
+            let mut sessions: Vec<JoinHandle<()>> = Vec::new();
+            for conn in listener.incoming() {
+                if accept_shared.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        // Register a stream clone *before* spawning the
+                        // session, then re-check the stop flag: stop()
+                        // sets the flag and *then* sweeps the map, so a
+                        // connection that raced past the flag check above
+                        // either lands in the map before the sweep (and is
+                        // shut down by it) or sees the flag here and is
+                        // shut down inline. A connection whose clone fails
+                        // would be unreachable from stop(), so drop it
+                        // instead of serving it.
+                        let conn_id = accept_shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
+                        match stream.try_clone() {
+                            Ok(clone) => {
+                                accept_shared.conns.lock().unwrap().insert(conn_id, clone);
+                            }
+                            Err(_) => continue,
+                        }
+                        if accept_shared.stop.load(Ordering::Acquire) {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            accept_shared.conns.lock().unwrap().remove(&conn_id);
+                            break;
+                        }
+                        let shared = Arc::clone(&accept_shared);
+                        sessions.push(std::thread::spawn(move || {
+                            shared.counters.sessions.fetch_add(1, Ordering::Relaxed);
+                            Session::new(&shared).serve(stream);
+                            shared.counters.sessions.fetch_sub(1, Ordering::Relaxed);
+                            shared.conns.lock().unwrap().remove(&conn_id);
+                        }));
+                    }
+                    Err(_) => break,
+                }
+                // Reap finished session threads so a long-lived server
+                // does not accumulate handles.
+                sessions.retain(|h| !h.is_finished());
+            }
+            for h in sessions {
+                let _ = h.join();
+            }
+        });
+        Ok(ThreadedServer {
+            shared,
+            addr,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (use after binding port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &DaliEngine {
+        &self.shared.engine
+    }
+
+    /// Stop accepting, disconnect open sessions, and join the accept
+    /// loop. Sessions parked in a blocking read (an idle client holding
+    /// its socket open) see EOF and wind down — their open transactions
+    /// are rolled back through the orphan path; clients see the
+    /// connection close.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.stop.store(true, Ordering::Release);
+        for (_, conn) in self.shared.conns.lock().unwrap().iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        if self.accept_thread.is_some() {
+            self.stop();
+        }
+    }
+}
+
+/// One connection's state: the engine handle and the connection's open
+/// transaction, if any.
+struct Session<'a> {
+    shared: &'a Shared,
+    txn: Option<TxnHandle>,
+}
+
+impl<'a> Session<'a> {
+    fn new(shared: &'a Shared) -> Session<'a> {
+        Session { shared, txn: None }
+    }
+
+    /// Serve the connection until EOF, a protocol error, or shutdown.
+    fn serve(mut self, stream: TcpStream) {
+        let _ = stream.set_nodelay(true);
+        let mut reader = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        let mut writer = BufWriter::new(stream);
+        loop {
+            let payload = match read_frame(&mut reader) {
+                Ok(Some(p)) => p,
+                // Clean EOF: the client hung up at a frame boundary.
+                Ok(None) => break,
+                // Torn frame / bad checksum / connection reset: there is
+                // no trustworthy frame boundary to resume at.
+                Err(e) => {
+                    let resp = Response::Err(WireError::from(&e));
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                    break;
+                }
+            };
+            let resp = match Request::decode(&payload) {
+                Ok(req) => self.execute(req),
+                Err(e) => {
+                    let resp = Response::Err(WireError::from(&e));
+                    let _ = write_frame(&mut writer, &encode_response(&resp));
+                    break;
+                }
+            };
+            if write_frame(&mut writer, &encode_response(&resp)).is_err() {
+                break;
+            }
+        }
+        // Orphan cleanup: a transaction left open by a dropped (or
+        // misbehaving) connection is rolled back level by level through
+        // the engine's ATT rollback, releasing all its locks.
+        if let Some(txn) = self.txn.take() {
+            let _ = txn.abort();
+            self.shared
+                .counters
+                .orphans_rolled_back
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Execute one request against the session, serving the server
+    /// verbs from shared state and everything else through the common
+    /// engine executor.
+    fn execute(&mut self, req: Request) -> Response {
+        let tag = req.tag();
+        let started = Instant::now();
+        let resp = match req {
+            Request::Stats => Response::Stats(build_server_stats(
+                &self.shared.engine,
+                &self.shared.counters,
+            )),
+            Request::Health => Response::Health(HealthReport {
+                healthy: !self.shared.stop.load(Ordering::Acquire)
+                    && self.shared.engine.current_lsn().is_ok(),
+                conns_open: self.shared.counters.sessions.load(Ordering::Relaxed),
+                exec_queue_depth: 0,
+                uptime_ns: self.shared.start.elapsed().as_nanos() as u64,
+            }),
+            Request::Metrics => Response::Metrics(
+                self.shared
+                    .histograms
+                    .report(self.shared.start.elapsed().as_nanos() as u64),
+            ),
+            req => execute_engine_request(&self.shared.engine, &mut self.txn, req),
+        };
+        self.shared
+            .histograms
+            .record(tag, started.elapsed().as_nanos() as u64);
+        resp
+    }
+}

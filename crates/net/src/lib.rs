@@ -1,13 +1,14 @@
 //! dali-net: the engine over TCP.
 //!
-//! Turns the embedded engine into a networked database: a
-//! thread-per-connection [`DaliServer`] maps each connection to a session
-//! owning its transactions, a blocking [`DaliClient`] speaks the
-//! length-prefixed, checksummed binary protocol in [`protocol`], and
-//! [`NetTpcbDriver`] re-runs the contended TPC-B workload over N client
-//! connections.
+//! Turns the embedded engine into a networked database: an event-driven
+//! [`DaliServer`] runs readiness loops (epoll, with a portable `poll(2)`
+//! fallback) over nonblocking sessions and executes verbs on a bounded
+//! pool, a blocking [`DaliClient`] speaks the length-prefixed,
+//! checksummed binary protocol in [`protocol`] (with optional frame
+//! [`pipelining`](DaliClient::pipeline)), and [`NetTpcbDriver`] re-runs
+//! the contended TPC-B workload over N client connections.
 //!
-//! Design points (DESIGN.md §6):
+//! Design points (DESIGN.md §6 and §10):
 //!
 //! * **Framing**: `[len][checksum][payload]`, the same defensive idiom as
 //!   the WAL's on-disk records — a torn or corrupt frame is a structured
@@ -15,6 +16,14 @@
 //! * **Structured errors**: engine failures cross the wire as
 //!   [`WireError`] and come back out as the [`DaliError`] they started
 //!   as, so client retry loops are written exactly like in-process ones.
+//!   A connection the server closed surfaces as
+//!   [`DaliError::ConnectionClosed`].
+//! * **Event-driven sessions**: each connection is a state machine
+//!   (read-accumulate → decode → execute → write-drain) owned by an
+//!   event loop; pipelined frames overlap in the execution pool and are
+//!   answered in receive order, and per-connection budgets
+//!   (`net_pipeline_depth`, `net_outbound_budget`) park the read side
+//!   instead of buffering without bound. `net_max_conns` caps admission.
 //! * **Orphan cleanup**: a dropped connection's open transaction is
 //!   rolled back level by level through the engine's ATT rollback,
 //!   releasing all its locks.
@@ -22,15 +31,31 @@
 //!   committers from different connections share one fsync (see
 //!   `SystemLog::commit_durable`); the [`ServerStats`] verb exposes the
 //!   fsync/flush counters the `net_scale` bench reports.
+//! * **Observability**: per-verb log₂-bucket latency histograms via the
+//!   `Metrics` verb ([`MetricsReport`]), a cheap `Health` probe
+//!   ([`HealthReport`]), and loop/queue counters in [`ServerStats`].
+//!
+//! The pre-event-loop thread-per-connection server survives behind the
+//! `legacy-threaded` feature as [`legacy::ThreadedServer`] — the
+//! baseline `net_scale` measures connection scaling against.
 //!
 //! [`DaliError`]: dali_common::DaliError
+//! [`DaliError::ConnectionClosed`]: dali_common::DaliError::ConnectionClosed
 
 pub mod client;
+pub mod histogram;
+#[cfg(feature = "legacy-threaded")]
+pub mod legacy;
+pub mod poller;
 pub mod protocol;
 pub mod server;
 pub mod tpcb;
 
 pub use client::DaliClient;
-pub use protocol::{RepairSummary, Request, Response, ServerStats, WireError, MAX_FRAME};
+pub use histogram::{merge_reports, LatencyHistograms};
+pub use protocol::{
+    HealthReport, MetricsReport, RepairSummary, Request, Response, ServerStats, VerbMetrics,
+    WireError, MAX_FRAME,
+};
 pub use server::DaliServer;
 pub use tpcb::{NetRunStats, NetTpcbDriver};

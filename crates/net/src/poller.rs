@@ -1,0 +1,439 @@
+//! Readiness polling for the event-driven server: epoll on Linux with a
+//! portable `poll(2)` fallback, behind one `Poller` face.
+//!
+//! Level-triggered on both backends — a socket with unread bytes keeps
+//! signalling until drained, which lets the event loop stop reading
+//! mid-stream (backpressure parks) without losing the wakeup. Each event
+//! worker owns one `Poller`; cross-thread wakeups (a finished execution,
+//! shutdown) go through [`Waker`], a nonblocking socketpair whose read
+//! end is registered like any other source.
+//!
+//! The fallback is selected automatically when `epoll_create1` is
+//! unavailable, or forced with `DALI_NET_FORCE_POLL=1` (the CI matrix
+//! exercises both).
+
+use std::collections::HashMap;
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// Which readiness a registration asks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    pub read: bool,
+    pub write: bool,
+}
+
+impl Interest {
+    pub const READ: Interest = Interest {
+        read: true,
+        write: false,
+    };
+    pub const WRITE: Interest = Interest {
+        read: false,
+        write: true,
+    };
+    pub const BOTH: Interest = Interest {
+        read: true,
+        write: true,
+    };
+    /// Registered but parked: stays in the fd set, wakes only on hangup.
+    pub const NONE: Interest = Interest {
+        read: false,
+        write: false,
+    };
+}
+
+/// One readiness event, translated out of the backend's encoding.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    /// Peer hangup or error — the session should be torn down after a
+    /// final drain attempt.
+    pub hangup: bool,
+}
+
+enum Backend {
+    Epoll {
+        epfd: RawFd,
+    },
+    Poll {
+        fds: HashMap<RawFd, (u64, Interest)>,
+    },
+}
+
+/// A readiness poller owning a set of `(fd, token, interest)`
+/// registrations.
+pub struct Poller {
+    backend: Backend,
+}
+
+impl Poller {
+    /// Open a poller, preferring epoll unless `DALI_NET_FORCE_POLL=1`.
+    pub fn new() -> io::Result<Poller> {
+        let force_poll = std::env::var("DALI_NET_FORCE_POLL").is_ok_and(|v| v == "1");
+        if !force_poll {
+            let epfd = unsafe { libc::epoll_create1(libc::EPOLL_CLOEXEC) };
+            if epfd >= 0 {
+                return Ok(Poller {
+                    backend: Backend::Epoll { epfd },
+                });
+            }
+        }
+        Ok(Poller {
+            backend: Backend::Poll {
+                fds: HashMap::new(),
+            },
+        })
+    }
+
+    /// Backend label for logs and bench output.
+    pub fn backend_name(&self) -> &'static str {
+        match self.backend {
+            Backend::Epoll { .. } => "epoll",
+            Backend::Poll { .. } => "poll",
+        }
+    }
+
+    fn epoll_events(interest: Interest) -> u32 {
+        let mut ev = libc::EPOLLRDHUP;
+        if interest.read {
+            ev |= libc::EPOLLIN;
+        }
+        if interest.write {
+            ev |= libc::EPOLLOUT;
+        }
+        ev
+    }
+
+    fn epoll_ctl(
+        epfd: RawFd,
+        op: i32,
+        fd: RawFd,
+        token: u64,
+        interest: Interest,
+    ) -> io::Result<()> {
+        let mut ev = libc::epoll_event {
+            events: Self::epoll_events(interest),
+            u64: token,
+        };
+        let rc = unsafe { libc::epoll_ctl(epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Start watching `fd` under `token`.
+    pub fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            Backend::Epoll { epfd } => {
+                Self::epoll_ctl(*epfd, libc::EPOLL_CTL_ADD, fd, token, interest)
+            }
+            Backend::Poll { fds } => {
+                fds.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Change the interest set of a watched `fd`.
+    pub fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        match &mut self.backend {
+            Backend::Epoll { epfd } => {
+                Self::epoll_ctl(*epfd, libc::EPOLL_CTL_MOD, fd, token, interest)
+            }
+            Backend::Poll { fds } => {
+                fds.insert(fd, (token, interest));
+                Ok(())
+            }
+        }
+    }
+
+    /// Stop watching `fd`. Safe to call for an fd that is about to close.
+    pub fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+        match &mut self.backend {
+            Backend::Epoll { epfd } => {
+                let rc = unsafe {
+                    libc::epoll_ctl(*epfd, libc::EPOLL_CTL_DEL, fd, std::ptr::null_mut())
+                };
+                if rc < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                Ok(())
+            }
+            Backend::Poll { fds } => {
+                fds.remove(&fd);
+                Ok(())
+            }
+        }
+    }
+
+    /// Block until at least one registered fd is ready (or `timeout`
+    /// expires), appending events to `out`. Returns the number appended.
+    /// `None` blocks indefinitely.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => d.as_millis().min(i32::MAX as u128) as i32,
+        };
+        match &mut self.backend {
+            Backend::Epoll { epfd } => {
+                let mut buf = [libc::epoll_event { events: 0, u64: 0 }; 256];
+                let n = loop {
+                    let rc = unsafe {
+                        libc::epoll_wait(*epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms)
+                    };
+                    if rc >= 0 {
+                        break rc as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                for ev in &buf[..n] {
+                    let events = { ev.events };
+                    out.push(Event {
+                        token: { ev.u64 },
+                        readable: events & libc::EPOLLIN != 0,
+                        writable: events & libc::EPOLLOUT != 0,
+                        hangup: events & (libc::EPOLLERR | libc::EPOLLHUP | libc::EPOLLRDHUP) != 0,
+                    });
+                }
+                Ok(n)
+            }
+            Backend::Poll { fds } => {
+                // Rebuild the pollfd array each wait: O(fds), which is
+                // why this is the fallback, not the default.
+                let mut pfds: Vec<libc::pollfd> = Vec::with_capacity(fds.len());
+                let mut tokens: Vec<u64> = Vec::with_capacity(fds.len());
+                for (&fd, &(token, interest)) in fds.iter() {
+                    let mut events = 0i16;
+                    if interest.read {
+                        events |= libc::POLLIN;
+                    }
+                    if interest.write {
+                        events |= libc::POLLOUT;
+                    }
+                    pfds.push(libc::pollfd {
+                        fd,
+                        events,
+                        revents: 0,
+                    });
+                    tokens.push(token);
+                }
+                let n = loop {
+                    let rc = unsafe {
+                        libc::poll(pfds.as_mut_ptr(), pfds.len() as libc::nfds_t, timeout_ms)
+                    };
+                    if rc >= 0 {
+                        break rc as usize;
+                    }
+                    let err = io::Error::last_os_error();
+                    if err.kind() != io::ErrorKind::Interrupted {
+                        return Err(err);
+                    }
+                };
+                if n > 0 {
+                    for (pfd, &token) in pfds.iter().zip(&tokens) {
+                        if pfd.revents == 0 {
+                            continue;
+                        }
+                        out.push(Event {
+                            token,
+                            readable: pfd.revents & libc::POLLIN != 0,
+                            writable: pfd.revents & libc::POLLOUT != 0,
+                            hangup: pfd.revents & (libc::POLLERR | libc::POLLHUP | libc::POLLNVAL)
+                                != 0,
+                        });
+                    }
+                }
+                Ok(n)
+            }
+        }
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        if let Backend::Epoll { epfd } = self.backend {
+            unsafe { libc::close(epfd) };
+        }
+    }
+}
+
+/// Cross-thread wakeup for an event loop: a nonblocking socketpair whose
+/// read end the loop registers like any socket. `wake()` writes one byte
+/// (a full pipe means a wakeup is already pending — success either way);
+/// the loop calls `drain()` when its waker token fires.
+pub struct Waker {
+    tx: std::os::unix::net::UnixStream,
+    rx: std::os::unix::net::UnixStream,
+}
+
+impl Waker {
+    pub fn new() -> io::Result<Waker> {
+        let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok(Waker { tx, rx })
+    }
+
+    /// The fd the owning loop registers for read interest.
+    pub fn fd(&self) -> RawFd {
+        use std::os::unix::io::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Wake the owning loop. Callable from any thread.
+    pub fn wake(&self) {
+        use std::io::Write;
+        // WouldBlock means the buffer already holds an undrained wakeup;
+        // any other error means the loop is gone — both are fine.
+        let _ = (&self.tx).write(&[1]);
+    }
+
+    /// Consume all pending wakeups (called by the owning loop).
+    pub fn drain(&self) {
+        use std::io::Read;
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    fn readiness_round_trip(mut poller: Poller) {
+        let (mut tx, rx) = UnixStream::pair().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        poller.register(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing ready yet.
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap(),
+            0
+        );
+
+        tx.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        // Parking to NONE stops read wakeups even with unread data.
+        events.clear();
+        poller
+            .reregister(rx.as_raw_fd(), 7, Interest::NONE)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(
+            !events.iter().any(|e| e.token == 7 && e.readable),
+            "parked fd still signalled readable: {events:?}"
+        );
+
+        // Unparking re-signals the still-unread data (level-triggered).
+        events.clear();
+        poller
+            .reregister(rx.as_raw_fd(), 7, Interest::READ)
+            .unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+
+        poller.deregister(rx.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn epoll_backend_round_trips() {
+        let poller = Poller::new().unwrap();
+        assert_eq!(poller.backend_name(), "epoll");
+        readiness_round_trip(poller);
+    }
+
+    #[test]
+    fn poll_backend_round_trips() {
+        // Construct the fallback directly rather than via the env var
+        // (tests in one process share the environment).
+        let poller = Poller {
+            backend: Backend::Poll {
+                fds: HashMap::new(),
+            },
+        };
+        assert_eq!(poller.backend_name(), "poll");
+        readiness_round_trip(poller);
+    }
+
+    #[test]
+    fn hangup_is_reported() {
+        for backend in ["epoll", "poll"] {
+            let mut poller = if backend == "epoll" {
+                Poller::new().unwrap()
+            } else {
+                Poller {
+                    backend: Backend::Poll {
+                        fds: HashMap::new(),
+                    },
+                }
+            };
+            let (tx, rx) = UnixStream::pair().unwrap();
+            poller.register(rx.as_raw_fd(), 1, Interest::READ).unwrap();
+            drop(tx);
+            let mut events = Vec::new();
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            let ev = events
+                .iter()
+                .find(|e| e.token == 1)
+                .unwrap_or_else(|| panic!("{backend}: no event for dropped peer"));
+            // Level-triggered close may surface as hangup and/or a final
+            // zero-length readable; either lets the loop tear down.
+            assert!(ev.hangup || ev.readable, "{backend}: {ev:?}");
+        }
+    }
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let mut poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new().unwrap());
+        poller.register(waker.fd(), 99, Interest::READ).unwrap();
+
+        let w2 = waker.clone();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            w2.wake();
+            w2.wake(); // coalesces
+        });
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 99 && e.readable));
+        waker.drain();
+        events.clear();
+        assert_eq!(
+            poller
+                .wait(&mut events, Some(Duration::from_millis(0)))
+                .unwrap(),
+            0,
+            "drained waker still readable"
+        );
+        t.join().unwrap();
+    }
+}

@@ -63,6 +63,11 @@ pub enum Request {
     /// in place from its parity group, falling back to log-based cache
     /// recovery when the group cannot be trusted.
     Repair { region: u64 },
+    /// Admin: cheap liveness + load probe (answered without touching the
+    /// engine's data path).
+    Health,
+    /// Admin: per-verb latency histograms and loop counters.
+    Metrics,
 }
 
 /// Server statistics returned by [`Request::Stats`]: the engine's
@@ -122,6 +127,22 @@ pub struct ServerStats {
     pub repair_bytes_rebuilt: u64,
     /// Parity groups verified by checkpoint certification.
     pub certify_parity_groups: u64,
+    /// Connections rejected by admission control (at `net_max_conns`).
+    pub conns_rejected: u64,
+    /// Frames decoded while an earlier frame from the same connection was
+    /// still unanswered — the depth the pipelining budget actually bought.
+    pub frames_pipelined: u64,
+    /// Times a session's read interest was parked by backpressure
+    /// (pipeline budget exhausted or outbound budget exceeded).
+    pub read_parks: u64,
+    /// Requests currently queued for the execution pool.
+    pub exec_queue_depth: u64,
+    /// High-watermark of the execution-pool queue depth.
+    pub exec_queue_max: u64,
+    /// Readiness-loop wakeups across all event workers.
+    pub loop_iterations: u64,
+    /// High-watermark of any one connection's buffered outbound bytes.
+    pub outbound_buffered_max: u64,
 }
 
 /// Outcome of a [`Request::Repair`] — a wire mirror of the engine's
@@ -139,7 +160,92 @@ pub struct RepairSummary {
     pub records_replayed: u64,
 }
 
+/// Outcome of a [`Request::Health`] probe — answered from server
+/// counters alone, so it stays cheap under load and meaningful when the
+/// data path is wedged.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HealthReport {
+    /// The server is accepting work (not shutting down, engine alive).
+    pub healthy: bool,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Requests queued for the execution pool right now.
+    pub exec_queue_depth: u64,
+    /// Nanoseconds since the server started.
+    pub uptime_ns: u64,
+}
+
+/// Per-verb latency distribution inside a [`MetricsReport`].
+///
+/// `buckets` are log₂-nanosecond histogram cells: `(i, n)` counts `n`
+/// requests whose decode→response latency fell in `[2^i, 2^(i+1))` ns.
+/// Only non-zero cells cross the wire; bucketwise addition merges
+/// reports from different servers or scrape intervals.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VerbMetrics {
+    /// The request tag this row describes (`Request` encoding tag).
+    pub verb: u8,
+    /// Requests completed.
+    pub count: u64,
+    /// Sum of latencies in nanoseconds (for means; percentiles come from
+    /// the buckets).
+    pub total_ns: u64,
+    /// Sparse `(log2_bucket, count)` cells, ascending by bucket.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+impl VerbMetrics {
+    /// Upper-bound latency (ns) of the bucket containing the `q`-quantile
+    /// request (`q` in `[0, 1]`), or 0 when empty. p50 = `quantile(0.50)`,
+    /// p99 = `quantile(0.99)`.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for &(bucket, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                return 1u64 << (bucket as u32 + 1).min(63);
+            }
+        }
+        self.buckets
+            .last()
+            .map(|&(b, _)| 1u64 << (b as u32 + 1).min(63))
+            .unwrap_or(0)
+    }
+
+    /// Mean latency in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// Outcome of a [`Request::Metrics`] — the server's per-verb latency
+/// histograms plus uptime, mergeable across servers by verb.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReport {
+    /// Nanoseconds since the server started.
+    pub uptime_ns: u64,
+    /// One row per verb that has completed at least one request,
+    /// ascending by verb tag.
+    pub verbs: Vec<VerbMetrics>,
+}
+
+impl MetricsReport {
+    /// The row for a verb tag, if any requests of that verb completed.
+    pub fn verb(&self, tag: u8) -> Option<&VerbMetrics> {
+        self.verbs.iter().find(|v| v.verb == tag)
+    }
+}
+
 /// A server response.
+///
+/// `Stats` dwarfs the other variants (32 counters), but responses are
+/// transient — decoded, delivered, dropped — and never stored in bulk,
+/// so boxing it would buy nothing and cost an allocation per stats poll.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
     /// The request succeeded with nothing to return.
@@ -164,6 +270,10 @@ pub enum Response {
     /// The request failed; the error is structured so client retry loops
     /// can match on it exactly like in-process code.
     Err(WireError),
+    /// Liveness + load probe outcome.
+    Health(HealthReport),
+    /// Per-verb latency histograms.
+    Metrics(MetricsReport),
 }
 
 /// Structured errors carried over the wire — a mirror of [`DaliError`]
@@ -196,6 +306,11 @@ pub enum WireError {
     /// open one where `Begin` requires none.
     NoTxn,
     TxnAlreadyOpen,
+    /// The peer closed the connection (cleanly or mid-request). Never
+    /// sent by the server — the client synthesizes it when a read or
+    /// write hits EOF/reset — but it has a wire tag so a proxy that does
+    /// send it round-trips.
+    ConnectionClosed,
 }
 
 impl From<&DaliError> for WireError {
@@ -224,6 +339,7 @@ impl From<&DaliError> for WireError {
             DaliError::InvalidArg(s) => WireError::InvalidArg(s.clone()),
             DaliError::RecoveryFailed(s) => WireError::RecoveryFailed(s.clone()),
             DaliError::Crashed => WireError::Crashed,
+            DaliError::ConnectionClosed => WireError::ConnectionClosed,
         }
     }
 }
@@ -261,6 +377,7 @@ impl From<WireError> for DaliError {
             WireError::TxnAlreadyOpen => {
                 DaliError::InvalidArg("transaction already open on connection".into())
             }
+            WireError::ConnectionClosed => DaliError::ConnectionClosed,
         }
     }
 }
@@ -327,6 +444,55 @@ impl Request {
                 buf.put_u8(14);
                 buf.put_u64_le(*region);
             }
+            Request::Health => buf.put_u8(15),
+            Request::Metrics => buf.put_u8(16),
+        }
+    }
+
+    /// The encoding tag — the key [`MetricsReport`] rows use for verbs.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Request::Begin => 0,
+            Request::Read { .. } => 1,
+            Request::Insert { .. } => 2,
+            Request::Update { .. } => 3,
+            Request::Delete { .. } => 4,
+            Request::LockExclusive { .. } => 5,
+            Request::Commit => 6,
+            Request::Abort => 7,
+            Request::CreateTable { .. } => 8,
+            Request::OpenTable { .. } => 9,
+            Request::RecordCount { .. } => 10,
+            Request::Audit => 11,
+            Request::Stats => 12,
+            Request::Ping => 13,
+            Request::Repair { .. } => 14,
+            Request::Health => 15,
+            Request::Metrics => 16,
+        }
+    }
+
+    /// Human-readable verb name for a tag (metrics display).
+    pub fn tag_name(tag: u8) -> &'static str {
+        match tag {
+            0 => "begin",
+            1 => "read",
+            2 => "insert",
+            3 => "update",
+            4 => "delete",
+            5 => "lock_exclusive",
+            6 => "commit",
+            7 => "abort",
+            8 => "create_table",
+            9 => "open_table",
+            10 => "record_count",
+            11 => "audit",
+            12 => "stats",
+            13 => "ping",
+            14 => "repair",
+            15 => "health",
+            16 => "metrics",
+            _ => "unknown",
         }
     }
 
@@ -374,6 +540,8 @@ impl Request {
             14 => Request::Repair {
                 region: get_u64(buf)?,
             },
+            15 => Request::Health,
+            16 => Request::Metrics,
             _ => return Err(bad(format!("unknown request tag {tag}"))),
         })
     }
@@ -440,6 +608,13 @@ impl Response {
                     s.repair_fell_back,
                     s.repair_bytes_rebuilt,
                     s.certify_parity_groups,
+                    s.conns_rejected,
+                    s.frames_pipelined,
+                    s.read_parks,
+                    s.exec_queue_depth,
+                    s.exec_queue_max,
+                    s.loop_iterations,
+                    s.outbound_buffered_max,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -454,6 +629,28 @@ impl Response {
                 buf.put_u64_le(r.regions_rebuilt);
                 buf.put_u64_le(r.bytes_rebuilt);
                 buf.put_u64_le(r.records_replayed);
+            }
+            Response::Health(h) => {
+                buf.put_u8(10);
+                buf.put_u8(h.healthy as u8);
+                buf.put_u64_le(h.conns_open);
+                buf.put_u64_le(h.exec_queue_depth);
+                buf.put_u64_le(h.uptime_ns);
+            }
+            Response::Metrics(m) => {
+                buf.put_u8(11);
+                buf.put_u64_le(m.uptime_ns);
+                buf.put_u32_le(m.verbs.len() as u32);
+                for v in &m.verbs {
+                    buf.put_u8(v.verb);
+                    buf.put_u64_le(v.count);
+                    buf.put_u64_le(v.total_ns);
+                    buf.put_u32_le(v.buckets.len() as u32);
+                    for &(bucket, n) in &v.buckets {
+                        buf.put_u8(bucket);
+                        buf.put_u64_le(n);
+                    }
+                }
             }
         }
     }
@@ -510,6 +707,13 @@ impl Response {
                 repair_fell_back: get_u64(buf)?,
                 repair_bytes_rebuilt: get_u64(buf)?,
                 certify_parity_groups: get_u64(buf)?,
+                conns_rejected: get_u64(buf)?,
+                frames_pipelined: get_u64(buf)?,
+                read_parks: get_u64(buf)?,
+                exec_queue_depth: get_u64(buf)?,
+                exec_queue_max: get_u64(buf)?,
+                loop_iterations: get_u64(buf)?,
+                outbound_buffered_max: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
             9 => Response::Repaired(RepairSummary {
@@ -518,6 +722,42 @@ impl Response {
                 bytes_rebuilt: get_u64(buf)?,
                 records_replayed: get_u64(buf)?,
             }),
+            10 => Response::Health(HealthReport {
+                healthy: get_u8(buf)? != 0,
+                conns_open: get_u64(buf)?,
+                exec_queue_depth: get_u64(buf)?,
+                uptime_ns: get_u64(buf)?,
+            }),
+            11 => {
+                let uptime_ns = get_u64(buf)?;
+                let n_verbs = get_u32(buf)? as usize;
+                // 17 verbs exist; 256 bounds any future tag space.
+                if n_verbs > 256 {
+                    return Err(bad(format!("metrics report with {n_verbs} verbs")));
+                }
+                let mut verbs = Vec::with_capacity(n_verbs);
+                for _ in 0..n_verbs {
+                    let verb = get_u8(buf)?;
+                    let count = get_u64(buf)?;
+                    let total_ns = get_u64(buf)?;
+                    let n_buckets = get_u32(buf)? as usize;
+                    // Latencies are log2-ns cells; 64 covers u64 range.
+                    if n_buckets > 64 {
+                        return Err(bad(format!("verb row with {n_buckets} buckets")));
+                    }
+                    let mut buckets = Vec::with_capacity(n_buckets);
+                    for _ in 0..n_buckets {
+                        buckets.push((get_u8(buf)?, get_u64(buf)?));
+                    }
+                    verbs.push(VerbMetrics {
+                        verb,
+                        count,
+                        total_ns,
+                        buckets,
+                    });
+                }
+                Response::Metrics(MetricsReport { uptime_ns, verbs })
+            }
             _ => return Err(bad(format!("unknown response tag {tag}"))),
         })
     }
@@ -574,6 +814,7 @@ impl WireError {
             }
             WireError::NoTxn => buf.put_u8(10),
             WireError::TxnAlreadyOpen => buf.put_u8(11),
+            WireError::ConnectionClosed => buf.put_u8(12),
         }
     }
 
@@ -602,6 +843,7 @@ impl WireError {
             9 => WireError::Io(get_string(buf)?),
             10 => WireError::NoTxn,
             11 => WireError::TxnAlreadyOpen,
+            12 => WireError::ConnectionClosed,
             _ => return Err(bad(format!("unknown error tag {tag}"))),
         })
     }
@@ -667,6 +909,42 @@ pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>> {
         return Err(bad("frame checksum mismatch"));
     }
     Ok(Some(payload))
+}
+
+/// Build one wire frame (`[len][checksum][payload]`) as an owned buffer
+/// — the nonblocking server queues these for write-drain instead of
+/// writing through a stream.
+pub fn frame(payload: &[u8]) -> Vec<u8> {
+    debug_assert!(payload.len() <= MAX_FRAME);
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Incremental frame parser for a nonblocking accumulate buffer: returns
+/// `Ok(Some((payload, consumed)))` when `buf` starts with a complete
+/// valid frame, `Ok(None)` when more bytes are needed, and an error on
+/// an oversized length or checksum mismatch (the connection has no
+/// trustworthy frame boundary left and must close).
+pub fn parse_frame(buf: &[u8]) -> Result<Option<(Vec<u8>, usize)>> {
+    if buf.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().unwrap()) as usize;
+    let sum = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+    if len > MAX_FRAME {
+        return Err(bad(format!("frame of {len} bytes exceeds {MAX_FRAME}")));
+    }
+    if buf.len() < 8 + len {
+        return Ok(None);
+    }
+    let payload = buf[8..8 + len].to_vec();
+    if checksum(&payload) != sum {
+        return Err(bad("frame checksum mismatch"));
+    }
+    Ok(Some((payload, 8 + len)))
 }
 
 /// Encode a request payload into a fresh buffer (framing is write_frame's job).
@@ -777,11 +1055,14 @@ mod tests {
             Request::Stats,
             Request::Ping,
             Request::Repair { region: 12345 },
+            Request::Health,
+            Request::Metrics,
         ];
         for req in samples {
             let mut buf = BytesMut::new();
             req.encode(&mut buf);
             assert_eq!(Request::decode(&buf).unwrap(), req);
+            assert_eq!(buf[0], req.tag(), "tag() must match the encoding");
         }
     }
 
@@ -826,6 +1107,13 @@ mod tests {
                 repair_fell_back: 23,
                 repair_bytes_rebuilt: 24,
                 certify_parity_groups: 25,
+                conns_rejected: 26,
+                frames_pipelined: 27,
+                read_parks: 28,
+                exec_queue_depth: 29,
+                exec_queue_max: 30,
+                loop_iterations: 31,
+                outbound_buffered_max: 32,
             }),
             Response::Repaired(RepairSummary {
                 in_place: true,
@@ -851,12 +1139,62 @@ mod tests {
             }),
             Response::Err(WireError::NoTxn),
             Response::Err(WireError::Crashed),
+            Response::Err(WireError::ConnectionClosed),
+            Response::Health(HealthReport {
+                healthy: true,
+                conns_open: 1024,
+                exec_queue_depth: 3,
+                uptime_ns: 5_000_000_000,
+            }),
+            Response::Metrics(MetricsReport {
+                uptime_ns: 7,
+                verbs: vec![
+                    VerbMetrics {
+                        verb: 13,
+                        count: 100,
+                        total_ns: 12345,
+                        buckets: vec![(10, 60), (11, 39), (20, 1)],
+                    },
+                    VerbMetrics {
+                        verb: 6,
+                        count: 1,
+                        total_ns: 9,
+                        buckets: vec![(3, 1)],
+                    },
+                ],
+            }),
+            Response::Metrics(MetricsReport::default()),
         ];
         for resp in samples {
             let mut buf = BytesMut::new();
             resp.encode(&mut buf);
             assert_eq!(Response::decode(&buf).unwrap(), resp);
         }
+    }
+
+    #[test]
+    fn verb_metrics_quantiles() {
+        let v = VerbMetrics {
+            verb: 13,
+            count: 100,
+            total_ns: 0,
+            buckets: vec![(10, 50), (12, 49), (20, 1)],
+        };
+        // p50 lands in the first bucket: upper bound 2^11.
+        assert_eq!(v.quantile(0.50), 1 << 11);
+        // p99 lands in the second: upper bound 2^13.
+        assert_eq!(v.quantile(0.99), 1 << 13);
+        // p100 hits the outlier bucket.
+        assert_eq!(v.quantile(1.0), 1 << 21);
+        assert_eq!(VerbMetrics::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn connection_closed_round_trips_both_ways() {
+        let w = WireError::from(&DaliError::ConnectionClosed);
+        assert_eq!(w, WireError::ConnectionClosed);
+        let back: DaliError = w.into();
+        assert!(matches!(back, DaliError::ConnectionClosed));
     }
 
     #[test]
@@ -880,6 +1218,35 @@ mod tests {
         assert_eq!(Request::decode(&got).unwrap(), Request::Ping);
         // Clean EOF after the frame.
         assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn incremental_parser_matches_blocking_reader() {
+        let payload = encode_request(&Request::Ping);
+        let wire = frame(&payload);
+        // Byte-identical to write_frame's output.
+        let mut blocking = Vec::new();
+        write_frame(&mut blocking, &payload).unwrap();
+        assert_eq!(wire, blocking);
+        // Every strict prefix needs more bytes; the full frame parses.
+        for cut in 0..wire.len() {
+            assert!(matches!(parse_frame(&wire[..cut]), Ok(None)), "cut {cut}");
+        }
+        let (got, consumed) = parse_frame(&wire).unwrap().unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(Request::decode(&got).unwrap(), Request::Ping);
+        // Two frames back to back: consumed points at the second.
+        let mut twice = wire.clone();
+        twice.extend_from_slice(&wire);
+        let (_, consumed) = parse_frame(&twice).unwrap().unwrap();
+        assert!(parse_frame(&twice[consumed..]).unwrap().is_some());
+        // Corruption and oversized lengths error.
+        let mut bad_frame = wire.clone();
+        *bad_frame.last_mut().unwrap() ^= 1;
+        assert!(parse_frame(&bad_frame).is_err());
+        let mut huge = [0u8; 8];
+        huge[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(parse_frame(&huge).is_err());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The `legacy-threaded` baseline server still honors the session
+//! contract: engine verbs, orphan rollback, and the admin verbs
+//! (`Stats`/`Health`/`Metrics`) served through the same shared executor
+//! as the event server. Runs only with `--features legacy-threaded`.
+
+#![cfg(feature = "legacy-threaded")]
+
+use dali_common::DaliConfig;
+use dali_engine::DaliEngine;
+use dali_net::legacy::ThreadedServer;
+use dali_net::{DaliClient, Request};
+use std::time::{Duration, Instant};
+
+#[test]
+fn threaded_baseline_serves_full_session_contract() {
+    let dir = dali_testutil::TempDir::new("legacy-threaded");
+    let config = DaliConfig::small(dir.path());
+    let (engine, _) = DaliEngine::create(config).unwrap();
+    let server = ThreadedServer::start(engine, "127.0.0.1:0").unwrap();
+    let engine = server.engine().clone();
+
+    let mut client = DaliClient::connect(server.addr()).unwrap();
+    let table = client.create_table("t", 16, 64).unwrap();
+    client.begin().unwrap();
+    let rec = client.insert(table, &[5u8; 16]).unwrap();
+    assert_eq!(client.read(rec).unwrap(), vec![5u8; 16]);
+    client.commit().unwrap();
+    assert_eq!(client.record_count(table).unwrap(), 1);
+
+    // Admin verbs answer through the shared stats builder / histograms.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.commits, 1);
+    assert_eq!(stats.sessions, 1);
+    assert!(client.health().unwrap().healthy);
+    let m = client.metrics().unwrap();
+    assert_eq!(m.verb(Request::Commit.tag()).unwrap().count, 1);
+
+    // Orphan rollback on disconnect.
+    let mut orphan = DaliClient::connect(server.addr()).unwrap();
+    orphan.begin().unwrap();
+    orphan.insert(table, &[6u8; 16]).unwrap();
+    orphan.drop_connection();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while client.stats().unwrap().orphans_rolled_back < 1 {
+        assert!(Instant::now() < deadline, "orphan never rolled back");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(engine.record_count(table).unwrap(), 1);
+
+    server.shutdown();
+    assert!(engine.audit().unwrap().clean());
+}

@@ -15,8 +15,8 @@
 //! suite.
 
 use dali::net::protocol::{
-    encode_request, encode_response, read_frame, write_frame, RepairSummary, Request, Response,
-    ServerStats, WireError, MAX_FRAME,
+    encode_request, encode_response, read_frame, write_frame, HealthReport, MetricsReport,
+    RepairSummary, Request, Response, ServerStats, VerbMetrics, WireError, MAX_FRAME,
 };
 use dali::{DbAddr, RecId, SlotId, TableId, TxnId};
 use proptest::prelude::*;
@@ -61,6 +61,8 @@ fn arb_request() -> impl Strategy<Value = Request> {
         Just(Request::Stats),
         Just(Request::Ping),
         any::<u64>().prop_map(|region| Request::Repair { region }),
+        Just(Request::Health),
+        Just(Request::Metrics),
     ]
 }
 
@@ -87,6 +89,7 @@ fn arb_wire_error() -> impl Strategy<Value = WireError> {
         arb_name().prop_map(WireError::Io),
         Just(WireError::NoTxn),
         Just(WireError::TxnAlreadyOpen),
+        Just(WireError::ConnectionClosed),
     ]
 }
 
@@ -125,7 +128,50 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             repair_fell_back: c ^ d ^ e,
             repair_bytes_rebuilt: a.wrapping_mul(3),
             certify_parity_groups: f.wrapping_add(1),
+            conns_rejected: a ^ b ^ c,
+            frames_pipelined: d.wrapping_add(e),
+            read_parks: b ^ c ^ d,
+            exec_queue_depth: e ^ a,
+            exec_queue_max: f ^ b,
+            loop_iterations: a.wrapping_add(f),
+            outbound_buffered_max: b.wrapping_mul(5),
         })
+}
+
+fn arb_health() -> impl Strategy<Value = HealthReport> {
+    (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
+        |(healthy, conns_open, exec_queue_depth, uptime_ns)| HealthReport {
+            healthy,
+            conns_open,
+            exec_queue_depth,
+            uptime_ns,
+        },
+    )
+}
+
+fn arb_metrics() -> impl Strategy<Value = MetricsReport> {
+    let verb = (
+        any::<u8>(),
+        1u64..u64::MAX,
+        any::<u64>(),
+        proptest::collection::vec((0u8..64, 1u64..u64::MAX), 0..8),
+    )
+        .prop_map(|(verb, count, total_ns, mut buckets)| {
+            // The wire format carries buckets ascending and unique.
+            buckets.sort_by_key(|&(i, _)| i);
+            buckets.dedup_by_key(|&mut (i, _)| i);
+            VerbMetrics {
+                verb,
+                count,
+                total_ns,
+                buckets,
+            }
+        });
+    (any::<u64>(), proptest::collection::vec(verb, 0..6)).prop_map(|(uptime_ns, mut verbs)| {
+        verbs.sort_by_key(|v| v.verb);
+        verbs.dedup_by_key(|v| v.verb);
+        MetricsReport { uptime_ns, verbs }
+    })
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
@@ -141,6 +187,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
             regions_checked,
         }),
         arb_stats().prop_map(Response::Stats),
+        arb_health().prop_map(Response::Health),
+        arb_metrics().prop_map(Response::Metrics),
         arb_wire_error().prop_map(Response::Err),
         (any::<bool>(), any::<u64>(), any::<u64>(), any::<u64>()).prop_map(
             |(in_place, regions_rebuilt, bytes_rebuilt, records_replayed)| {

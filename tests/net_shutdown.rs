@@ -78,3 +78,24 @@ fn shutdown_with_many_idle_clients() {
     }
     assert_shutdown_within(server, Duration::from_secs(10));
 }
+
+/// A request issued after the server closed the connection surfaces as
+/// the structured [`DaliError::ConnectionClosed`], not a raw I/O error:
+/// retry loops and connection pools need to tell "the server went away"
+/// apart from a torn frame or a local fault.
+#[test]
+fn request_against_closed_server_is_connection_closed() {
+    use dali::DaliError;
+    let (server, _dir) = server("closed");
+    let mut client = DaliClient::connect(server.addr()).unwrap();
+    client.begin().unwrap();
+    server.shutdown();
+    // The connection is gone mid-transaction. Depending on timing the
+    // client sees the close on the write (broken pipe) or on the read
+    // (EOF / reset); either way the structured error comes back.
+    match client.ping() {
+        Err(DaliError::ConnectionClosed) => {}
+        Err(other) => panic!("expected ConnectionClosed, got {other:?}"),
+        Ok(()) => panic!("ping succeeded against a shut-down server"),
+    }
+}

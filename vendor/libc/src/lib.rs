@@ -2,11 +2,13 @@
 //!
 //! Declares only the FFI surface this workspace uses: `mmap`/`munmap`/
 //! `mprotect` for the protected database image, `sysconf(_SC_PAGESIZE)`,
-//! and `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)` for CPU-time metering.
-//! The symbols come from the system C library the binary links anyway;
-//! constants are the Linux generic ABI values. Wired in via
-//! `[patch.crates-io]` because the build environment has no crates.io
-//! access.
+//! `clock_gettime(CLOCK_PROCESS_CPUTIME_ID)` for CPU-time metering,
+//! `epoll`/`poll` readiness APIs for the event-driven network server,
+//! and `getrlimit`/`setrlimit` so the connection-scaling bench can raise
+//! `RLIMIT_NOFILE`. The symbols come from the system C library the
+//! binary links anyway; constants are the Linux generic ABI values.
+//! Wired in via `[patch.crates-io]` because the build environment has no
+//! crates.io access.
 
 #![allow(non_camel_case_types)]
 
@@ -44,6 +46,59 @@ pub const CLOCK_PROCESS_CPUTIME_ID: clockid_t = 2;
 pub const CLOCK_THREAD_CPUTIME_ID: clockid_t = 3;
 pub const CLOCK_MONOTONIC: clockid_t = 1;
 
+// ---- epoll (Linux readiness API) ----
+
+pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+pub const EPOLL_CTL_ADD: c_int = 1;
+pub const EPOLL_CTL_DEL: c_int = 2;
+pub const EPOLL_CTL_MOD: c_int = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+/// On x86-64 the kernel ABI packs this struct (no padding between
+/// `events` and the 64-bit data word); other architectures use natural
+/// layout. Getting this wrong silently corrupts every second event.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct epoll_event {
+    pub events: u32,
+    pub u64: u64,
+}
+
+// ---- poll(2), the portable fallback ----
+
+pub type nfds_t = c_ulong;
+
+pub const POLLIN: i16 = 0x001;
+pub const POLLOUT: i16 = 0x004;
+pub const POLLERR: i16 = 0x008;
+pub const POLLHUP: i16 = 0x010;
+pub const POLLNVAL: i16 = 0x020;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct pollfd {
+    pub fd: c_int,
+    pub events: i16,
+    pub revents: i16,
+}
+
+// ---- resource limits ----
+
+pub const RLIMIT_NOFILE: c_int = 7;
+
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct rlimit {
+    pub rlim_cur: u64,
+    pub rlim_max: u64,
+}
+
 extern "C" {
     pub fn mmap(
         addr: *mut c_void,
@@ -57,6 +112,18 @@ extern "C" {
     pub fn mprotect(addr: *mut c_void, len: size_t, prot: c_int) -> c_int;
     pub fn sysconf(name: c_int) -> c_long;
     pub fn clock_gettime(clk_id: clockid_t, tp: *mut timespec) -> c_int;
+    pub fn epoll_create1(flags: c_int) -> c_int;
+    pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+    pub fn epoll_wait(
+        epfd: c_int,
+        events: *mut epoll_event,
+        maxevents: c_int,
+        timeout: c_int,
+    ) -> c_int;
+    pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    pub fn close(fd: c_int) -> c_int;
+    pub fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+    pub fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
 }
 
 #[cfg(test)]
@@ -112,5 +179,77 @@ mod tests {
             assert_eq!(clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &mut b), 0);
             assert!((b.tv_sec, b.tv_nsec) >= (a.tv_sec, a.tv_nsec));
         }
+    }
+
+    #[test]
+    fn epoll_event_matches_kernel_abi() {
+        // 12 bytes packed on x86-64; elsewhere natural alignment.
+        if cfg!(target_arch = "x86_64") {
+            assert_eq!(std::mem::size_of::<epoll_event>(), 12);
+        }
+    }
+
+    #[test]
+    fn epoll_reports_readable_pipe_end() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        unsafe {
+            let epfd = epoll_create1(EPOLL_CLOEXEC);
+            assert!(epfd >= 0, "epoll_create1 failed");
+            let (mut tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+            let mut ev = epoll_event {
+                events: EPOLLIN,
+                u64: 42,
+            };
+            assert_eq!(epoll_ctl(epfd, EPOLL_CTL_ADD, rx.as_raw_fd(), &mut ev), 0);
+
+            // Nothing readable yet: zero events at timeout 0.
+            let mut out = [epoll_event { events: 0, u64: 0 }; 4];
+            assert_eq!(epoll_wait(epfd, out.as_mut_ptr(), 4, 0), 0);
+
+            tx.write_all(b"x").unwrap();
+            let n = epoll_wait(epfd, out.as_mut_ptr(), 4, 1000);
+            assert_eq!(n, 1);
+            let got = out[0];
+            assert_eq!({ got.u64 }, 42);
+            assert!({ got.events } & EPOLLIN != 0);
+
+            assert_eq!(
+                epoll_ctl(epfd, EPOLL_CTL_DEL, rx.as_raw_fd(), std::ptr::null_mut()),
+                0
+            );
+            assert_eq!(close(epfd), 0);
+        }
+    }
+
+    #[test]
+    fn poll_reports_readable_pipe_end() {
+        use std::io::Write;
+        use std::os::unix::io::AsRawFd;
+        let (mut tx, rx) = std::os::unix::net::UnixStream::pair().unwrap();
+        let mut fds = [pollfd {
+            fd: rx.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        }];
+        unsafe {
+            assert_eq!(poll(fds.as_mut_ptr(), 1, 0), 0);
+            tx.write_all(b"x").unwrap();
+            assert_eq!(poll(fds.as_mut_ptr(), 1, 1000), 1);
+        }
+        assert!(fds[0].revents & POLLIN != 0);
+    }
+
+    #[test]
+    fn getrlimit_nofile_is_sane() {
+        let mut lim = rlimit {
+            rlim_cur: 0,
+            rlim_max: 0,
+        };
+        unsafe {
+            assert_eq!(getrlimit(RLIMIT_NOFILE, &mut lim), 0);
+        }
+        assert!(lim.rlim_cur >= 64, "soft NOFILE {}", lim.rlim_cur);
+        assert!(lim.rlim_max >= lim.rlim_cur);
     }
 }
