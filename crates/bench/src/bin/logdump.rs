@@ -1,21 +1,78 @@
-//! Dump a database's stable system log in human-readable form.
+//! Dump a database's segmented stable system log in human-readable form.
 //!
 //! A small operator tool in the spirit of the paper's audit-trail view of
 //! the log (§4.2: read log records make the transaction log "a limited
-//! form of audit trail"): every record is printed with its LSN, so one
-//! can follow exactly which transactions read and wrote what, where
-//! audits ran, and where checkpoints completed.
+//! form of audit trail"). The log is a directory of fixed-size segment
+//! files; this prints a per-segment summary (LSN range, frame-type
+//! histogram, sealed/active/torn status) followed by every record with
+//! its global LSN, so one can follow exactly which transactions read and
+//! wrote what, where audits ran, and where checkpoints completed.
 //!
-//! Usage: cargo run -p dali-bench --bin logdump -- <db-dir> [--from LSN] [--txn N] [--residue]
+//! Usage: cargo run -p dali-bench --bin logdump -- <db-dir> [--from LSN] [--txn N] [--residue] [--segments-only]
 
 use dali_common::{CodewordAlgebraKind, Lsn};
-use dali_wal::record::LogRecord;
-use dali_wal::SystemLog;
+use dali_wal::record::{unframe_with, LogRecord};
+use dali_wal::{segment, Frame};
+
+/// One walked segment: frames parsed straight off the file bytes.
+struct SegmentDump {
+    info: segment::SegmentInfo,
+    /// (global LSN, record) for every record frame.
+    records: Vec<(Lsn, LogRecord)>,
+    /// Per-frame-type histogram keyed by record kind (plus "Seal").
+    histogram: std::collections::BTreeMap<&'static str, usize>,
+    /// Bytes at the tail that do not parse as a frame (torn final
+    /// flush), or bytes after a seal (corruption).
+    torn_bytes: u64,
+    /// The segment ends with a clean seal.
+    sealed: bool,
+}
+
+fn walk_segment(
+    dir: &std::path::Path,
+    info: segment::SegmentInfo,
+    algebra: CodewordAlgebraKind,
+) -> SegmentDump {
+    let bytes = std::fs::read(segment::path(dir, info.base)).unwrap_or_default();
+    let mut dump = SegmentDump {
+        info,
+        records: Vec::new(),
+        histogram: Default::default(),
+        torn_bytes: 0,
+        sealed: false,
+    };
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        match unframe_with(algebra, &bytes[pos..]) {
+            Ok((Frame::Record(rec), used)) => {
+                *dump.histogram.entry(kind(&rec)).or_default() += 1;
+                dump.records.push((Lsn(info.base.0 + pos as u64), rec));
+                pos += used;
+            }
+            Ok((Frame::Seal, used)) => {
+                *dump.histogram.entry("Seal").or_default() += 1;
+                pos += used;
+                // A seal marks the end of the segment; anything after it
+                // is garbage (and open() would refuse mid-file seals).
+                dump.sealed = pos == bytes.len();
+                if !dump.sealed {
+                    dump.torn_bytes = (bytes.len() - pos) as u64;
+                }
+                break;
+            }
+            Err(_) => {
+                dump.torn_bytes = (bytes.len() - pos) as u64;
+                break;
+            }
+        }
+    }
+    dump
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(dir) = args.first().filter(|a| !a.starts_with("--")) else {
-        eprintln!("usage: logdump <db-dir> [--from LSN] [--txn N] [--residue]");
+        eprintln!("usage: logdump <db-dir> [--from LSN] [--txn N] [--residue] [--segments-only]");
         std::process::exit(2);
     };
     let get = |flag: &str| -> Option<u64> {
@@ -26,6 +83,7 @@ fn main() {
     };
     let from = Lsn(get("--from").unwrap_or(0));
     let txn_filter = get("--txn");
+    let segments_only = args.iter().any(|a| a == "--segments-only");
     // Frame checksums follow the database's codeword algebra; a log
     // written by a residue-configured engine needs --residue to verify.
     let algebra = if args.iter().any(|a| a == "--residue") {
@@ -35,22 +93,77 @@ fn main() {
     };
 
     let path = std::path::Path::new(dir).join("system.log");
-    let records = SystemLog::scan_stable_with(&path, from, algebra).unwrap_or_else(|e| {
-        eprintln!("cannot scan {}: {e}", path.display());
+    let segments = segment::list(&path).unwrap_or_else(|e| {
+        eprintln!("cannot list segments in {}: {e}", path.display());
         std::process::exit(1);
     });
+    if segments.is_empty() {
+        eprintln!("no log segments in {}", path.display());
+        std::process::exit(1);
+    }
 
+    // ---- per-segment summary ----
+    let dumps: Vec<SegmentDump> = segments
+        .iter()
+        .map(|&s| walk_segment(&path, s, algebra))
+        .collect();
+    eprintln!(
+        "{} segment(s), {} bytes on disk:",
+        dumps.len(),
+        segment::bytes_on_disk(&path).unwrap_or(0)
+    );
+    for (i, d) in dumps.iter().enumerate() {
+        let status = if d.torn_bytes > 0 {
+            format!("TORN ({} trailing bytes)", d.torn_bytes)
+        } else if d.sealed {
+            "sealed".into()
+        } else if i == dumps.len() - 1 {
+            "active".into()
+        } else {
+            // Interior segment without a seal: open() would reject this
+            // chain, but the dump should still describe it.
+            "UNSEALED".into()
+        };
+        let hist = d
+            .histogram
+            .iter()
+            .map(|(k, n)| format!("{k}={n}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        eprintln!(
+            "  {:>24}  lsn {:>10}..{:<10}  {:>8}B  {:<10} {}",
+            segment::file_name(d.info.base),
+            d.info.base.0,
+            d.info.end().0,
+            d.info.len,
+            status,
+            hist
+        );
+    }
+    if segments_only {
+        return;
+    }
+
+    // ---- record dump (global LSN order, across segments) ----
     let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
-    for (lsn, rec) in &records {
-        if let Some(t) = txn_filter {
-            if rec.txn().map(|x| x.0) != Some(t) {
+    let mut total = 0usize;
+    println!();
+    for d in &dumps {
+        for (lsn, rec) in &d.records {
+            if *lsn < from {
                 continue;
             }
+            total += 1;
+            if let Some(t) = txn_filter {
+                if rec.txn().map(|x| x.0) != Some(t) {
+                    continue;
+                }
+            }
+            *counts.entry(kind(rec)).or_default() += 1;
+            println!("{:>10}  {}", lsn.0, render(rec));
         }
-        *counts.entry(kind(rec)).or_default() += 1;
-        println!("{:>10}  {}", lsn.0, render(rec));
     }
-    eprintln!("\n{} records:", records.len());
+    eprintln!("\n{total} records:");
     for (k, n) in counts {
         eprintln!("  {k:<14} {n}");
     }

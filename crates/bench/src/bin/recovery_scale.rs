@@ -1,0 +1,323 @@
+//! Recovery-scaling sweep: what page-partitioned parallel redo buys and
+//! what segment retirement bounds.
+//!
+//! 1. **Redo scaling** — restart recovery wall-clock and the redo apply
+//!    phase's own timer (`redo_parallel_ns`) swept over `redo_threads`
+//!    (1/2/4/8) × the amount of log replayed (committed update ops since
+//!    the last certified checkpoint). Identical crashed directories are
+//!    recovered once per thread count, so the rows isolate the worker
+//!    pool. On a single vCPU the *trend* is still recorded — the point
+//!    of the sweep is the shape, not a speedup claim.
+//! 2. **Retention** — final log-directory size (bytes, segments) after a
+//!    fixed workload, swept over checkpoint cadence with retirement on
+//!    and off. With retirement on the directory must stay a fraction of
+//!    everything ever logged; the harness asserts that bound (the CI
+//!    smoke runs this leg).
+//!
+//! Results are also written as machine-readable JSON (`BENCH_recovery.json`
+//! by default).
+//!
+//! Usage:
+//!   cargo run -p dali-bench --release --bin recovery_scale [-- options]
+//!
+//! Options:
+//!   --threads LIST  redo thread counts to sweep (default 1,2,4,8)
+//!   --ops LIST      post-checkpoint committed ops per log size (default 2000,8000)
+//!   --cadences LIST rounds of work between checkpoints (default 1,4)
+//!   --json PATH     result file (default BENCH_recovery.json)
+//!   --quick         CI smoke mode: one small cell each, seconds total
+
+use dali_bench::{scratch_dir, Json};
+use dali_common::{DaliConfig, ProtectionScheme};
+use dali_engine::DaliEngine;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+const USAGE: &str =
+    "usage: recovery_scale [--threads LIST] [--ops LIST] [--cadences LIST] [--json PATH] [--quick]";
+
+// 512 × 256B records span ~16 pages, so the page-partitioned buckets
+// populate up to 8 redo workers.
+const REC: usize = 256;
+const NRECS: usize = 512;
+const SEG_BYTES: u64 = 64 << 10;
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_list(s: &str, flag: &str) -> Vec<usize> {
+    s.split(',')
+        .map(|t| {
+            t.trim()
+                .parse()
+                .unwrap_or_else(|_| fail(&format!("{flag} must be comma-separated numbers")))
+        })
+        .collect()
+}
+
+fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
+    std::fs::create_dir_all(dst).unwrap();
+    for entry in std::fs::read_dir(src).unwrap() {
+        let entry = entry.unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
+        }
+    }
+}
+
+fn base_config(dir: &std::path::Path) -> DaliConfig {
+    DaliConfig::small(dir)
+        .with_scheme(ProtectionScheme::DataCodeword)
+        .with_log_segment_bytes(SEG_BYTES)
+}
+
+/// Build a crashed directory with `ops` committed updates since the last
+/// certified checkpoint — the log a restart has to replay.
+fn build_crashed_dir(tag: &str, ops: usize) -> std::path::PathBuf {
+    let dir = scratch_dir(tag);
+    let (db, _) = DaliEngine::create(base_config(&dir)).unwrap();
+    let t = db.create_table("t", REC, NRECS).unwrap();
+    let setup = db.begin().unwrap();
+    let mut recs = Vec::new();
+    for i in 0..NRECS {
+        recs.push(setup.insert(t, &[i as u8; REC]).unwrap());
+    }
+    setup.commit().unwrap();
+    db.checkpoint().unwrap();
+    let mut done = 0usize;
+    while done < ops {
+        let txn = db.begin().unwrap();
+        for _ in 0..16.min(ops - done) {
+            let mut v = vec![(done % 251) as u8; REC];
+            v[0..8].copy_from_slice(&(done as u64).to_le_bytes());
+            txn.update(recs[done % NRECS], &v).unwrap();
+            done += 1;
+        }
+        txn.commit().unwrap();
+    }
+    db.crash();
+    dir
+}
+
+struct RedoRow {
+    ops: usize,
+    threads: usize,
+    threads_used: u64,
+    redo_ms: f64,
+    open_ms: f64,
+    records_scanned: usize,
+}
+
+fn redo_leg(ops_list: &[usize], threads_list: &[usize]) -> Vec<RedoRow> {
+    let mut rows = Vec::new();
+    for &ops in ops_list {
+        let base = build_crashed_dir(&format!("recovery-scale-{ops}"), ops);
+        for &threads in threads_list {
+            let case = scratch_dir(&format!("recovery-scale-{ops}-t{threads}"));
+            copy_dir(&base, &case);
+            let config = base_config(&case).with_redo_threads(threads);
+            let started = Instant::now();
+            let (db, outcome) = DaliEngine::open(config).unwrap();
+            let open_ms = started.elapsed().as_secs_f64() * 1e3;
+            let redo_ms = db.stats().redo_parallel_ns.load(Ordering::Relaxed) as f64 / 1e6;
+            let threads_used = db.stats().redo_threads_used.load(Ordering::Relaxed);
+            rows.push(RedoRow {
+                ops,
+                threads,
+                threads_used,
+                redo_ms,
+                open_ms,
+                records_scanned: outcome.records_scanned,
+            });
+            db.crash();
+            let _ = std::fs::remove_dir_all(&case);
+        }
+        let _ = std::fs::remove_dir_all(&base);
+    }
+    rows
+}
+
+struct RetentionRow {
+    cadence: usize,
+    retire: bool,
+    checkpoints: usize,
+    total_logged: u64,
+    bytes_on_disk: u64,
+    segments: u64,
+    segments_retired: u64,
+}
+
+/// Fixed workload (`rounds` rounds of NRECS updates), checkpointing every
+/// `cadence` rounds, with retirement on or off.
+fn retention_cell(cadence: usize, retire: bool, rounds: usize) -> RetentionRow {
+    let dir = scratch_dir(&format!("recovery-retain-{cadence}-{retire}"));
+    let config = base_config(&dir).with_log_retire(retire);
+    let (db, _) = DaliEngine::create(config).unwrap();
+    let t = db.create_table("t", REC, NRECS).unwrap();
+    let setup = db.begin().unwrap();
+    let mut recs = Vec::new();
+    for i in 0..NRECS {
+        recs.push(setup.insert(t, &[i as u8; REC]).unwrap());
+    }
+    setup.commit().unwrap();
+    let mut checkpoints = 0usize;
+    for round in 0..rounds {
+        let txn = db.begin().unwrap();
+        for (i, &rec) in recs.iter().enumerate() {
+            let mut v = vec![(round % 251) as u8; REC];
+            v[0] = i as u8;
+            txn.update(rec, &v).unwrap();
+        }
+        txn.commit().unwrap();
+        if (round + 1) % cadence == 0 {
+            db.checkpoint().unwrap();
+            checkpoints += 1;
+        }
+    }
+    let stats = db.stats();
+    let row = RetentionRow {
+        cadence,
+        retire,
+        checkpoints,
+        total_logged: db.current_lsn().unwrap().0,
+        bytes_on_disk: stats.log_bytes_on_disk.load(Ordering::Relaxed),
+        segments: stats.log_segments_active.load(Ordering::Relaxed),
+        segments_retired: stats.log_segments_retired.load(Ordering::Relaxed),
+    };
+    db.crash();
+    let _ = std::fs::remove_dir_all(&dir);
+    row
+}
+
+fn main() {
+    let mut threads_list: Vec<usize> = vec![1, 2, 4, 8];
+    let mut ops_list: Vec<usize> = vec![2_000, 8_000];
+    let mut cadences: Vec<usize> = vec![1, 4];
+    let mut rounds = 24usize;
+    let mut json_path: String = "BENCH_recovery.json".into();
+    let mut quick = false;
+
+    let mut args = std::env::args().skip(1);
+    let value = |args: &mut dyn Iterator<Item = String>, flag: &str| -> String {
+        args.next()
+            .unwrap_or_else(|| fail(&format!("{flag} requires a value")))
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => threads_list = parse_list(&value(&mut args, "--threads"), "--threads"),
+            "--ops" => ops_list = parse_list(&value(&mut args, "--ops"), "--ops"),
+            "--cadences" => cadences = parse_list(&value(&mut args, "--cadences"), "--cadences"),
+            "--json" => json_path = value(&mut args, "--json"),
+            "--quick" => quick = true,
+            other => fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    if quick {
+        threads_list = vec![1, 2, 8];
+        ops_list = vec![500];
+        cadences = vec![2];
+        rounds = 8;
+    }
+
+    // ---- leg 1: redo scaling ----
+    let redo_rows = redo_leg(&ops_list, &threads_list);
+    println!("redo scaling ({SEG_BYTES}B segments, {REC}B records):");
+    println!(
+        "  {:>8} {:>8} {:>6} {:>10} {:>10} {:>9}",
+        "ops", "threads", "used", "redo ms", "open ms", "scanned"
+    );
+    for r in &redo_rows {
+        println!(
+            "  {:>8} {:>8} {:>6} {:>10.3} {:>10.1} {:>9}",
+            r.ops, r.threads, r.threads_used, r.redo_ms, r.open_ms, r.records_scanned
+        );
+    }
+
+    // ---- leg 2: retention ----
+    let mut retention_rows = Vec::new();
+    for &cadence in &cadences {
+        for retire in [true, false] {
+            retention_rows.push(retention_cell(cadence, retire, rounds));
+        }
+    }
+    println!("\nretention ({rounds} rounds, checkpoint every N rounds):");
+    println!(
+        "  {:>8} {:>7} {:>6} {:>12} {:>12} {:>9} {:>8}",
+        "cadence", "retire", "ckpts", "logged B", "on-disk B", "segments", "retired"
+    );
+    for r in &retention_rows {
+        println!(
+            "  {:>8} {:>7} {:>6} {:>12} {:>12} {:>9} {:>8}",
+            r.cadence,
+            r.retire,
+            r.checkpoints,
+            r.total_logged,
+            r.bytes_on_disk,
+            r.segments,
+            r.segments_retired
+        );
+    }
+    // The smoke's hard claim: with retirement on and more than one
+    // checkpoint behind us, the directory holds a fraction of everything
+    // ever logged (two checkpoints of slack, segment-granular).
+    for r in retention_rows.iter().filter(|r| r.retire) {
+        if r.checkpoints >= 3 {
+            assert!(
+                r.bytes_on_disk < r.total_logged / 2,
+                "retirement is not bounding the log: cadence {} retains {} of {} bytes",
+                r.cadence,
+                r.bytes_on_disk,
+                r.total_logged
+            );
+            assert!(r.segments_retired > 0);
+        }
+    }
+
+    // ---- JSON ----
+    let json = Json::Obj(vec![
+        (
+            "redo_scaling",
+            Json::Arr(
+                redo_rows
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("ops", Json::UInt(r.ops as u64)),
+                            ("threads", Json::UInt(r.threads as u64)),
+                            ("threads_used", Json::UInt(r.threads_used)),
+                            ("redo_ms", Json::Num(r.redo_ms)),
+                            ("open_ms", Json::Num(r.open_ms)),
+                            ("records_scanned", Json::UInt(r.records_scanned as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "retention",
+            Json::Arr(
+                retention_rows
+                    .iter()
+                    .map(|r| {
+                        Json::Obj(vec![
+                            ("cadence", Json::UInt(r.cadence as u64)),
+                            ("retire", Json::Bool(r.retire)),
+                            ("checkpoints", Json::UInt(r.checkpoints as u64)),
+                            ("total_logged", Json::UInt(r.total_logged)),
+                            ("bytes_on_disk", Json::UInt(r.bytes_on_disk)),
+                            ("segments", Json::UInt(r.segments)),
+                            ("segments_retired", Json::UInt(r.segments_retired)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    std::fs::write(&json_path, json.render()).unwrap();
+    println!("\nwrote {json_path}");
+}

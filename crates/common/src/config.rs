@@ -394,6 +394,28 @@ pub struct DaliConfig {
     /// peer drains below the watermark. Bounds server memory under slow
     /// consumers. `0` = unbounded.
     pub net_outbound_budget: usize,
+    /// Capacity at which a system-log segment is sealed and a new one
+    /// started. Sealed segments are immutable; once a certified
+    /// checkpoint's `CK_end` is past a sealed segment's last byte the
+    /// segment can be retired (see [`DaliConfig::log_retire`]), so
+    /// together with the checkpoint cadence this bounds the log
+    /// directory's size. Records never span segments; a record larger
+    /// than a segment gets one to itself.
+    pub log_segment_bytes: u64,
+    /// Retire (unlink) log segments fully covered by the *older* of the
+    /// two ping-pong checkpoint images after every successful
+    /// checkpoint. Disable to keep the whole history on disk — e.g. for
+    /// prior-state recovery to points before the previous checkpoint, or
+    /// for offline log forensics with `logdump`.
+    pub log_retire: bool,
+    /// Number of worker threads applying physical redo during restart.
+    /// Redo is bucketed by `PageId % redo_threads` in a serial
+    /// classification scan (per-page ordering preserved), then the
+    /// buckets are applied in parallel — the recovered image is
+    /// byte-identical to serial replay. `0` = auto: one per available
+    /// CPU; `1` keeps replay serial. Corruption-mode recovery is always
+    /// serial regardless (its scan is control-flow-dependent).
+    pub redo_threads: usize,
 }
 
 impl DaliConfig {
@@ -429,6 +451,9 @@ impl DaliConfig {
             net_max_conns: 16384,
             net_pipeline_depth: 64,
             net_outbound_budget: 1 << 20,
+            log_segment_bytes: 4 << 20,
+            log_retire: true,
+            redo_threads: 0,
         }
     }
 
@@ -645,6 +670,37 @@ impl DaliConfig {
         }
     }
 
+    /// Builder-style log-segment capacity selection.
+    pub fn with_log_segment_bytes(mut self, bytes: u64) -> Self {
+        self.log_segment_bytes = bytes;
+        self
+    }
+
+    /// Builder-style segment-retirement toggle.
+    pub fn with_log_retire(mut self, retire: bool) -> Self {
+        self.log_retire = retire;
+        self
+    }
+
+    /// Builder-style restart-redo worker count (`0` = auto, `1` = serial).
+    pub fn with_redo_threads(mut self, redo_threads: usize) -> Self {
+        self.redo_threads = redo_threads;
+        self
+    }
+
+    /// The effective restart-redo worker count: `redo_threads`, or one
+    /// per available CPU when `0` (no power-of-two rounding — buckets
+    /// are `PageId % threads` classes, any count partitions cleanly).
+    pub fn resolved_redo_threads(&self) -> usize {
+        if self.redo_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.redo_threads
+        }
+    }
+
     /// Validate internal consistency; returns a description of the first
     /// problem found.
     pub fn validate(&self) -> std::result::Result<(), String> {
@@ -686,6 +742,19 @@ impl DaliConfig {
             return Err(format!(
                 "net_exec_workers {} is absurd (max 65536)",
                 self.net_exec_workers
+            ));
+        }
+        if self.log_segment_bytes < 1024 {
+            return Err(format!(
+                "log_segment_bytes {} must be >= 1024 (a segment must hold \
+                 real frames, not just its seal)",
+                self.log_segment_bytes
+            ));
+        }
+        if self.redo_threads > 1024 {
+            return Err(format!(
+                "redo_threads {} is absurd (max 1024)",
+                self.redo_threads
             ));
         }
         Ok(())
@@ -825,6 +894,20 @@ mod tests {
         assert_eq!(c.clone().with_audit_threads(1).resolved_audit_threads(), 1);
         // No power-of-two rounding: stripes are contiguous chunks.
         assert_eq!(c.with_audit_threads(6).resolved_audit_threads(), 6);
+    }
+
+    #[test]
+    fn log_and_redo_knobs_resolve_and_validate() {
+        let c = DaliConfig::small("/tmp/x");
+        assert!(c.log_retire, "retirement on by default");
+        assert_eq!(c.redo_threads, 0, "auto by default");
+        assert!(c.resolved_redo_threads() >= 1);
+        assert_eq!(c.clone().with_redo_threads(1).resolved_redo_threads(), 1);
+        assert_eq!(c.clone().with_redo_threads(6).resolved_redo_threads(), 6);
+        assert!(c.clone().with_log_segment_bytes(4096).validate().is_ok());
+        assert!(c.clone().with_log_segment_bytes(100).validate().is_err());
+        assert!(c.clone().with_redo_threads(100_000).validate().is_err());
+        assert!(!c.with_log_retire(false).log_retire);
     }
 
     #[test]

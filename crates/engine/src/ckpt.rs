@@ -563,6 +563,21 @@ pub fn checkpoint(db: &Arc<Db>) -> Result<CheckpointOutcome> {
             .append(&LogRecord::CkptComplete { ckpt_lsn: ck_end });
     }
     db.syslog.flush(false)?;
+
+    // ---- bitcask-style retention: retire fully-covered segments ----
+    // A sealed segment may go only when BOTH ping-pong images could
+    // replay without it — `restore_prior_state` can fall back to the
+    // older image — so the horizon is the minimum of the two metas'
+    // `CK_end`. Before the second-ever checkpoint the other meta does
+    // not exist yet and nothing is retired.
+    if db.config.log_retire {
+        if let Ok(other) = read_meta(&dir, 1 - image) {
+            let horizon = Lsn(ck_end.0.min(other.ck_end.0));
+            db.syslog.retire_covered(horizon)?;
+        }
+    }
+    db.refresh_log_gauges()?;
+
     EngineStats::bump(&db.stats.checkpoints);
     Ok(CheckpointOutcome::Certified {
         ck_end,

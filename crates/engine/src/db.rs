@@ -61,6 +61,19 @@ pub struct EngineStats {
     /// Parity groups verified by checkpoint certification (the dirty
     /// parity footprint — see `ckpt`'s certification step).
     pub certify_parity_groups: AtomicU64,
+    /// Segment files currently retained in the log directory (gauge,
+    /// refreshed at open and after each checkpoint).
+    pub log_segments_active: AtomicU64,
+    /// Segments retired (unlinked) by checkpoint-driven retention since
+    /// this database was opened.
+    pub log_segments_retired: AtomicU64,
+    /// Total bytes of retained log segments on disk (gauge).
+    pub log_bytes_on_disk: AtomicU64,
+    /// Worker threads the last restart's parallel redo apply actually
+    /// used (1 on a serial or corruption-mode replay).
+    pub redo_threads_used: AtomicU64,
+    /// Wall-clock nanoseconds of the last restart's redo apply phase.
+    pub redo_parallel_ns: AtomicU64,
 }
 
 impl EngineStats {
@@ -150,6 +163,23 @@ impl Db {
     /// Allocate a fresh audit id.
     pub fn next_audit_id(&self) -> u64 {
         self.audit_counter.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Refresh the log-directory gauges in [`EngineStats`] from the
+    /// segment directory (called at open and after each checkpoint's
+    /// retirement pass).
+    pub fn refresh_log_gauges(&self) -> Result<()> {
+        let seg = self.syslog.segment_stats()?;
+        self.stats
+            .log_segments_active
+            .store(seg.segments, Ordering::Relaxed);
+        self.stats
+            .log_segments_retired
+            .store(seg.retired, Ordering::Relaxed);
+        self.stats
+            .log_bytes_on_disk
+            .store(seg.bytes_on_disk, Ordering::Relaxed);
+        Ok(())
     }
 
     // ---- file layout ----

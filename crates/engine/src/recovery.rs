@@ -39,18 +39,104 @@ use crate::heap::HeapRuntime;
 use crate::lock::LockManager;
 use crate::txn::rollback_direct;
 use dali_codeword::CodewordProtection;
+use dali_common::align::split_by_chunks;
 use dali_common::{CodewordAlgebraKind, DaliConfig, DaliError, DbAddr, Lsn, Result, TxnId};
 use dali_mem::{DbImage, PageProtector};
 use dali_wal::record::LogRecord;
 use dali_wal::SystemLog;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Physical redo buffered per (transaction, operation) until the
 /// operation's commit record arrives.
 type PendingWrites = HashMap<(TxnId, dali_common::OpSeq), Vec<(DbAddr, Vec<u8>)>>;
+
+/// Released physical redo, partitioned by `page % threads` for the
+/// parallel apply phase of restart recovery.
+///
+/// The serial scan pushes writes here in the order they are released
+/// (operation-commit order, which is history order). A write spanning
+/// several pages is split at page boundaries so every buffered chunk
+/// lands in the bucket that owns its page. Two facts make the parallel
+/// apply byte-identical to a serial replay:
+///
+/// * all writes to one page sit in one bucket, in release order, so
+///   same-page history replays in order;
+/// * different buckets own disjoint page sets, so their writes touch
+///   disjoint bytes and commute.
+///
+/// Corruption-mode recovery never uses this path: its scan reads the
+/// image mid-stream (`codewords_match`), so redo must stay inline.
+struct RedoBuckets {
+    page_size: usize,
+    buckets: Vec<Vec<(DbAddr, Vec<u8>)>>,
+}
+
+impl RedoBuckets {
+    fn new(threads: usize, page_size: usize) -> RedoBuckets {
+        RedoBuckets {
+            page_size,
+            buckets: vec![Vec::new(); threads.max(1)],
+        }
+    }
+
+    fn push(&mut self, addr: DbAddr, data: Vec<u8>) {
+        let n = self.buckets.len();
+        let first = addr.0 / self.page_size;
+        let last = if data.is_empty() {
+            first
+        } else {
+            (addr.0 + data.len() - 1) / self.page_size
+        };
+        if n == 1 || first == last {
+            self.buckets[first % n].push((addr, data));
+            return;
+        }
+        for (page, start, len) in split_by_chunks(addr.0, data.len(), self.page_size) {
+            let off = start - addr.0;
+            self.buckets[page % n].push((DbAddr(start), data[off..off + len].to_vec()));
+        }
+    }
+
+    /// Apply every bucket to `image` on a scoped worker pool. Returns the
+    /// worker count actually used and the wall-clock nanoseconds of the
+    /// apply phase.
+    fn apply(self, image: &DbImage) -> Result<(usize, u64)> {
+        let start = std::time::Instant::now();
+        let live: Vec<&Vec<(DbAddr, Vec<u8>)>> =
+            self.buckets.iter().filter(|b| !b.is_empty()).collect();
+        if self.buckets.len() == 1 || live.len() <= 1 {
+            for bucket in &live {
+                for (addr, data) in bucket.iter() {
+                    image.write(*addr, data)?;
+                }
+            }
+            return Ok((1, start.elapsed().as_nanos() as u64));
+        }
+        let used = live.len();
+        std::thread::scope(|s| -> Result<()> {
+            let handles: Vec<_> = live
+                .into_iter()
+                .map(|bucket| {
+                    s.spawn(move || -> Result<()> {
+                        for (addr, data) in bucket.iter() {
+                            image.write(*addr, data)?;
+                        }
+                        Ok(())
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join()
+                    .map_err(|_| DaliError::RecoveryFailed("redo worker panicked".into()))??;
+            }
+            Ok(())
+        })?;
+        Ok((used, start.elapsed().as_nanos() as u64))
+    }
+}
 
 /// How the database was brought up.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -162,6 +248,7 @@ pub(crate) fn build_db(
     for h in db.heaps.read().iter() {
         h.rebuild_from_image(&db.image)?;
     }
+    db.refresh_log_gauges()?;
     crate::maintenance::spawn_drainer(&db);
     Ok(db)
 }
@@ -175,6 +262,7 @@ pub fn create(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         Db::log_path(&config.dir),
         config.page_size,
         config.codeword_algebra,
+        config.log_segment_bytes,
     )?;
     // The whole (zeroed) image is dirty with respect to both checkpoint
     // images.
@@ -270,6 +358,16 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
     // (Compensation records of an abort are terminated by the TxnAbort
     // record of the same batch instead.)
     let mut pending_writes: PendingWrites = HashMap::new();
+    // Normal-mode redo is two-phase: the serial scan classifies frames
+    // and buckets released writes by page; a scoped worker pool applies
+    // them afterwards. Corruption mode reads the image mid-scan, so its
+    // redo stays inline and serial.
+    let redo_threads = if corruption_mode {
+        1
+    } else {
+        config.resolved_redo_threads()
+    };
+    let mut redo = RedoBuckets::new(redo_threads, config.page_size);
 
     // Taint a transaction: freeze its undo log (subsequent logical records
     // are ignored) and protect its undo targets from later interference.
@@ -391,10 +489,14 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
                     continue; // logical records of corrupt txns are ignored
                 }
                 // The operation committed: its buffered physical writes
-                // are covered by the logical undo below — apply them.
+                // are covered by the logical undo below — release them.
                 if let Some(writes) = pending_writes.remove(&(txn, op)) {
                     for (addr, data) in writes {
-                        image.write(addr, &data)?;
+                        if corruption_mode {
+                            image.write(addr, &data)?;
+                        } else {
+                            redo.push(addr, data);
+                        }
                     }
                 }
                 let st = att
@@ -421,7 +523,11 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
                 for key in keys {
                     if let Some(writes) = pending_writes.remove(&key) {
                         for (addr, data) in writes {
-                            image.write(addr, &data)?;
+                            if corruption_mode {
+                                image.write(addr, &data)?;
+                            } else {
+                                redo.push(addr, data);
+                            }
                         }
                     }
                 }
@@ -461,11 +567,16 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         seed_marker_ranges(&mut cdt, &marker);
     }
 
+    // ---- parallel apply: replay the bucketed physical redo ----
+    // (Empty in corruption mode, whose writes went inline above.)
+    let (redo_threads_used, redo_parallel_ns) = redo.apply(&image)?;
+
     // ---- build the engine (heaps needed for logical undo) ----
     let syslog = SystemLog::open_with(
         Db::log_path(&dir),
         config.page_size,
         config.codeword_algebra,
+        config.log_segment_bytes,
     )?;
     let next_txn = meta.next_txn.max(max_txn_seen);
     let next_audit = meta.next_audit.max(max_audit_seen);
@@ -487,6 +598,12 @@ pub fn restart(config: DaliConfig) -> Result<(Arc<Db>, RecoveryOutcome)> {
         next_audit,
         None,
     )?;
+    db.stats
+        .redo_threads_used
+        .store(redo_threads_used as u64, Ordering::Relaxed);
+    db.stats
+        .redo_parallel_ns
+        .store(redo_parallel_ns, Ordering::Relaxed);
 
     // ---- undo phase: roll back incomplete transactions level by level ----
     let mut incomplete: Vec<TxnId> = att.keys().copied().collect();
@@ -600,6 +717,7 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
     let mut max_txn_seen = 0u64;
     let mut max_audit_seen = 0u64;
     let mut pending_writes: PendingWrites = HashMap::new();
+    let mut redo = RedoBuckets::new(config.resolved_redo_threads(), config.page_size);
     for (lsn, rec) in records {
         if lsn >= upto {
             break;
@@ -632,7 +750,7 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
             LogRecord::OpCommit { txn, op, undo } => {
                 if let Some(writes) = pending_writes.remove(&(txn, op)) {
                     for (addr, data) in writes {
-                        image.write(addr, &data)?;
+                        redo.push(addr, data);
                     }
                 }
                 let st = att
@@ -651,7 +769,7 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
                 for key in keys {
                     if let Some(writes) = pending_writes.remove(&key) {
                         for (addr, data) in writes {
-                            image.write(addr, &data)?;
+                            redo.push(addr, data);
                         }
                     }
                 }
@@ -682,20 +800,16 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
         }
     }
 
-    // Truncate the discarded future before reopening the log for append.
-    {
-        let f = std::fs::OpenOptions::new()
-            .write(true)
-            .open(Db::log_path(&dir))?;
-        let len = f.metadata()?.len();
-        f.set_len(len.min(upto.0))?;
-        f.sync_data()?;
-    }
+    // Apply the bucketed redo, then truncate the discarded future before
+    // reopening the log for append.
+    let (redo_threads_used, redo_parallel_ns) = redo.apply(&image)?;
+    dali_wal::segment::truncate_at(&Db::log_path(&dir), upto)?;
 
     let syslog = SystemLog::open_with(
         Db::log_path(&dir),
         config.page_size,
         config.codeword_algebra,
+        config.log_segment_bytes,
     )?;
     let db = build_db(
         config,
@@ -715,6 +829,12 @@ pub fn restore_prior_state(config: DaliConfig, upto: Lsn) -> Result<(Arc<Db>, Re
         meta.next_audit.max(max_audit_seen),
         None,
     )?;
+    db.stats
+        .redo_threads_used
+        .store(redo_threads_used as u64, Ordering::Relaxed);
+    db.stats
+        .redo_parallel_ns
+        .store(redo_parallel_ns, Ordering::Relaxed);
 
     // Roll back transactions in flight at `upto` (transaction-consistent
     // prior state).

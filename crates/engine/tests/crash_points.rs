@@ -30,8 +30,11 @@ fn copy_dir(src: &std::path::Path, dst: &std::path::Path) {
     std::fs::create_dir_all(dst).unwrap();
     for entry in std::fs::read_dir(src).unwrap() {
         let entry = entry.unwrap();
-        if entry.file_type().unwrap().is_file() {
-            std::fs::copy(entry.path(), dst.join(entry.file_name())).unwrap();
+        let to = dst.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).unwrap();
         }
     }
 }
@@ -47,7 +50,11 @@ fn val(txn_no: u64, rec_no: usize) -> Vec<u8> {
 #[test]
 fn every_log_prefix_recovers_to_the_committed_prefix() {
     let dir = tmpdir("sweep");
-    let config = DaliConfig::small(&dir).with_scheme(ProtectionScheme::DataCodeword);
+    // Tiny segments so the sweep crosses several segment boundaries (the
+    // cut then exercises unlink-whole-segment and cut-mid-segment paths).
+    let config = DaliConfig::small(&dir)
+        .with_scheme(ProtectionScheme::DataCodeword)
+        .with_log_segment_bytes(1024);
     let (db, _) = DaliEngine::create(config.clone()).unwrap();
     let t = db.create_table("t", 64, 16).unwrap();
 
@@ -83,7 +90,13 @@ fn every_log_prefix_recovers_to_the_committed_prefix() {
     let log_path = dir.join("system.log");
     let records = SystemLog::scan_stable(&log_path, Lsn::ZERO).unwrap();
     let mut points: Vec<u64> = records.iter().map(|(l, _)| l.0).collect();
-    points.push(std::fs::metadata(&log_path).unwrap().len());
+    let segments = dali_wal::segment::list(&log_path).unwrap();
+    assert!(
+        segments.len() > 2,
+        "workload should span several segments (got {})",
+        segments.len()
+    );
+    points.push(segments.last().unwrap().end().0);
     // Cuts before the first snapshot would leave the table itself
     // partially created; the committed-prefix model below starts at the
     // setup commit.
@@ -96,13 +109,7 @@ fn every_log_prefix_recovers_to_the_committed_prefix() {
             let cut = p + torn;
             let case = tmpdir(&format!("case-{i}-{torn}"));
             copy_dir(&dir, &case);
-            let f = std::fs::OpenOptions::new()
-                .write(true)
-                .open(case.join("system.log"))
-                .unwrap();
-            let len = f.metadata().unwrap().len();
-            f.set_len(cut.min(len)).unwrap();
-            drop(f);
+            dali_wal::segment::truncate_at(&case.join("system.log"), Lsn(cut)).unwrap();
 
             let mut case_config = config.clone();
             case_config.dir = case.clone();
@@ -150,9 +157,11 @@ fn torn_tail_garbage_is_discarded() {
     db.crash();
 
     use std::io::Write;
+    let log_dir = dir.join("system.log");
+    let last = *dali_wal::segment::list(&log_dir).unwrap().last().unwrap();
     let mut f = std::fs::OpenOptions::new()
         .append(true)
-        .open(dir.join("system.log"))
+        .open(dali_wal::segment::path(&log_dir, last.base))
         .unwrap();
     f.write_all(&[0x99, 0x13, 0x37, 0xAB, 0xCD]).unwrap();
     drop(f);

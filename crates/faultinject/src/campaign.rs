@@ -335,17 +335,25 @@ pub fn run_wal_round(
     let path = Db::log_path(&inner.config.dir);
     let baseline = dali_wal::SystemLog::scan_stable_with(&path, Lsn(0), kind)?;
 
+    // `offset` is a global log position; map it into the containing
+    // segment file and clamp the window at the segment's end.
+    let seg = dali_wal::segment::locate(&path, Lsn(offset as u64))?;
+    let local = offset as u64 - seg.base.0;
+    let window = window_len.min(seg.len.saturating_sub(local) as usize);
+    if window == 0 {
+        return Ok(None);
+    }
     let mut f = std::fs::OpenOptions::new()
         .read(true)
         .write(true)
-        .open(&path)?;
-    let mut original = vec![0u8; window_len];
-    f.seek(SeekFrom::Start(offset as u64))?;
+        .open(dali_wal::segment::path(&path, seg.base))?;
+    let mut original = vec![0u8; window];
+    f.seek(SeekFrom::Start(local))?;
     f.read_exact(&mut original)?;
     let Some(corrupt) = pattern.apply(&original) else {
         return Ok(None);
     };
-    f.seek(SeekFrom::Start(offset as u64))?;
+    f.seek(SeekFrom::Start(local))?;
     f.write_all(&corrupt)?;
     f.sync_data()?;
 
@@ -366,7 +374,7 @@ pub fn run_wal_round(
         }
     };
 
-    f.seek(SeekFrom::Start(offset as u64))?;
+    f.seek(SeekFrom::Start(local))?;
     f.write_all(&original)?;
     f.sync_data()?;
     Ok(Some(outcome))

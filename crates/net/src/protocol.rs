@@ -143,6 +143,16 @@ pub struct ServerStats {
     pub loop_iterations: u64,
     /// High-watermark of any one connection's buffered outbound bytes.
     pub outbound_buffered_max: u64,
+    /// Segment files currently retained in the log directory.
+    pub log_segments_active: u64,
+    /// Segments retired by checkpoint-driven retention since open.
+    pub log_segments_retired: u64,
+    /// Total bytes of retained log segments on disk.
+    pub log_bytes_on_disk: u64,
+    /// Worker threads the last restart's parallel redo apply used.
+    pub redo_threads_used: u64,
+    /// Wall-clock nanoseconds of the last restart's redo apply phase.
+    pub redo_parallel_ns: u64,
 }
 
 /// Outcome of a [`Request::Repair`] — a wire mirror of the engine's
@@ -615,6 +625,11 @@ impl Response {
                     s.exec_queue_max,
                     s.loop_iterations,
                     s.outbound_buffered_max,
+                    s.log_segments_active,
+                    s.log_segments_retired,
+                    s.log_bytes_on_disk,
+                    s.redo_threads_used,
+                    s.redo_parallel_ns,
                 ] {
                     buf.put_u64_le(v);
                 }
@@ -714,6 +729,11 @@ impl Response {
                 exec_queue_max: get_u64(buf)?,
                 loop_iterations: get_u64(buf)?,
                 outbound_buffered_max: get_u64(buf)?,
+                log_segments_active: get_u64(buf)?,
+                log_segments_retired: get_u64(buf)?,
+                log_bytes_on_disk: get_u64(buf)?,
+                redo_threads_used: get_u64(buf)?,
+                redo_parallel_ns: get_u64(buf)?,
             }),
             8 => Response::Err(WireError::decode_inner(buf)?),
             9 => Response::Repaired(RepairSummary {
@@ -1114,6 +1134,11 @@ mod tests {
                 exec_queue_max: 30,
                 loop_iterations: 31,
                 outbound_buffered_max: 32,
+                log_segments_active: 33,
+                log_segments_retired: 34,
+                log_bytes_on_disk: 35,
+                redo_threads_used: 36,
+                redo_parallel_ns: 37,
             }),
             Response::Repaired(RepairSummary {
                 in_place: true,

@@ -256,6 +256,11 @@ pub(crate) fn build_server_stats(engine: &DaliEngine, counters: &ServerCounters)
         exec_queue_max: counters.exec_queue_max.load(Ordering::Relaxed),
         loop_iterations: counters.loop_iterations.load(Ordering::Relaxed),
         outbound_buffered_max: counters.outbound_buffered_max.load(Ordering::Relaxed),
+        log_segments_active: engine.stats().log_segments_active.load(Ordering::Relaxed),
+        log_segments_retired: engine.stats().log_segments_retired.load(Ordering::Relaxed),
+        log_bytes_on_disk: engine.stats().log_bytes_on_disk.load(Ordering::Relaxed),
+        redo_threads_used: engine.stats().redo_threads_used.load(Ordering::Relaxed),
+        redo_parallel_ns: engine.stats().redo_parallel_ns.load(Ordering::Relaxed),
     }
 }
 

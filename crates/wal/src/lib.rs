@@ -17,15 +17,19 @@
 //!   extension), with a checksummed binary encoding.
 //! * [`locallog`] — per-transaction undo and redo logs.
 //! * [`dpt`] — the dual dirty-page sets backing ping-pong checkpointing.
-//! * [`syslog`] — the system log: in-memory tail + stable file, append,
-//!   flush under the system-log latch, and recovery scans.
+//! * [`segment`] — the stable log's segment files: naming, chain
+//!   validation, byte-level truncation and bitcask-style retirement.
+//! * [`syslog`] — the system log: in-memory tail + stable segment
+//!   directory, append, flush under the system-log latch, segment rolls
+//!   and recovery scans.
 
 pub mod dpt;
 pub mod locallog;
 pub mod record;
+pub mod segment;
 pub mod syslog;
 
 pub use dpt::{pages_to_regions, DualDirtySet};
 pub use locallog::{LocalRedoLog, LocalUndoLog, UndoEntry, UndoKind};
-pub use record::{LogRecord, LogicalUndo, OpKind};
-pub use syslog::{SyncStats, SystemLog};
+pub use record::{Frame, LogRecord, LogicalUndo, OpKind};
+pub use syslog::{SegmentStats, SyncStats, SystemLog, DEFAULT_SEGMENT_BYTES};

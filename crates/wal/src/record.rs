@@ -1,14 +1,19 @@
 //! Log record types and their checksummed binary encoding.
 //!
-//! Framing on the system log is `[len: u32][checksum: u32][payload]` where
-//! `checksum` folds the payload under the *configured codeword algebra*
-//! (in the same spirit as the paper's codewords — cheap parity that
-//! catches torn or overwritten log frames). Historically the frame
-//! checksum was hardwired to the XOR fold even when the data image used
-//! the residue algebra, which left paired same-direction bit-column flips
-//! inside one frame as a silent residual; [`checksum_with`] closes that
-//! gap by giving residue configurations residue-checked frames. An LSN is
-//! the byte offset of a frame's first byte.
+//! Framing on the system log is `[len: u32][checksum: u32][type: u8][payload]`
+//! where `checksum` folds the payload under the *configured codeword
+//! algebra* (in the same spirit as the paper's codewords — cheap parity
+//! that catches torn or overwritten log frames) and then folds the frame
+//! *type* byte in as one more word. Checksumming the type matters: the
+//! type is what sequences the segmented log (a [`FRAME_SEAL`] marks the
+//! clean end of a segment), so a flipped type byte must fail the
+//! checksum rather than silently resequence the stream. Historically the
+//! frame checksum was hardwired to the XOR fold even when the data image
+//! used the residue algebra, which left paired same-direction bit-column
+//! flips inside one frame as a silent residual; [`checksum_with`] closes
+//! that gap by giving residue configurations residue-checked frames. An
+//! LSN is the *global* byte offset of a frame's first byte — segment
+//! files partition the offset space without renumbering it.
 
 use bytes::{Buf, BufMut, BytesMut};
 use dali_common::{
@@ -426,9 +431,36 @@ pub fn checksum_with(kind: CodewordAlgebraKind, payload: &[u8]) -> u32 {
     }
 }
 
-/// Frame a record: `[len][checksum][payload]`. Returns bytes appended.
-/// XOR-checksummed — the historical default, kept for callers without an
-/// algebra in hand; algebra-aware paths use [`frame_with`].
+/// Size of a frame header: `[len: u32][checksum: u32][type: u8]`.
+pub const FRAME_HDR: usize = 9;
+
+/// Frame type of an ordinary log record.
+pub const FRAME_RECORD: u8 = 1;
+
+/// Frame type of a segment seal: an empty-payload marker that says "this
+/// segment ended cleanly here; the stream continues in the next segment".
+/// A seal mid-file (bytes after it in the same segment) is corruption.
+pub const FRAME_SEAL: u8 = 2;
+
+/// One parsed frame off the stable log.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Frame {
+    /// An ordinary log record.
+    Record(LogRecord),
+    /// A segment seal (clean end-of-segment marker).
+    Seal,
+}
+
+/// Fold the frame type into the payload checksum. One extra `combine`
+/// under the configured algebra: cheap, and it makes a flipped type byte
+/// (Record↔Seal) a checksum failure instead of a stream resequencing.
+fn frame_checksum(kind: CodewordAlgebraKind, frame_type: u8, payload: &[u8]) -> u32 {
+    kind.combine(checksum_with(kind, payload), frame_type as u32)
+}
+
+/// Frame a record: `[len][checksum][type][payload]`. Returns bytes
+/// appended. XOR-checksummed — the historical default, kept for callers
+/// without an algebra in hand; algebra-aware paths use [`frame_with`].
 pub fn frame(rec: &LogRecord, out: &mut BytesMut) -> usize {
     frame_with(CodewordAlgebraKind::XorFold, rec, out)
 }
@@ -437,38 +469,66 @@ pub fn frame(rec: &LogRecord, out: &mut BytesMut) -> usize {
 pub fn frame_with(kind: CodewordAlgebraKind, rec: &LogRecord, out: &mut BytesMut) -> usize {
     let mut payload = BytesMut::with_capacity(64);
     rec.encode(&mut payload);
+    frame_payload_with(kind, &payload, out)
+}
+
+/// Frame an already-encoded record payload. Split out from
+/// [`frame_with`] so the segmented append path can measure the frame
+/// (`FRAME_HDR + payload.len()`) for its roll decision before writing it.
+pub fn frame_payload_with(kind: CodewordAlgebraKind, payload: &[u8], out: &mut BytesMut) -> usize {
     out.put_u32_le(payload.len() as u32);
-    out.put_u32_le(checksum_with(kind, &payload));
-    out.extend_from_slice(&payload);
-    8 + payload.len()
+    out.put_u32_le(frame_checksum(kind, FRAME_RECORD, payload));
+    out.put_u8(FRAME_RECORD);
+    out.extend_from_slice(payload);
+    FRAME_HDR + payload.len()
+}
+
+/// Frame a segment seal (empty payload). Returns bytes appended
+/// (always [`FRAME_HDR`]).
+pub fn frame_seal(kind: CodewordAlgebraKind, out: &mut BytesMut) -> usize {
+    out.put_u32_le(0);
+    out.put_u32_le(frame_checksum(kind, FRAME_SEAL, &[]));
+    out.put_u8(FRAME_SEAL);
+    FRAME_HDR
 }
 
 /// Parse one XOR-checksummed frame starting at `buf[0]`; returns the
-/// record and the frame length. Errors on truncation or checksum
+/// frame and its encoded length. Errors on truncation or checksum
 /// mismatch. Algebra-aware paths use [`unframe_with`].
-pub fn unframe(buf: &[u8]) -> Result<(LogRecord, usize)> {
+pub fn unframe(buf: &[u8]) -> Result<(Frame, usize)> {
     unframe_with(CodewordAlgebraKind::XorFold, buf)
 }
 
 /// Parse one frame whose checksum was computed under `kind`.
-pub fn unframe_with(kind: CodewordAlgebraKind, buf: &[u8]) -> Result<(LogRecord, usize)> {
-    if buf.len() < 8 {
+pub fn unframe_with(kind: CodewordAlgebraKind, buf: &[u8]) -> Result<(Frame, usize)> {
+    if buf.len() < FRAME_HDR {
         return Err(bad("truncated frame header".into()));
     }
     let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
     let sum = u32::from_le_bytes([buf[4], buf[5], buf[6], buf[7]]);
-    if buf.len() < 8 + len {
+    let frame_type = buf[8];
+    if buf.len() < FRAME_HDR + len {
         return Err(bad(format!(
             "truncated frame: need {} bytes, have {}",
-            8 + len,
+            FRAME_HDR + len,
             buf.len()
         )));
     }
-    let payload = &buf[8..8 + len];
-    if checksum_with(kind, payload) != sum {
+    let payload = &buf[FRAME_HDR..FRAME_HDR + len];
+    if frame_checksum(kind, frame_type, payload) != sum {
         return Err(bad("log frame checksum mismatch".into()));
     }
-    Ok((LogRecord::decode(payload)?, 8 + len))
+    let frame = match frame_type {
+        FRAME_RECORD => Frame::Record(LogRecord::decode(payload)?),
+        FRAME_SEAL => {
+            if len != 0 {
+                return Err(bad(format!("seal frame with {len}-byte payload")));
+            }
+            Frame::Seal
+        }
+        other => return Err(bad(format!("unknown frame type {other}"))),
+    };
+    Ok((frame, FRAME_HDR + len))
 }
 
 // ---- primitive helpers ----
@@ -623,11 +683,53 @@ mod tests {
         let mut cursor = &out[..];
         let mut got = vec![];
         while !cursor.is_empty() {
-            let (r, n) = unframe(cursor).unwrap();
-            got.push(r);
+            let (f, n) = unframe(cursor).unwrap();
+            match f {
+                Frame::Record(r) => got.push(r),
+                Frame::Seal => panic!("unexpected seal"),
+            }
             cursor = &cursor[n..];
         }
         assert_eq!(got, recs);
+    }
+
+    #[test]
+    fn seal_frame_round_trips_under_both_algebras() {
+        for kind in CodewordAlgebraKind::ALL {
+            let mut out = BytesMut::new();
+            let n = frame_seal(kind, &mut out);
+            assert_eq!(n, FRAME_HDR);
+            assert_eq!(out.len(), FRAME_HDR);
+            let (f, m) = unframe_with(kind, &out).unwrap();
+            assert_eq!(f, Frame::Seal, "{kind:?}");
+            assert_eq!(m, FRAME_HDR);
+        }
+    }
+
+    /// A flipped frame-type byte (Record↔Seal, or to garbage) must fail
+    /// the checksum under both algebras — the type participates in the
+    /// fold precisely so corruption cannot resequence the segment stream.
+    #[test]
+    fn flipped_type_byte_fails_checksum() {
+        for kind in CodewordAlgebraKind::ALL {
+            let rec = LogRecord::TxnCommit { txn: TxnId(42) };
+            let mut out = BytesMut::new();
+            frame_with(kind, &rec, &mut out);
+            for forged in [FRAME_SEAL, 0u8, 7u8] {
+                let mut bytes = out.to_vec();
+                bytes[8] = forged;
+                assert!(
+                    unframe_with(kind, &bytes).is_err(),
+                    "{kind:?} accepted forged type {forged}"
+                );
+            }
+            // And a seal forged into a record type.
+            let mut out = BytesMut::new();
+            frame_seal(kind, &mut out);
+            let mut bytes = out.to_vec();
+            bytes[8] = FRAME_RECORD;
+            assert!(unframe_with(kind, &bytes).is_err(), "{kind:?}");
+        }
     }
 
     /// The wide checksum kernel must equal the one-word-at-a-time
@@ -716,8 +818,11 @@ mod tests {
             let mut cursor = &out[..];
             let mut got = vec![];
             while !cursor.is_empty() {
-                let (r, n) = unframe_with(kind, cursor).unwrap();
-                got.push(r);
+                let (f, n) = unframe_with(kind, cursor).unwrap();
+                match f {
+                    Frame::Record(r) => got.push(r),
+                    Frame::Seal => panic!("unexpected seal"),
+                }
                 cursor = &cursor[n..];
             }
             assert_eq!(got, recs, "{kind:?}");
@@ -740,7 +845,7 @@ mod tests {
         let mut out = BytesMut::new();
         frame(&rec, &mut out);
         let mut bytes = out.to_vec();
-        bytes[9] ^= 0x10; // flip a payload bit
+        bytes[10] ^= 0x10; // flip a payload bit
         assert!(unframe(&bytes).is_err());
     }
 
@@ -828,7 +933,7 @@ mod tests {
             frame(&rec, &mut out);
             let (back, n) = unframe(&out).unwrap();
             prop_assert_eq!(n, out.len());
-            prop_assert_eq!(back, rec);
+            prop_assert_eq!(back, Frame::Record(rec));
         }
     }
 }

@@ -1,0 +1,375 @@
+//! Segment files of the system log.
+//!
+//! The stable log is a *directory* of fixed-capacity segment files, each
+//! named by the global LSN of its first byte (`{base:020}.seg`), so the
+//! chain invariant is visible in an `ls`: each segment's base equals the
+//! previous segment's base plus its length. LSNs remain global byte
+//! offsets — segmentation partitions the offset space without
+//! renumbering it, so every LSN recorded in checkpoint metas and audit
+//! records stays valid across the layout change.
+//!
+//! Sealed segments (every one but the last) are immutable: they end with
+//! a [`crate::record::FRAME_SEAL`] frame and are never written again.
+//! That is what makes bitcask-style *retirement* safe: once a certified
+//! checkpoint's `CK_end` is past a sealed segment's last byte, restart
+//! recovery will never read it, and it can be unlinked. Retirement is
+//! crash-safe the same way `atomic_write`'s rename is: the unlink is
+//! only durable after the parent directory is fsynced, and a crash point
+//! between the two (`segment.retire.post_unlink`) lets tests prove both
+//! post-crash states recover.
+
+use dali_common::{DaliError, Lsn, Result};
+use std::path::{Path, PathBuf};
+
+/// File-name suffix of a log segment.
+pub const SEGMENT_SUFFIX: &str = "seg";
+
+/// A segment on disk: base LSN (== first byte's global offset) and
+/// current file length in bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Global LSN of the segment's first byte.
+    pub base: Lsn,
+    /// Bytes currently in the file.
+    pub len: u64,
+}
+
+impl SegmentInfo {
+    /// Global LSN one past the segment's last byte.
+    pub fn end(&self) -> Lsn {
+        Lsn(self.base.0 + self.len)
+    }
+}
+
+/// File name for the segment whose first byte is `base`.
+pub fn file_name(base: Lsn) -> String {
+    format!("{:020}.{SEGMENT_SUFFIX}", base.0)
+}
+
+/// Path of the segment whose first byte is `base`.
+pub fn path(dir: &Path, base: Lsn) -> PathBuf {
+    dir.join(file_name(base))
+}
+
+/// Parse a segment file name back to its base LSN.
+pub fn parse_file_name(name: &str) -> Option<Lsn> {
+    let stem = name.strip_suffix(&format!(".{SEGMENT_SUFFIX}"))?;
+    if stem.len() != 20 || !stem.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    stem.parse::<u64>().ok().map(Lsn)
+}
+
+/// List the segments under `dir`, sorted by base LSN. Non-segment files
+/// are ignored. Errors if the directory cannot be read.
+pub fn list(dir: &Path) -> Result<Vec<SegmentInfo>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(base) = parse_file_name(name) else {
+            continue;
+        };
+        out.push(SegmentInfo {
+            base,
+            len: entry.metadata()?.len(),
+        });
+    }
+    out.sort_unstable_by_key(|s| s.base);
+    Ok(out)
+}
+
+/// Check the chain invariant: each segment begins exactly where the
+/// previous one ends. A gap means a segment was lost (or an unlink was
+/// torn mid-retirement in a way that removed the wrong file) and the log
+/// cannot be trusted past it.
+pub fn validate_chain(segments: &[SegmentInfo]) -> Result<()> {
+    for w in segments.windows(2) {
+        if w[1].base != w[0].end() {
+            return Err(DaliError::RecoveryFailed(format!(
+                "segment chain broken: {} ends at {} but next segment starts at {}",
+                file_name(w[0].base),
+                w[0].end(),
+                w[1].base
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// The segment containing global byte offset `lsn` (or, for the log's
+/// end LSN, the last segment). Errors if `lsn` predates the first
+/// retained segment or lies past the end of the log.
+pub fn locate(dir: &Path, lsn: Lsn) -> Result<SegmentInfo> {
+    let segments = list(dir)?;
+    let Some(first) = segments.first() else {
+        return Err(DaliError::RecoveryFailed(format!(
+            "no log segments in {}",
+            dir.display()
+        )));
+    };
+    if lsn < first.base {
+        return Err(DaliError::RecoveryFailed(format!(
+            "LSN {lsn} predates first retained segment {}",
+            file_name(first.base)
+        )));
+    }
+    validate_chain(&segments)?;
+    let last = *segments.last().expect("non-empty");
+    if lsn > last.end() {
+        return Err(DaliError::RecoveryFailed(format!(
+            "LSN {lsn} beyond end of log ({})",
+            last.end()
+        )));
+    }
+    // The chain is contiguous, so the segment with the greatest base at
+    // or below `lsn` contains it (for the end-of-log LSN: the last one).
+    Ok(*segments
+        .iter()
+        .rev()
+        .find(|s| s.base <= lsn)
+        .expect("bounds checked"))
+}
+
+/// fsync a directory so renames/unlinks/creates inside it are durable.
+pub fn sync_dir(dir: &Path) -> Result<()> {
+    std::fs::File::open(dir)?.sync_data()?;
+    Ok(())
+}
+
+/// Truncate the log so that nothing at or past `upto` remains: unlink
+/// segments based at or after `upto`, cut the containing segment, fsync
+/// it and the directory. Used by prior-state recovery, which must make a
+/// byte-level cut of history. A cut past the end of the log is a no-op
+/// (matching `set_len(len.min(upto))` on the old single-file layout).
+pub fn truncate_at(dir: &Path, upto: Lsn) -> Result<()> {
+    let segments = list(dir)?;
+    validate_chain(&segments)?;
+    let Some(first) = segments.first() else {
+        return Ok(());
+    };
+    if upto < first.base {
+        return Err(DaliError::RecoveryFailed(format!(
+            "cannot truncate to {upto}: predates first retained segment {}",
+            file_name(first.base)
+        )));
+    }
+    let mut changed = false;
+    for s in &segments {
+        if s.base >= upto && s.base > first.base {
+            // Whole segment past the cut. The first segment is never
+            // unlinked, so the log stays openable even for a cut at its
+            // base (it is truncated to zero length below instead).
+            std::fs::remove_file(path(dir, s.base))?;
+            changed = true;
+        } else if upto < s.end() {
+            // Containing segment: cut it at the boundary.
+            let f = std::fs::OpenOptions::new()
+                .write(true)
+                .open(path(dir, s.base))?;
+            f.set_len(upto.0 - s.base.0)?;
+            f.sync_data()?;
+            changed = true;
+        }
+    }
+    if changed {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// Retire (unlink) sealed segments whose every byte is below `horizon`
+/// — i.e. fully covered by a certified checkpoint. The segment based at
+/// `keep_from` (the active segment) and anything after it is never
+/// touched, whatever the horizon says. Returns how many segments were
+/// unlinked.
+///
+/// Crash safety: each unlink is followed by the crash point
+/// `segment.retire.post_unlink`, and the parent directory is fsynced
+/// after the batch. A crash between unlink and dir-fsync can leave the
+/// unlink *undone* (the file reappears) or *done*; both are benign —
+/// recovery never reads below the checkpoint horizon, and a reappeared
+/// segment is simply retired again next checkpoint. What the dir-fsync
+/// rules out is the unlink becoming durable while a *later* rename or
+/// create in the same directory is not.
+pub fn retire_covered(dir: &Path, horizon: Lsn, keep_from: Lsn) -> Result<u64> {
+    let segments = list(dir)?;
+    let mut retired = 0u64;
+    for s in &segments {
+        if s.base >= keep_from || s.end() > horizon {
+            continue;
+        }
+        std::fs::remove_file(path(dir, s.base))?;
+        dali_common::crashpoint::check("segment.retire.post_unlink")?;
+        retired += 1;
+    }
+    if retired > 0 {
+        sync_dir(dir)?;
+    }
+    Ok(retired)
+}
+
+/// Total bytes currently on disk across all retained segments.
+pub fn bytes_on_disk(dir: &Path) -> Result<u64> {
+    Ok(list(dir)?.iter().map(|s| s.len).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dali-segment-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mk(dir: &Path, base: u64, len: usize) {
+        std::fs::write(path(dir, Lsn(base)), vec![0u8; len]).unwrap();
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for base in [0u64, 1, 4096, u64::MAX / 2] {
+            let name = file_name(Lsn(base));
+            assert_eq!(parse_file_name(&name), Some(Lsn(base)));
+        }
+        assert_eq!(parse_file_name("foo.seg"), None);
+        assert_eq!(parse_file_name("00000000000000000000.log"), None);
+        assert_eq!(parse_file_name("0.seg"), None);
+    }
+
+    #[test]
+    fn list_sorts_and_ignores_strangers() {
+        let dir = tmpdir("list");
+        mk(&dir, 100, 50);
+        mk(&dir, 0, 100);
+        std::fs::write(dir.join("anchor"), b"x").unwrap();
+        let segs = list(&dir).unwrap();
+        assert_eq!(
+            segs,
+            vec![
+                SegmentInfo {
+                    base: Lsn(0),
+                    len: 100
+                },
+                SegmentInfo {
+                    base: Lsn(100),
+                    len: 50
+                },
+            ]
+        );
+        validate_chain(&segs).unwrap();
+    }
+
+    #[test]
+    fn chain_gap_is_detected() {
+        let dir = tmpdir("gap");
+        mk(&dir, 0, 100);
+        mk(&dir, 150, 10); // gap: should start at 100
+        let segs = list(&dir).unwrap();
+        assert!(validate_chain(&segs).is_err());
+    }
+
+    #[test]
+    fn locate_finds_containing_segment() {
+        let dir = tmpdir("locate");
+        mk(&dir, 0, 100);
+        mk(&dir, 100, 50);
+        assert_eq!(locate(&dir, Lsn(0)).unwrap().base, Lsn(0));
+        assert_eq!(locate(&dir, Lsn(99)).unwrap().base, Lsn(0));
+        assert_eq!(locate(&dir, Lsn(100)).unwrap().base, Lsn(100));
+        // End-of-log LSN resolves to the last (active) segment.
+        assert_eq!(locate(&dir, Lsn(150)).unwrap().base, Lsn(100));
+        assert!(locate(&dir, Lsn(151)).is_err());
+    }
+
+    #[test]
+    fn locate_rejects_retired_lsn() {
+        let dir = tmpdir("retired");
+        mk(&dir, 100, 50);
+        let err = locate(&dir, Lsn(10)).unwrap_err().to_string();
+        assert!(err.contains("predates"), "{err}");
+    }
+
+    #[test]
+    fn truncate_drops_later_segments_and_cuts_containing() {
+        let dir = tmpdir("trunc");
+        mk(&dir, 0, 100);
+        mk(&dir, 100, 50);
+        mk(&dir, 150, 30);
+        truncate_at(&dir, Lsn(120)).unwrap();
+        let segs = list(&dir).unwrap();
+        assert_eq!(
+            segs,
+            vec![
+                SegmentInfo {
+                    base: Lsn(0),
+                    len: 100
+                },
+                SegmentInfo {
+                    base: Lsn(100),
+                    len: 20
+                },
+            ]
+        );
+        // Cut past the end: no-op.
+        truncate_at(&dir, Lsn(10_000)).unwrap();
+        assert_eq!(list(&dir).unwrap(), segs);
+    }
+
+    #[test]
+    fn truncate_to_zero_keeps_one_empty_segment() {
+        let dir = tmpdir("trunczero");
+        mk(&dir, 0, 100);
+        mk(&dir, 100, 50);
+        truncate_at(&dir, Lsn::ZERO).unwrap();
+        let segs = list(&dir).unwrap();
+        assert_eq!(
+            segs,
+            vec![SegmentInfo {
+                base: Lsn(0),
+                len: 0
+            }]
+        );
+    }
+
+    #[test]
+    fn retire_unlinks_only_fully_covered_sealed_segments() {
+        let dir = tmpdir("retire");
+        mk(&dir, 0, 100);
+        mk(&dir, 100, 50);
+        mk(&dir, 150, 30); // active
+                           // Horizon mid-segment-2: only segment 1 is fully covered.
+        let n = retire_covered(&dir, Lsn(120), Lsn(150)).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(list(&dir).unwrap().first().unwrap().base, Lsn(100));
+        // Horizon past everything, but the active segment is kept.
+        let n = retire_covered(&dir, Lsn(10_000), Lsn(150)).unwrap();
+        assert_eq!(n, 1);
+        let segs = list(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].base, Lsn(150));
+        assert_eq!(bytes_on_disk(&dir).unwrap(), 30);
+    }
+
+    #[test]
+    fn retire_crash_point_interrupts_between_unlink_and_dir_fsync() {
+        let dir = tmpdir("retirecrash");
+        mk(&dir, 0, 100);
+        mk(&dir, 100, 50);
+        let _guard = dali_common::crashpoint::ScopedCrashpoints::new();
+        dali_common::crashpoint::arm("segment.retire.post_unlink");
+        let err = retire_covered(&dir, Lsn(10_000), Lsn(100))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("crash point tripped"), "{err}");
+        // The unlink itself happened; the chain now starts at 100 and
+        // still validates — exactly the state recovery must tolerate.
+        let segs = list(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        validate_chain(&segs).unwrap();
+    }
+}

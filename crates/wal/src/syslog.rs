@@ -1,42 +1,77 @@
-//! The system log: in-memory tail plus stable log file (paper §2.1).
+//! The system log: in-memory tail plus a directory of stable segment
+//! files (paper §2.1).
 //!
 //! Appends go to the tail under the *system log latch* (a mutex, as in
-//! Dali). [`SystemLog::flush`] writes the tail to the stable file — on
-//! transaction commit and during checkpoints. `end_of_stable_log` is the
-//! LSN up to which records are known durable. While appending physical
-//! redo records, the pages they touch are noted in the dirty page table
-//! ([`crate::dpt::DualDirtySet`]).
+//! Dali). [`SystemLog::flush`] writes the tail to the stable segments —
+//! on transaction commit and during checkpoints. `end_of_stable_log` is
+//! the LSN up to which records are known durable. While appending
+//! physical redo records, the pages they touch are noted in the dirty
+//! page table ([`crate::dpt::DualDirtySet`]).
+//!
+//! The stable log is *segmented* (see [`crate::segment`]): a directory
+//! of fixed-capacity files, each named by the global LSN of its first
+//! byte. When an append would overflow the active segment, a
+//! [`crate::record::FRAME_SEAL`] frame is written in its place and the
+//! record goes to a fresh segment; the roll itself happens in
+//! [`SystemLog::flush`]'s tail write, which fsyncs the sealed file,
+//! creates the successor, and fsyncs the directory before any byte lands
+//! in it. Sealed segments are immutable, which is what lets a certified
+//! checkpoint *retire* them ([`SystemLog::retire_covered`]) and bound
+//! the log directory by checkpoint cadence. Records never span segments,
+//! and LSNs stay global byte offsets, so no caller of the log had to
+//! renumber anything.
 //!
 //! A *simulated crash* simply drops the `SystemLog` object: the unflushed
 //! tail is lost, exactly as Dali loses its in-memory tail. Recovery scans
-//! the stable file with [`SystemLog::scan_stable`]; [`SystemLog::open`]
-//! truncates a torn trailing frame (a partially completed flush) before
-//! resuming appends.
+//! the stable segments with [`SystemLog::scan_stable`];
+//! [`SystemLog::open`] truncates a torn trailing frame (a partially
+//! completed flush) in the last segment before resuming appends.
 
 use crate::dpt::DualDirtySet;
-use crate::record::{frame_with, unframe_with, LogRecord};
+use crate::record::{frame_payload_with, frame_seal, unframe_with, Frame, LogRecord, FRAME_HDR};
+use crate::segment;
 use bytes::BytesMut;
 use dali_common::{CodewordAlgebraKind, DaliError, Lsn, PageId, Result};
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::fs::{File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
+/// Segment capacity used by the algebra-less convenience constructors
+/// ([`SystemLog::create`] / [`SystemLog::open`]); large enough that unit
+/// tests exercising only the append/flush protocol never roll.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 << 20;
+
 struct Inner {
     /// Unflushed frames.
     tail: BytesMut,
-    /// LSN of the first byte of the tail (== bytes written to the file).
+    /// LSN of the first byte of the tail (== bytes written to segments).
     tail_base: Lsn,
+    /// The active (last, unsealed) segment file.
     file: File,
+    /// Base LSN of the active segment *file*.
+    seg_base: Lsn,
+    /// Start LSN of the segment the next appended byte belongs to. Runs
+    /// ahead of `seg_base` while sealed-but-unflushed bytes sit in the
+    /// tail.
+    cur_seg_start: Lsn,
+    /// LSNs at which the tail must be split into a new segment (the LSN
+    /// just past each seal frame in the tail), oldest first. Fully
+    /// drained by every tail write.
+    seg_splits: VecDeque<Lsn>,
 }
 
 /// fsync state, deliberately on its own mutex: syncing must not hold the
 /// append latch, or every concurrent committer serializes behind each
 /// fsync (~hundreds of microseconds each).
 struct SyncState {
-    /// Second handle to the stable file, used only for `sync_data`.
+    /// Second handle to the active segment, used only for `sync_data`.
+    /// Swapped on every roll — by then the sealed predecessor has
+    /// already been fsynced and `durable` advanced past it, so this
+    /// handle only ever needs to cover the active segment's bytes.
     file: File,
     /// Everything below this LSN is known to be on disk.
     durable: Lsn,
@@ -54,7 +89,8 @@ struct SyncState {
 /// neighbour's fsync without waiting for one of their own.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SyncStats {
-    /// `sync_data` calls actually issued.
+    /// `sync_data` calls actually issued (including one per segment
+    /// roll, which makes the seal durable before its successor exists).
     pub fsyncs: u64,
     /// Tail→file writes (buffered flushes, durable or not).
     pub flushes: u64,
@@ -67,6 +103,18 @@ pub struct SyncStats {
     pub group_followers: u64,
 }
 
+/// Gauges for the segmented layout: what is on disk right now, plus how
+/// much retirement has reclaimed over this process's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SegmentStats {
+    /// Segment files currently retained in the log directory.
+    pub segments: u64,
+    /// Segments unlinked by [`SystemLog::retire_covered`] since open.
+    pub retired: u64,
+    /// Total bytes across the retained segment files.
+    pub bytes_on_disk: u64,
+}
+
 #[derive(Default)]
 struct Counters {
     fsyncs: AtomicU64,
@@ -74,16 +122,20 @@ struct Counters {
     durable_commits: AtomicU64,
     piggybacked: AtomicU64,
     group_followers: AtomicU64,
+    segments_retired: AtomicU64,
 }
 
 /// The system log.
 pub struct SystemLog {
-    path: PathBuf,
+    /// The log *directory* (segments live inside it).
+    dir: PathBuf,
     page_size: usize,
     /// Algebra used for frame checksums — must match between writer and
     /// scanner (the engine derives both from `DaliConfig::codeword_algebra`
     /// and the checkpoint meta pins it across restarts).
     kind: CodewordAlgebraKind,
+    /// Capacity at which the active segment is sealed and rolled.
+    segment_bytes: u64,
     inner: Mutex<Inner>,
     sync: Mutex<SyncState>,
     /// Signalled whenever `durable` advances, a leader steps down, or a
@@ -98,82 +150,149 @@ pub struct SystemLog {
 }
 
 impl SystemLog {
-    /// Create a fresh, empty log at `path` (truncating any existing
-    /// file), with XOR-checksummed frames.
+    /// Create a fresh, empty log directory at `path` (removing any
+    /// existing segments), with XOR-checksummed frames and the default
+    /// segment capacity.
     pub fn create(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
-        Self::create_with(path, page_size, CodewordAlgebraKind::XorFold)
+        Self::create_with(
+            path,
+            page_size,
+            CodewordAlgebraKind::XorFold,
+            DEFAULT_SEGMENT_BYTES,
+        )
     }
 
-    /// Create a fresh, empty log whose frame checksums use `kind`.
+    /// Create a fresh, empty log whose frame checksums use `kind` and
+    /// whose segments roll at `segment_bytes`.
     pub fn create_with(
         path: impl AsRef<Path>,
         page_size: usize,
         kind: CodewordAlgebraKind,
+        segment_bytes: u64,
     ) -> Result<SystemLog> {
-        let path = path.as_ref().to_path_buf();
+        let dir = path.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        for s in segment::list(&dir)? {
+            std::fs::remove_file(segment::path(&dir, s.base))?;
+        }
         let file = OpenOptions::new()
             .create(true)
             .write(true)
             .truncate(true)
-            .open(&path)?;
+            .open(segment::path(&dir, Lsn::ZERO))?;
+        segment::sync_dir(&dir)?;
         let sync_file = file.try_clone()?;
-        Ok(SystemLog {
-            path,
+        Ok(Self::assemble(
+            dir,
             page_size,
             kind,
-            inner: Mutex::new(Inner {
-                tail: BytesMut::with_capacity(1 << 20),
-                tail_base: Lsn::ZERO,
-                file,
-            }),
-            sync: Mutex::new(SyncState {
-                file: sync_file,
-                durable: Lsn::ZERO,
-                leader: false,
-                waiters: 0,
-            }),
-            sync_cv: Condvar::new(),
-            pending: AtomicU64::new(0),
-            counters: Counters::default(),
-            dirty: DualDirtySet::new(),
-        })
+            segment_bytes,
+            file,
+            sync_file,
+            Lsn::ZERO,
+            Lsn::ZERO,
+        ))
     }
 
-    /// Open an existing XOR-checksummed log for appending. Scans the file
-    /// to find the end of the last intact frame and truncates anything
-    /// after it.
+    /// Open an existing XOR-checksummed log for appending, with the
+    /// default segment capacity.
     pub fn open(path: impl AsRef<Path>, page_size: usize) -> Result<SystemLog> {
-        Self::open_with(path, page_size, CodewordAlgebraKind::XorFold)
+        Self::open_with(
+            path,
+            page_size,
+            CodewordAlgebraKind::XorFold,
+            DEFAULT_SEGMENT_BYTES,
+        )
     }
 
-    /// Open an existing log whose frame checksums use `kind`.
+    /// Open an existing log whose frame checksums use `kind`. Scans the
+    /// last segment to find the end of its last intact frame and
+    /// truncates anything after it (a torn flush); if the last segment
+    /// ends with a seal (the crash hit between sealing and creating the
+    /// successor), a fresh segment is created at the sealed end.
     pub fn open_with(
         path: impl AsRef<Path>,
         page_size: usize,
         kind: CodewordAlgebraKind,
+        segment_bytes: u64,
     ) -> Result<SystemLog> {
-        let path = path.as_ref().to_path_buf();
-        let valid_end = {
-            let bytes = std::fs::read(&path)?;
-            valid_prefix_len(kind, &bytes)
+        let dir = path.as_ref().to_path_buf();
+        let segments = segment::list(&dir)?;
+        let Some(&last) = segments.last() else {
+            return Err(DaliError::RecoveryFailed(format!(
+                "no log segments in {}",
+                dir.display()
+            )));
         };
-        let file = OpenOptions::new().write(true).open(&path)?;
-        file.set_len(valid_end as u64)?;
-        let mut file = file;
-        file.seek(SeekFrom::End(0))?;
+        segment::validate_chain(&segments)?;
+        let bytes = std::fs::read(segment::path(&dir, last.base))?;
+        let (valid, sealed) = valid_prefix(kind, &bytes);
+        let end = Lsn(last.base.0 + valid as u64);
+        let (file, seg_base) = if sealed {
+            // The sealed file is immutable from here on; truncate any
+            // torn bytes after the seal and start its successor.
+            if valid != bytes.len() {
+                let f = OpenOptions::new()
+                    .write(true)
+                    .open(segment::path(&dir, last.base))?;
+                f.set_len(valid as u64)?;
+                f.sync_data()?;
+            }
+            let file = OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(segment::path(&dir, end))?;
+            segment::sync_dir(&dir)?;
+            (file, end)
+        } else {
+            let mut file = OpenOptions::new()
+                .write(true)
+                .open(segment::path(&dir, last.base))?;
+            file.set_len(valid as u64)?;
+            file.seek(SeekFrom::End(0))?;
+            (file, last.base)
+        };
         let sync_file = file.try_clone()?;
-        Ok(SystemLog {
-            path,
+        Ok(Self::assemble(
+            dir,
             page_size,
             kind,
+            segment_bytes,
+            file,
+            sync_file,
+            seg_base,
+            end,
+        ))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        dir: PathBuf,
+        page_size: usize,
+        kind: CodewordAlgebraKind,
+        segment_bytes: u64,
+        file: File,
+        sync_file: File,
+        seg_base: Lsn,
+        end: Lsn,
+    ) -> SystemLog {
+        SystemLog {
+            dir,
+            page_size,
+            kind,
+            // A segment must hold at least one seal and one small frame.
+            segment_bytes: segment_bytes.max(4 * FRAME_HDR as u64),
             inner: Mutex::new(Inner {
                 tail: BytesMut::with_capacity(1 << 20),
-                tail_base: Lsn(valid_end as u64),
+                tail_base: end,
                 file,
+                seg_base,
+                cur_seg_start: seg_base,
+                seg_splits: VecDeque::new(),
             }),
             sync: Mutex::new(SyncState {
                 file: sync_file,
-                durable: Lsn(valid_end as u64),
+                durable: end,
                 leader: false,
                 waiters: 0,
             }),
@@ -181,12 +300,12 @@ impl SystemLog {
             pending: AtomicU64::new(0),
             counters: Counters::default(),
             dirty: DualDirtySet::new(),
-        })
+        }
     }
 
-    /// Path of the stable log file.
+    /// Path of the stable log directory.
     pub fn path(&self) -> &Path {
-        &self.path
+        &self.dir
     }
 
     /// Dirty page table fed by physical-redo appends.
@@ -206,17 +325,35 @@ impl SystemLog {
     /// and of the next byte after the last.
     pub fn append_batch(&self, recs: &[LogRecord]) -> (Lsn, Lsn) {
         let mut inner = self.inner.lock();
-        let first = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
+        let mut first = None;
         for rec in recs {
-            self.append_locked(&mut inner, rec);
+            let lsn = self.append_locked(&mut inner, rec);
+            first.get_or_insert(lsn);
         }
         let end = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
-        (first, end)
+        (first.unwrap_or(end), end)
     }
 
     fn append_locked(&self, inner: &mut Inner, rec: &LogRecord) -> Lsn {
-        let lsn = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
-        frame_with(self.kind, rec, &mut inner.tail);
+        let mut payload = BytesMut::with_capacity(64);
+        rec.encode(&mut payload);
+        let frame_len = (FRAME_HDR + payload.len()) as u64;
+        let mut lsn = Lsn(inner.tail_base.0 + inner.tail.len() as u64);
+        // Roll decision, made while the record's bytes are still in
+        // hand: if this frame would push the active segment past its
+        // capacity (reserving room for the seal that must always fit),
+        // seal here and let the record open the next segment. A frame
+        // larger than a whole segment gets a segment to itself — records
+        // never span segments.
+        let seg_used = lsn.0 - inner.cur_seg_start.0;
+        if seg_used > 0 && seg_used + frame_len > self.segment_bytes - FRAME_HDR as u64 {
+            frame_seal(self.kind, &mut inner.tail);
+            let split = Lsn(lsn.0 + FRAME_HDR as u64);
+            inner.cur_seg_start = split;
+            inner.seg_splits.push_back(split);
+            lsn = split;
+        }
+        frame_payload_with(self.kind, &payload, &mut inner.tail);
         if let LogRecord::PhysicalRedo { addr, data, .. } = rec {
             let pages = dali_common::align::split_by_chunks(addr.0, data.len(), self.page_size)
                 .map(|(ci, _, _)| PageId(ci as u32));
@@ -236,12 +373,12 @@ impl SystemLog {
         self.inner.lock().tail_base
     }
 
-    /// Flush the tail to the stable file. The file write happens under
-    /// the system log latch; with `sync`, the fsync happens *outside* it,
-    /// so concurrent appenders and committers are not serialized behind
-    /// the disk. A committer whose bytes a neighbour's fsync already
-    /// covered skips its own (commit piggybacking). Returns the new end
-    /// of stable log.
+    /// Flush the tail to the stable segments. The file writes happen
+    /// under the system log latch; with `sync`, the fsync happens
+    /// *outside* it, so concurrent appenders and committers are not
+    /// serialized behind the disk. A committer whose bytes a neighbour's
+    /// fsync already covered skips its own (commit piggybacking).
+    /// Returns the new end of stable log.
     pub fn flush(&self, sync: bool) -> Result<Lsn> {
         let end = self.write_tail()?;
         if sync {
@@ -253,21 +390,69 @@ impl SystemLog {
         Ok(end)
     }
 
-    /// Write the in-memory tail to the stable file (no fsync); returns
-    /// the new end of the written log.
+    /// Write the in-memory tail to the stable segments (no fsync of the
+    /// active segment); returns the new end of the written log. Rolls
+    /// happen here: the tail is cut at each pending seal, the sealed
+    /// file is fsynced (so the seal cannot be torn by a later crash
+    /// while its successor already exists), the successor is created and
+    /// the directory fsynced before any byte lands in it.
     fn write_tail(&self) -> Result<Lsn> {
         let mut inner = self.inner.lock();
-        if !inner.tail.is_empty() {
-            let tail = std::mem::take(&mut inner.tail);
-            inner.file.write_all(&tail)?;
-            inner.tail_base = Lsn(inner.tail_base.0 + tail.len() as u64);
-            // Reuse the buffer's capacity.
-            let mut tail = tail;
-            tail.clear();
-            inner.tail = tail;
-            self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        if inner.tail.is_empty() {
+            return Ok(inner.tail_base);
         }
+        let tail = std::mem::take(&mut inner.tail);
+        let base = inner.tail_base;
+        let mut cursor = 0usize;
+        while let Some(&split) = inner.seg_splits.front() {
+            let off = (split.0 - base.0) as usize;
+            debug_assert!(cursor < off && off <= tail.len());
+            inner.file.write_all(&tail[cursor..off])?;
+            cursor = off;
+            inner.seg_splits.pop_front();
+            self.roll_locked(&mut inner, split)?;
+        }
+        inner.file.write_all(&tail[cursor..])?;
+        inner.tail_base = Lsn(base.0 + tail.len() as u64);
+        // Reuse the buffer's capacity.
+        let mut tail = tail;
+        tail.clear();
+        inner.tail = tail;
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
         Ok(inner.tail_base)
+    }
+
+    /// Seal the active segment at `split` (its bytes, ending in a seal
+    /// frame, are already written) and open its successor. Called with
+    /// the append latch held; takes the sync lock briefly twice, which
+    /// is safe because no path acquires the append latch while holding
+    /// the sync lock.
+    fn roll_locked(&self, inner: &mut Inner, split: Lsn) -> Result<()> {
+        // 1. Make the sealed segment durable and publish that fact —
+        // durable must cover the seal *before* the sync handle is
+        // swapped, so a concurrent `sync_upto` for old-segment bytes
+        // piggybacks instead of fsyncing the wrong file.
+        inner.file.sync_data()?;
+        {
+            let mut s = self.sync.lock();
+            if s.durable < split {
+                s.durable = split;
+                self.sync_cv.notify_all();
+            }
+        }
+        self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        // 2. Create the successor and make its directory entry durable
+        // before anything is written to it.
+        let file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(segment::path(&self.dir, split))?;
+        segment::sync_dir(&self.dir)?;
+        let sync_file = file.try_clone()?;
+        inner.file = file;
+        inner.seg_base = split;
+        self.sync.lock().file = sync_file;
+        Ok(())
     }
 
     /// fsync so that everything below `upto` is durable, unless a
@@ -394,6 +579,33 @@ impl SystemLog {
         res
     }
 
+    /// Retire (unlink) sealed segments every byte of which is below
+    /// `horizon` — called by the checkpointer with the oldest `CK_end`
+    /// that any retained checkpoint image might replay from. The active
+    /// segment is never retired. Returns how many segments were
+    /// unlinked. Holding the append latch across the unlinks pins the
+    /// active segment and keeps rolls out of the race window.
+    pub fn retire_covered(&self, horizon: Lsn) -> Result<u64> {
+        let inner = self.inner.lock();
+        let keep_from = inner.seg_base;
+        let retired = segment::retire_covered(&self.dir, horizon, keep_from)?;
+        self.counters
+            .segments_retired
+            .fetch_add(retired, Ordering::Relaxed);
+        Ok(retired)
+    }
+
+    /// Gauges for the segmented layout (directory listing + lifetime
+    /// retirement counter).
+    pub fn segment_stats(&self) -> Result<SegmentStats> {
+        let segments = segment::list(&self.dir)?;
+        Ok(SegmentStats {
+            segments: segments.len() as u64,
+            retired: self.counters.segments_retired.load(Ordering::Relaxed),
+            bytes_on_disk: segments.iter().map(|s| s.len).sum(),
+        })
+    }
+
     /// Snapshot of the flush/fsync counters.
     pub fn sync_stats(&self) -> SyncStats {
         SyncStats {
@@ -405,51 +617,93 @@ impl SystemLog {
         }
     }
 
-    /// Scan every intact record in an XOR-checksummed stable file from
-    /// `from` onward. (The in-memory tail is *not* visible: after a crash
-    /// it is gone.)
+    /// Scan every intact record in an XOR-checksummed stable log
+    /// directory from `from` onward. (The in-memory tail is *not*
+    /// visible: after a crash it is gone.)
     pub fn scan_stable(path: impl AsRef<Path>, from: Lsn) -> Result<Vec<(Lsn, LogRecord)>> {
         Self::scan_stable_with(path, from, CodewordAlgebraKind::XorFold)
     }
 
-    /// Scan a stable file whose frame checksums use `kind`.
+    /// Scan a stable log directory whose frame checksums use `kind`.
+    /// Seal frames are consumed (they carry no record); the scan crosses
+    /// segment boundaries transparently and stops at the first torn
+    /// frame. Errors if `from` predates the first retained segment
+    /// (history the caller wants was retired) or lies past the end of
+    /// the log.
     pub fn scan_stable_with(
         path: impl AsRef<Path>,
         from: Lsn,
         kind: CodewordAlgebraKind,
     ) -> Result<Vec<(Lsn, LogRecord)>> {
-        let bytes = std::fs::read(path.as_ref())?;
-        if from.0 as usize > bytes.len() {
+        let dir = path.as_ref();
+        let segments = segment::list(dir)?;
+        let Some(&first) = segments.first() else {
             return Err(DaliError::RecoveryFailed(format!(
-                "scan start {from} beyond stable log ({})",
-                bytes.len()
+                "no log segments in {}",
+                dir.display()
+            )));
+        };
+        segment::validate_chain(&segments)?;
+        let end = segments.last().expect("non-empty").end();
+        if from < first.base {
+            return Err(DaliError::RecoveryFailed(format!(
+                "scan start {from} predates first retained segment {}",
+                segment::file_name(first.base)
+            )));
+        }
+        if from > end {
+            return Err(DaliError::RecoveryFailed(format!(
+                "scan start {from} beyond stable log ({end})"
             )));
         }
         let mut out = Vec::new();
-        let mut pos = from.0 as usize;
-        while pos < bytes.len() {
-            match unframe_with(kind, &bytes[pos..]) {
-                Ok((rec, n)) => {
-                    out.push((Lsn(pos as u64), rec));
-                    pos += n;
+        for s in segments.iter().filter(|s| s.end() > from || s.len == 0) {
+            let bytes = std::fs::read(segment::path(dir, s.base))?;
+            let mut pos = from.0.saturating_sub(s.base.0) as usize;
+            let mut clean_end = pos == bytes.len();
+            while pos < bytes.len() {
+                match unframe_with(kind, &bytes[pos..]) {
+                    Ok((Frame::Record(rec), n)) => {
+                        out.push((Lsn(s.base.0 + pos as u64), rec));
+                        pos += n;
+                        clean_end = pos == bytes.len();
+                    }
+                    Ok((Frame::Seal, n)) => {
+                        pos += n;
+                        // A seal is only valid as the segment's last
+                        // frame; bytes after it are torn garbage.
+                        clean_end = pos == bytes.len();
+                        break;
+                    }
+                    Err(_) => {
+                        clean_end = false;
+                        break;
+                    }
                 }
-                Err(_) => break, // torn tail: stop at the last intact frame
+            }
+            if !clean_end {
+                // Torn tail (or mid-segment damage): nothing after this
+                // point can be trusted to be in sequence.
+                break;
             }
         }
         Ok(out)
     }
 }
 
-/// Length of the longest prefix of `bytes` consisting of intact frames.
-fn valid_prefix_len(kind: CodewordAlgebraKind, bytes: &[u8]) -> usize {
+/// Length of the longest prefix of `bytes` consisting of intact frames,
+/// and whether that prefix ends with a seal (bytes after a seal in the
+/// same segment are torn garbage and excluded).
+fn valid_prefix(kind: CodewordAlgebraKind, bytes: &[u8]) -> (usize, bool) {
     let mut pos = 0;
     while pos < bytes.len() {
         match unframe_with(kind, &bytes[pos..]) {
-            Ok((_, n)) => pos += n,
+            Ok((Frame::Record(_), n)) => pos += n,
+            Ok((Frame::Seal, n)) => return (pos + n, true),
             Err(_) => break,
         }
     }
-    pos
+    (pos, false)
 }
 
 #[cfg(test)]
@@ -461,6 +715,11 @@ mod tests {
         let dir = std::env::temp_dir().join("dali-wal-tests");
         std::fs::create_dir_all(&dir).unwrap();
         dir.join(format!("{name}-{}.log", std::process::id()))
+    }
+
+    fn last_segment_path(dir: &Path) -> PathBuf {
+        let segs = segment::list(dir).unwrap();
+        segment::path(dir, segs.last().unwrap().base)
     }
 
     #[test]
@@ -544,9 +803,13 @@ mod tests {
             log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
             log.flush(false).unwrap();
         }
-        // Simulate a torn flush: append garbage bytes.
+        // Simulate a torn flush: append garbage bytes to the active
+        // segment.
         {
-            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            let mut f = OpenOptions::new()
+                .append(true)
+                .open(last_segment_path(&path))
+                .unwrap();
             f.write_all(&[0xff, 0x13, 0x22]).unwrap();
         }
         let log = SystemLog::open(&path, 4096).unwrap();
@@ -665,7 +928,7 @@ mod tests {
         let path = tmp("residue");
         let r = CodewordAlgebraKind::Residue;
         {
-            let log = SystemLog::create_with(&path, 4096, r).unwrap();
+            let log = SystemLog::create_with(&path, 4096, r, DEFAULT_SEGMENT_BYTES).unwrap();
             // Overlapping bit columns so the XOR and residue folds differ.
             log.append(&LogRecord::TxnBegin {
                 txn: TxnId(0x0000_FFFF_FFFF_FFFF),
@@ -683,7 +946,7 @@ mod tests {
         let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
         assert_eq!(recs.len(), 0);
         // Reopening with the right kind resumes after the intact frames.
-        let log = SystemLog::open_with(&path, 4096, r).unwrap();
+        let log = SystemLog::open_with(&path, 4096, r, DEFAULT_SEGMENT_BYTES).unwrap();
         assert!(log.current_lsn() > Lsn::ZERO);
         log.append(&LogRecord::TxnAbort { txn: TxnId(3) });
         log.flush(false).unwrap();
@@ -716,5 +979,213 @@ mod tests {
         log.flush(false).unwrap();
         let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
         assert_eq!(recs.len(), 2000);
+    }
+
+    // ---- segmented-layout tests ----
+
+    /// Tiny capacity so a handful of records rolls several segments.
+    const TINY_SEG: u64 = 128;
+
+    fn fill(log: &SystemLog, n: u64) -> Vec<Lsn> {
+        (0..n)
+            .map(|i| {
+                log.append(&LogRecord::PhysicalRedo {
+                    txn: TxnId(i),
+                    op: OpSeq(0),
+                    addr: DbAddr(64 * i as usize),
+                    data: vec![i as u8; 40],
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn appends_roll_into_multiple_sealed_segments() {
+        let path = tmp("roll");
+        let log =
+            SystemLog::create_with(&path, 4096, CodewordAlgebraKind::XorFold, TINY_SEG).unwrap();
+        let lsns = fill(&log, 12);
+        log.flush(true).unwrap();
+        let segs = segment::list(&path).unwrap();
+        assert!(segs.len() > 2, "expected rolls, got {segs:?}");
+        segment::validate_chain(&segs).unwrap();
+        // Every sealed (non-last) segment stays within capacity and ends
+        // with a seal frame.
+        for s in &segs[..segs.len() - 1] {
+            assert!(s.len <= TINY_SEG, "{s:?} over capacity");
+            let bytes = std::fs::read(segment::path(&path, s.base)).unwrap();
+            let (valid, sealed) = valid_prefix(CodewordAlgebraKind::XorFold, &bytes);
+            assert_eq!(valid, bytes.len());
+            assert!(sealed, "{s:?} not sealed");
+        }
+        // The scan sees every record at its append LSN, across segments.
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 12);
+        for (got, want) in recs.iter().map(|(l, _)| *l).zip(lsns) {
+            assert_eq!(got, want);
+        }
+        // And a scan from a mid-log record LSN works too.
+        let recs = SystemLog::scan_stable(&path, recs[7].0).unwrap();
+        assert_eq!(recs.len(), 5);
+    }
+
+    #[test]
+    fn reopen_after_rolls_resumes_at_end() {
+        let path = tmp("rollreopen");
+        let end = {
+            let log = SystemLog::create_with(&path, 4096, CodewordAlgebraKind::XorFold, TINY_SEG)
+                .unwrap();
+            fill(&log, 9);
+            log.flush(true).unwrap()
+        };
+        let log =
+            SystemLog::open_with(&path, 4096, CodewordAlgebraKind::XorFold, TINY_SEG).unwrap();
+        assert_eq!(log.current_lsn(), end);
+        let l = log.append(&LogRecord::TxnCommit { txn: TxnId(99) });
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 10);
+        assert_eq!(recs.last().unwrap().0, l);
+    }
+
+    #[test]
+    fn oversized_record_gets_its_own_segment() {
+        let path = tmp("oversz");
+        let log =
+            SystemLog::create_with(&path, 4096, CodewordAlgebraKind::XorFold, TINY_SEG).unwrap();
+        log.append(&LogRecord::TxnBegin { txn: TxnId(1) });
+        let big = log.append(&LogRecord::PhysicalRedo {
+            txn: TxnId(1),
+            op: OpSeq(0),
+            addr: DbAddr(0),
+            data: vec![7u8; 3 * TINY_SEG as usize],
+        });
+        let after = log.append(&LogRecord::TxnCommit { txn: TxnId(1) });
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable(&path, Lsn::ZERO).unwrap();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[1].0, big);
+        assert_eq!(recs[2].0, after);
+        // The oversized frame must not span segments: one segment holds
+        // the whole frame.
+        let segs = segment::list(&path).unwrap();
+        let holder = segs.iter().find(|s| s.base == big).unwrap();
+        assert!(holder.len > 3 * TINY_SEG);
+    }
+
+    #[test]
+    fn torn_seal_at_segment_boundary_is_truncated() {
+        // A flush tears mid-seal: the segment's records survive, the
+        // partial seal is cut, and appends resume *in that segment*.
+        let path = tmp("tornseal");
+        let kind = CodewordAlgebraKind::XorFold;
+        let (lsns, seal_lsn) = {
+            let log = SystemLog::create_with(&path, 4096, kind, TINY_SEG).unwrap();
+            let lsns = fill(&log, 3);
+            log.flush(true).unwrap();
+            let segs = segment::list(&path).unwrap();
+            assert!(segs.len() >= 2, "{segs:?}");
+            (lsns, segs[1].base)
+        };
+        // Records that landed before the first seal.
+        let seal_start = seal_lsn.0 - FRAME_HDR as u64;
+        let survivors: Vec<Lsn> = lsns.iter().copied().filter(|l| l.0 < seal_start).collect();
+        assert!(!survivors.is_empty());
+        // Reconstruct the pre-roll torn state: successor segments gone,
+        // first segment cut mid-seal (header half written).
+        let segs = segment::list(&path).unwrap();
+        for s in &segs[1..] {
+            std::fs::remove_file(segment::path(&path, s.base)).unwrap();
+        }
+        let first = segment::path(&path, Lsn::ZERO);
+        let f = OpenOptions::new().write(true).open(&first).unwrap();
+        f.set_len(seal_start + 4).unwrap();
+        drop(f);
+
+        let log = SystemLog::open_with(&path, 4096, kind, TINY_SEG).unwrap();
+        assert_eq!(log.current_lsn(), Lsn(seal_start));
+        let recs = SystemLog::scan_stable_with(&path, Lsn::ZERO, kind).unwrap();
+        assert_eq!(recs.len(), survivors.len());
+        assert_eq!(recs.last().unwrap().0, *survivors.last().unwrap());
+        // Appends resume and roll normally afterwards.
+        fill(&log, 3);
+        log.flush(true).unwrap();
+        assert_eq!(
+            SystemLog::scan_stable_with(&path, Lsn::ZERO, kind)
+                .unwrap()
+                .len(),
+            survivors.len() + 3
+        );
+    }
+
+    #[test]
+    fn sealed_last_segment_reopens_with_fresh_successor() {
+        // The other half of the boundary tear: the seal made it to disk
+        // but the crash hit before (or during) the successor's first
+        // flush. Reopen must start a fresh segment at the sealed end.
+        let path = tmp("sealedlast");
+        let kind = CodewordAlgebraKind::XorFold;
+        let end = {
+            let log = SystemLog::create_with(&path, 4096, kind, TINY_SEG).unwrap();
+            fill(&log, 3);
+            log.flush(true).unwrap()
+        };
+        let segs = segment::list(&path).unwrap();
+        let last = *segs.last().unwrap();
+        // Simulate a torn first flush of the successor: garbage bytes.
+        std::fs::write(
+            segment::path(&path, last.base),
+            [
+                &std::fs::read(segment::path(&path, last.base)).unwrap()[..],
+                &[0xde, 0xad],
+            ]
+            .concat(),
+        )
+        .unwrap();
+        let log = SystemLog::open_with(&path, 4096, kind, TINY_SEG).unwrap();
+        // Garbage cut; resume exactly at the stable end.
+        let segs2 = segment::list(&path).unwrap();
+        segment::validate_chain(&segs2).unwrap();
+        assert!(log.current_lsn() <= end);
+        let l = log.append(&LogRecord::TxnCommit { txn: TxnId(5) });
+        log.flush(false).unwrap();
+        let recs = SystemLog::scan_stable_with(&path, Lsn::ZERO, kind).unwrap();
+        assert_eq!(recs.last().unwrap().0, l);
+    }
+
+    #[test]
+    fn retire_covered_unlinks_only_below_horizon_and_scan_still_works() {
+        let path = tmp("retirelog");
+        let log =
+            SystemLog::create_with(&path, 4096, CodewordAlgebraKind::XorFold, TINY_SEG).unwrap();
+        let lsns = fill(&log, 12);
+        log.flush(true).unwrap();
+        let before = segment::list(&path).unwrap();
+        assert!(before.len() > 2);
+        let horizon = lsns[7];
+        let retired = log.retire_covered(horizon).unwrap();
+        assert!(retired > 0);
+        let after = segment::list(&path).unwrap();
+        assert_eq!(before.len() as u64 - retired, after.len() as u64);
+        segment::validate_chain(&after).unwrap();
+        // Every surviving segment still has bytes at or after the horizon.
+        assert!(after
+            .iter()
+            .all(|s| s.end() > horizon || s == after.last().unwrap()));
+        // A scan from the horizon (what recovery would do) still works...
+        let recs = SystemLog::scan_stable(&path, horizon).unwrap();
+        assert_eq!(recs.len(), 5);
+        // ...while a scan from before the first retained segment errors.
+        let err = SystemLog::scan_stable(&path, Lsn::ZERO)
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("predates"), "{err}");
+        let stats = log.segment_stats().unwrap();
+        assert_eq!(stats.segments, after.len() as u64);
+        assert_eq!(stats.retired, retired);
+        assert_eq!(
+            stats.bytes_on_disk,
+            after.iter().map(|s| s.len).sum::<u64>()
+        );
     }
 }

@@ -135,26 +135,39 @@ fn paired_flip_splits_checkpoint_certification() {
     }
 }
 
-/// Walk the `[len:u32][checksum:u32][payload]` framing of a raw stable
-/// log and return every in-payload probe offset with at least 8 bytes
-/// of payload after it. A flip straddling the *stored checksum* and the
-/// matching column of the first payload word compensates under either
-/// algebra — the checksum cannot protect itself — so the algebra split
-/// below is a claim about payload bytes, and the probes stay inside
-/// them.
+/// Concatenate the retained log segments in base order: LSNs are global
+/// byte offsets, so this reconstructs the global stable-log byte stream
+/// (seal frames included).
+fn read_log_bytes(log_dir: &std::path::Path) -> Vec<u8> {
+    let mut out = Vec::new();
+    for seg in dali::wal::segment::list(log_dir).unwrap() {
+        let bytes = std::fs::read(dali::wal::segment::path(log_dir, seg.base)).unwrap();
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Walk the `[len:u32][checksum:u32][type:u8][payload]` framing of a raw
+/// stable log and return every in-payload probe offset with at least 8
+/// bytes of payload after it. Seal frames (empty payload) are skipped. A
+/// flip straddling the *stored checksum* and the matching column of the
+/// first payload word compensates under either algebra — the checksum
+/// cannot protect itself — so the algebra split below is a claim about
+/// payload bytes, and the probes stay inside them.
 fn payload_probe_offsets(log: &[u8]) -> Vec<usize> {
+    const HDR: usize = dali::wal::record::FRAME_HDR;
     let mut offs = Vec::new();
     let mut pos = 0usize;
-    while pos + 8 <= log.len() {
+    while pos + HDR <= log.len() {
         let len = u32::from_le_bytes(log[pos..pos + 4].try_into().unwrap()) as usize;
-        if len == 0 || pos + 8 + len > log.len() {
+        if pos + HDR + len > log.len() {
             break;
         }
-        let payload = pos + 8..pos + 8 + len;
+        let payload = pos + HDR..pos + HDR + len;
         for off in (payload.start..payload.end.saturating_sub(8)).step_by(16) {
             offs.push(off);
         }
-        pos += 8 + len;
+        pos += HDR + len;
     }
     offs
 }
@@ -178,7 +191,7 @@ fn wal_single_flips_reject_and_paired_flips_split_by_algebra() {
         txn.commit().unwrap();
         db.db().syslog.flush(false).unwrap();
         let path = dali::engine::db::Db::log_path(&db.db().config.dir);
-        let log = std::fs::read(&path).unwrap();
+        let log = read_log_bytes(&path);
         let offsets = payload_probe_offsets(&log);
         assert!(
             offsets.len() > 8,

@@ -135,6 +135,11 @@ fn arb_stats() -> impl Strategy<Value = ServerStats> {
             exec_queue_max: f ^ b,
             loop_iterations: a.wrapping_add(f),
             outbound_buffered_max: b.wrapping_mul(5),
+            log_segments_active: c.wrapping_add(d),
+            log_segments_retired: e.wrapping_mul(7),
+            log_bytes_on_disk: f ^ a ^ b,
+            redo_threads_used: d.wrapping_add(1),
+            redo_parallel_ns: e ^ c,
         })
 }
 
